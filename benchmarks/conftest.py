@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artefacts (the WTC scene, the 32-run network grid, the
+Thunderhead sweep) are built once per session; the per-table benchmarks
+then time their projections and print the paper-style tables into the
+benchmark log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import run_network_grid
+from repro.experiments.table8 import run_table8
+from repro.hsi.scene import make_wtc_scene
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The full experiment configuration (paper parameters)."""
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def scene(config):
+    """The default WTC scene used by the accuracy experiments."""
+    return make_wtc_scene(config.scene)
+
+
+@pytest.fixture(scope="session")
+def grid(config):
+    """The 32-run network grid shared by Tables 5-7 (built once)."""
+    return run_network_grid(config)
+
+
+@pytest.fixture(scope="session")
+def table8(config):
+    """The Thunderhead sweep shared by Table 8 and Figure 2."""
+    return run_table8(config)

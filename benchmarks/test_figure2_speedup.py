@@ -1,0 +1,39 @@
+"""Figure 2 benchmark: Thunderhead speedup curves.
+
+Renders the paper's scalability figure (terminal chart) and checks its
+ordering claims: MORPH scales best, PCT worst (the sequential fraction
+the paper blames), ATDCA slightly better than UFCLS.
+"""
+
+from repro.experiments.figure2 import run_figure2
+from repro.perf.speedup import amdahl_serial_fraction
+
+
+def test_figure2_shape_and_report(benchmark, config, table8):
+    result = benchmark.pedantic(
+        run_figure2, kwargs=dict(config=config, table8=table8),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    # Paper's Figure 2 ordering at 256 CPUs.
+    order = result.scaling_order()
+    assert order[0] == "MORPH", order
+    assert order[-1] == "PCT", order
+    assert order.index("ATDCA") < order.index("UFCLS")
+
+    # Everyone achieves large but sub-linear speedup at 256 CPUs.
+    for alg in result.speedups:
+        final = result.final_speedup(alg)
+        assert 50.0 < final < 256.0, (alg, final)
+
+    # PCT's limiting serial fraction exceeds MORPH's (Amdahl fit).
+    cpus = list(result.cpus)
+    f_pct = amdahl_serial_fraction(
+        [result.table8.times["PCT"][p] for p in cpus], cpus
+    )
+    f_morph = amdahl_serial_fraction(
+        [result.table8.times["MORPH"][p] for p in cpus], cpus
+    )
+    assert f_pct > f_morph

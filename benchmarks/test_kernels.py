@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the numerical kernels (pytest-benchmark).
+
+These time the hot loops on fixed inputs so regressions in the
+vectorized implementations are visible across commits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.atdca import atdca_pixels
+from repro.hsi.metrics import sad_pairwise, sad_to_references
+from repro.linalg.fcls import fcls_abundances
+from repro.linalg.osp import residual_energy
+from repro.linalg.pca import covariance_matrix, pct_transform
+from repro.morphology.ops import morph_extrema
+from repro.morphology.structuring import square
+
+
+@pytest.fixture(scope="module")
+def pixels():
+    rng = np.random.default_rng(99)
+    return rng.random((20_000, 48)) + 0.05
+
+
+@pytest.fixture(scope="module")
+def cube():
+    rng = np.random.default_rng(99)
+    return rng.random((128, 96, 32)) + 0.05
+
+
+def test_bench_sad_to_references(benchmark, pixels):
+    refs = pixels[:24]
+    result = benchmark(sad_to_references, pixels, refs)
+    assert result.shape == (20_000, 24)
+
+
+def test_bench_sad_pairwise(benchmark, pixels):
+    mat = pixels[:512]
+    result = benchmark(sad_pairwise, mat)
+    assert result.shape == (512, 512)
+
+
+def test_bench_osp_residual(benchmark, pixels):
+    targets = pixels[:12]
+    result = benchmark(residual_energy, pixels, targets)
+    assert result.shape == (20_000,)
+
+
+def test_bench_fcls(benchmark, pixels):
+    endmembers = pixels[:8]
+    result = benchmark(fcls_abundances, pixels[:2_000], endmembers)
+    assert result.shape == (2_000, 8)
+
+
+def test_bench_covariance_eig(benchmark, pixels):
+    def run():
+        cov = covariance_matrix(pixels)
+        return pct_transform(cov, n_components=12)
+
+    transform, _ = benchmark(run)
+    assert transform.shape == (12, 48)
+
+
+def test_bench_morph_extrema(benchmark, cube):
+    se = square(3)
+    result = benchmark(morph_extrema, cube, se)
+    assert result.eroded.shape == cube.shape
+
+
+def test_bench_atdca_end_to_end(benchmark, pixels):
+    result = benchmark(atdca_pixels, pixels[:8_000], 10)
+    assert result.n_targets == 10

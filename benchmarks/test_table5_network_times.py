@@ -1,0 +1,42 @@
+"""Table 5 benchmark: execution times on the four equivalent networks.
+
+Checks the paper's headline claims:
+
+(i)  every heterogeneous algorithm runs in nearly the same time on all
+     four networks (adapts to the environment);
+(ii) the homogeneous versions collapse on the processor-heterogeneous
+     networks;
+(iii) a heterogeneous algorithm's time on the fully heterogeneous
+     network is close to its homogeneous version's on the (equivalent)
+     fully homogeneous network — Lastovetsky-Reddy near-optimality.
+"""
+
+import numpy as np
+
+from repro.core.runner import ALGORITHM_NAMES
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_shape_and_report(benchmark, config, grid):
+    result = benchmark.pedantic(
+        run_table5, kwargs=dict(config=config, grid=grid),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    for alg in ALGORITHM_NAMES:
+        het_row = result.times[f"Hetero-{alg.upper()}"]
+        # (i) hetero times flat across networks (within ~25%).
+        values = np.array(list(het_row.values()))
+        assert values.max() / values.min() < 1.3, alg
+
+        # (ii) homo collapses where processors are heterogeneous.
+        assert result.ratio(alg, "fully heterogeneous") > 2.5, alg
+        assert result.ratio(alg, "partially heterogeneous") > 2.5, alg
+
+        # (iii) near-optimality: hetero-on-het within 15% of
+        # homo-on-equivalent-homo.
+        het_on_het = het_row["fully heterogeneous"]
+        homo_on_homo = result.times[f"Homo-{alg.upper()}"]["fully homogeneous"]
+        assert 0.75 < het_on_het / homo_on_homo < 1.25, alg

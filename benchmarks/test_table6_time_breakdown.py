@@ -1,0 +1,38 @@
+"""Table 6 benchmark: COM/SEQ/PAR decomposition.
+
+Checks the paper's structural observations: PAR dominates COM
+everywhere; PCT carries the largest sequential share and MORPH the
+smallest; and the homogeneous variants' PAR explodes on heterogeneous
+processors (inefficient workload distribution).
+"""
+
+from repro.experiments.table6 import run_table6
+
+
+def test_table6_shape_and_report(benchmark, config, grid):
+    result = benchmark.pedantic(
+        run_table6, kwargs=dict(config=config, grid=grid),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    net = "fully heterogeneous"
+    seq = {
+        alg: result.breakdowns[f"Hetero-{alg}"][net].seq
+        for alg in ("ATDCA", "UFCLS", "PCT", "MORPH")
+    }
+    # Paper ordering: PCT > ATDCA > UFCLS > MORPH.
+    assert seq["PCT"] > seq["ATDCA"] > seq["UFCLS"] > seq["MORPH"]
+
+    for label in result.grid.row_labels:
+        b = result.breakdowns[label][net]
+        # Computation dominates communication for these algorithms.
+        assert b.par > b.com, label
+
+    # Homo PAR explosion relative to hetero on the het network.
+    het = result.breakdowns["Hetero-ATDCA"][net]
+    homo = result.breakdowns["Homo-ATDCA"][net]
+    assert homo.par > 3.0 * het.par
+    # SEQ is variant-independent (same master work).
+    assert abs(homo.seq - het.seq) / het.seq < 0.2

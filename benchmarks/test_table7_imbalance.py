@@ -1,0 +1,35 @@
+"""Table 7 benchmark: load-balancing rates.
+
+Checks the paper's balance claims: heterogeneous variants keep workers
+within a few percent of each other (D_minus ≈ 1); MORPH is the best
+balanced overall with D_all ≈ D_minus; the homogeneous variants are far
+worse on heterogeneous processors; and (for the non-windowed
+algorithms) excluding the root improves the rate (the master carries
+extra sequential work).
+"""
+
+from repro.experiments.table7 import run_table7
+
+
+def test_table7_shape_and_report(benchmark, config, grid):
+    result = benchmark.pedantic(
+        run_table7, kwargs=dict(config=config, grid=grid),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.to_text())
+
+    net = "fully heterogeneous"
+    for alg in ("ATDCA", "UFCLS", "PCT", "MORPH"):
+        het = result.scores[f"Hetero-{alg}"][net]
+        homo = result.scores[f"Homo-{alg}"][net]
+        # Hetero workers near-perfectly balanced; homo versions not.
+        assert het.d_minus < 1.25, alg
+        assert homo.d_all > 3.0 * het.d_all, alg
+
+    # MORPH: D_all ≈ D_minus (no master-heavy sequential steps).
+    morph = result.scores["Hetero-MORPH"][net]
+    assert abs(morph.d_all - morph.d_minus) < 0.1
+    # PCT's master skew: D_all noticeably above D_minus.
+    pct = result.scores["Hetero-PCT"][net]
+    assert pct.d_all > pct.d_minus + 0.05

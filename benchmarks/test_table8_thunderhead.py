@@ -1,0 +1,37 @@
+"""Table 8 benchmark: Thunderhead execution times by CPU count.
+
+Runs the validated analytic model at the paper's full scene dimensions
+and checks the published shape: single-node times in the paper's
+ordering (MORPH > PCT > ATDCA > UFCLS), monotone scaling, and 256-CPU
+times within the right band.
+"""
+
+from repro.experiments.table8 import run_table8
+
+
+def test_table8_shape_and_report(benchmark, config, table8):
+    # The session fixture already ran the sweep once; benchmark re-runs
+    # it to time the full model sweep itself.
+    result = benchmark.pedantic(
+        run_table8, kwargs=dict(config=config), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+
+    t1 = {alg: result.times[alg][1] for alg in result.times}
+    # Paper P=1 ordering: MORPH 2334 > PCT 1884 > ATDCA 1263 > UFCLS 916.
+    assert t1["MORPH"] > t1["PCT"] > t1["ATDCA"] > t1["UFCLS"]
+    # Magnitudes within a factor ~1.6 of the published single-node times.
+    for alg, paper in (("ATDCA", 1263), ("UFCLS", 916), ("PCT", 1884),
+                       ("MORPH", 2334)):
+        assert paper / 1.6 < t1[alg] < paper * 1.6, alg
+
+    # Monotone strong scaling across the sweep.
+    for alg in result.times:
+        series = [result.times[alg][p] for p in result.cpus]
+        assert all(a > b for a, b in zip(series, series[1:])), alg
+
+    # 256-CPU times land in the paper's band (7 / 6 / 15 / 11 s).
+    for alg, paper in (("ATDCA", 7), ("UFCLS", 6), ("PCT", 15), ("MORPH", 11)):
+        measured = result.times[alg][256]
+        assert paper / 2.0 < measured < paper * 2.0, (alg, measured)

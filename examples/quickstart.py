@@ -1,0 +1,34 @@
+"""Quickstart: generate a WTC-like scene and detect its thermal targets.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import atdca
+from repro.hsi import SceneConfig, make_wtc_scene, match_targets
+
+def main() -> None:
+    # 1. A synthetic AVIRIS-like scene of lower Manhattan: debris plume,
+    #    rivers, smoke, and seven thermal hot spots with known ground truth.
+    scene = make_wtc_scene(SceneConfig(rows=96, cols=64, bands=48, seed=7))
+    image = scene.image
+    print(f"scene: {image.rows}x{image.cols} pixels, {image.bands} bands "
+          f"({image.megabits:.1f} megabits)")
+
+    # 2. ATDCA: extract the 18 most spectrally distinct targets.
+    result = atdca(image, n_targets=18)
+    print(f"extracted {result.n_targets} targets; "
+          f"first at {tuple(result.positions[0])}")
+
+    # 3. Score against the known hot spots (the paper's Table 3 metric).
+    matches = match_targets(result.signatures, scene.truth.target_signatures())
+    print("\nhot spot   temperature   SAD to best detected target")
+    for label in sorted(matches):
+        spot = scene.truth.targets[label]
+        sad = matches[label]["sad"]
+        verdict = "found" if sad < 0.02 else "missed"
+        print(f"   '{label}'       {spot.temperature_f:6.0f} F     "
+              f"{sad:8.4f}   ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

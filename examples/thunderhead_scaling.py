@@ -1,0 +1,77 @@
+"""Strong-scaling study on the Thunderhead Beowulf model.
+
+Uses the validated analytic performance model to sweep all four
+algorithms from 1 to 256 processors at the paper's full AVIRIS scene
+dimensions, then renders the Figure 2 speedup chart in the terminal and
+fits the limiting Amdahl serial fraction of each algorithm.
+
+Run:  python examples/thunderhead_scaling.py
+"""
+
+import numpy as np
+
+from repro.cluster import CostModel, thunderhead
+from repro.core.runner import ALGORITHM_NAMES
+from repro.experiments.config import (
+    COMM_STREAMING_FACTOR,
+    PAPER_BANDS,
+    PAPER_COLS,
+    PAPER_ROWS,
+)
+from repro.experiments.model import model_run
+from repro.perf import amdahl_serial_fraction, format_table
+from repro.scheduling import RowPartition, rows_from_fractions
+from repro.viz import line_chart
+
+
+def main() -> None:
+    cpus = [1, 4, 16, 36, 64, 100, 144, 196, 256]
+    cost = CostModel(comm_scale=1.0 / COMM_STREAMING_FACTOR)
+    params = {
+        "atdca": {"n_targets": 18},
+        "ufcls": {"n_targets": 18},
+        "pct": {"n_classes": 24},
+        "morph": {"n_classes": 24, "iterations": 5},
+    }
+
+    times: dict[str, list[float]] = {alg.upper(): [] for alg in ALGORITHM_NAMES}
+    for p in cpus:
+        platform = thunderhead(p)
+        partition = RowPartition(
+            rows_from_fractions(PAPER_ROWS, np.full(p, 1.0 / p), min_rows=1)
+        )
+        for alg in ALGORITHM_NAMES:
+            result = model_run(
+                alg, platform, partition,
+                PAPER_ROWS, PAPER_COLS, PAPER_BANDS,
+                params=params[alg], cost_model=cost,
+            )
+            times[alg.upper()].append(result.total)
+
+    rows = [[p] + [times[a.upper()][i] for a in ALGORITHM_NAMES]
+            for i, p in enumerate(cpus)]
+    print(format_table(
+        ["CPUs", *(a.upper() for a in ALGORITHM_NAMES)], rows,
+        title="Thunderhead execution times (s), full AVIRIS scene",
+        precision=1,
+    ))
+
+    speedups = {
+        alg: [times[alg][0] / t for t in series]
+        for alg, series in times.items()
+        for series in [times[alg]]
+    }
+    print()
+    print(line_chart(
+        [float(p) for p in cpus], speedups,
+        title="Speedup vs CPUs", y_label="S(p)", x_label="CPUs",
+    ))
+
+    print("\nAmdahl serial fractions (fit):")
+    for alg, series in times.items():
+        f = amdahl_serial_fraction(series, cpus)
+        print(f"  {alg:6s} f = {f * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim — all metadata lives in ``setup.cfg``.
+
+Kept (together with the absence of a ``pyproject.toml``) so that
+``pip install -e .`` / ``python setup.py develop`` work in fully
+offline environments: pip's PEP 517/660 paths require network access
+for build isolation and the ``wheel`` package for editable wheels,
+neither of which such environments have.
+"""
+
+from setuptools import setup
+
+setup()

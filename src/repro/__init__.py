@@ -1,0 +1,40 @@
+"""repro — heterogeneous parallel computing for remote sensing.
+
+A full reproduction of A. Plaza, "Heterogeneous Parallel Computing in
+Remote Sensing Applications: Current Trends and Future Perspectives"
+(CLUSTER 2006): the four hyperspectral algorithms (ATDCA, UFCLS, PCT,
+MORPH) in sequential and heterogeneity-aware parallel form, the WEA
+workload partitioner, an MPI-like message-passing runtime with a
+virtual-time heterogeneous-cluster engine encoding the paper's
+platforms, a synthetic AVIRIS/WTC scene substrate with exact ground
+truth, and experiment drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro.hsi import make_wtc_scene
+    from repro.core import atdca
+
+    scene = make_wtc_scene()
+    targets = atdca(scene.image, n_targets=18)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro import cluster, core, hsi, linalg, morphology, mpi, perf, scheduling
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "cluster",
+    "core",
+    "hsi",
+    "linalg",
+    "morphology",
+    "mpi",
+    "perf",
+    "scheduling",
+]

@@ -1,0 +1,62 @@
+"""Heterogeneous cluster model: processors, networks, virtual-time engine."""
+
+from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.engine import (
+    RankContext,
+    SimulationEngine,
+    SimulationResult,
+    TraceEvent,
+    run_program,
+)
+from repro.cluster.mailbox import ANY_TAG, Router, payload_wire_megabits
+from repro.cluster.network import (
+    CommunicationNetwork,
+    segmented_network,
+    uniform_network,
+)
+from repro.cluster.platform import HeterogeneousPlatform
+from repro.cluster.presets import (
+    HETEROGENEOUS_PROCESSORS,
+    HOMOGENEOUS_CAPACITY,
+    HOMOGENEOUS_CYCLE_TIME,
+    SEGMENT_CAPACITIES,
+    all_networks,
+    fully_heterogeneous,
+    fully_homogeneous,
+    partially_heterogeneous,
+    partially_homogeneous,
+    thunderhead,
+)
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.simtime import Phase, PhaseLedger, VirtualClock
+
+__all__ = [
+    "ANY_TAG",
+    "CommunicationNetwork",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "HETEROGENEOUS_PROCESSORS",
+    "HOMOGENEOUS_CAPACITY",
+    "HOMOGENEOUS_CYCLE_TIME",
+    "HeterogeneousPlatform",
+    "Phase",
+    "PhaseLedger",
+    "ProcessorSpec",
+    "RankContext",
+    "Router",
+    "SEGMENT_CAPACITIES",
+    "SimulationEngine",
+    "SimulationResult",
+    "TraceEvent",
+    "VirtualClock",
+    "all_networks",
+    "fully_heterogeneous",
+    "fully_homogeneous",
+    "partially_heterogeneous",
+    "partially_homogeneous",
+    "payload_wire_megabits",
+    "run_program",
+    "segmented_network",
+    "thunderhead",
+    "uniform_network",
+]

@@ -1,0 +1,328 @@
+"""Virtual-time execution engine: rank-per-thread with simulated clocks.
+
+A *program* is a Python callable ``program(ctx, **kwargs)`` executed
+once per rank.  Real numpy computation runs natively (so algorithmic
+results are genuine); *time* is simulated — computation is charged
+analytically via :meth:`RankContext.compute` using the rank's Table 1
+cycle-time, and every message transfer advances both endpoint clocks by
+``latency + megabits × capacity`` with serial inter-segment links
+serialized (Table 2 semantics).
+
+The engine is deterministic for receiver-ordered (master/worker)
+communication patterns: all timing decisions are taken at match time in
+receiver program order (see :mod:`repro.cluster.mailbox`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.mailbox import Router
+from repro.cluster.platform import HeterogeneousPlatform
+from repro.cluster.simtime import Phase, PhaseLedger, VirtualClock
+from repro.errors import ConfigurationError, ReproError
+from repro.types import Megaflops, Seconds
+
+__all__ = [
+    "RankContext",
+    "TraceEvent",
+    "SimulationResult",
+    "SimulationEngine",
+    "run_program",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One simulated activity interval (engine built with ``trace=True``).
+
+    Attributes:
+        kind: ``"compute"``, ``"seq"`` (sequential compute), or
+            ``"transfer"``.
+        rank: the acting rank (for transfers, recorded once per endpoint).
+        start, end: virtual-time interval.
+        detail: free-form annotation (mflops, peer rank, megabits).
+    """
+
+    kind: str
+    rank: int
+    start: Seconds
+    end: Seconds
+    detail: str = ""
+
+
+class RankContext:
+    """Per-rank handle passed to programs.
+
+    Attributes:
+        rank: this rank's id (0-based; the platform master is usually 0).
+        size: number of ranks.
+        platform: the platform being simulated.
+        cost_model: flop/byte accounting shared by all ranks.
+        clock: this rank's virtual clock.
+        ledger: COM/SEQ/PAR accounting for this rank.
+    """
+
+    def __init__(self, rank: int, engine: "SimulationEngine") -> None:
+        self.rank = rank
+        self._engine = engine
+        self.platform = engine.platform
+        self.cost_model = engine.cost_model
+        self.clock = engine.clocks[rank]
+        self.ledger = engine.ledgers[rank]
+
+    @property
+    def size(self) -> int:
+        return self.platform.size
+
+    @property
+    def is_master(self) -> bool:
+        return self.rank == self.platform.master_rank
+
+    @property
+    def master_rank(self) -> int:
+        return self.platform.master_rank
+
+    # -- time charging -------------------------------------------------------
+    def compute(self, mflops: Megaflops, sequential: bool = False) -> Seconds:
+        """Charge ``mflops`` of computation at this rank's cycle-time.
+
+        Args:
+            mflops: nominal work (use :attr:`cost_model` formulas).
+            sequential: True for master-only steps executed while no
+                parallel work is outstanding — they land in the SEQ
+                bucket of Table 6 instead of PAR.
+
+        Returns:
+            The charged duration in virtual seconds.
+        """
+        dt = self.platform.processor(self.rank).compute_seconds(mflops)
+        start = self.clock.now
+        self.clock.advance(dt)
+        self.ledger.add(Phase.SEQ if sequential else Phase.PAR, dt)
+        if self._engine.trace and dt > 0:
+            self._engine.record_event(
+                TraceEvent(
+                    kind="seq" if sequential else "compute",
+                    rank=self.rank,
+                    start=start,
+                    end=self.clock.now,
+                    detail=f"{mflops:.1f} Mflop",
+                )
+            )
+        return dt
+
+    def charge_seconds(self, seconds: Seconds, phase: Phase = Phase.PAR) -> None:
+        """Charge a raw duration (e.g. I/O) to this rank's clock."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot charge negative time {seconds}")
+        self.clock.advance(seconds)
+        self.ledger.add(phase, seconds)
+
+    # -- messaging (raw; prefer repro.mpi communicators) -------------------------
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        """Synchronous send; virtual transfer time charged at match."""
+        megabits = self.cost_model.message_megabits(payload)
+        self._engine.router.send(self.rank, dest, tag, payload, megabits)
+
+    def recv(self, source: int, tag: int = -1) -> Any:
+        """Blocking receive from ``source`` (tag -1 = any)."""
+        return self._engine.router.recv(self.rank, source, tag)
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Outcome of one simulated program run.
+
+    Attributes:
+        platform_name: name of the simulated platform.
+        return_values: per-rank return values of the program.
+        finish_times: per-rank final virtual clocks.
+        ledgers: per-rank COM/SEQ/PAR accounting.
+        master_rank: which rank was master.
+        events: activity trace (engines built with ``trace=True``),
+            sorted by start time.
+    """
+
+    platform_name: str
+    return_values: list[Any]
+    finish_times: list[Seconds]
+    ledgers: list[PhaseLedger]
+    master_rank: int
+    events: list[TraceEvent] = dataclasses.field(default_factory=list)
+
+    @property
+    def makespan(self) -> Seconds:
+        """Total parallel execution time: the latest rank finish."""
+        return max(self.finish_times)
+
+    @property
+    def master_value(self) -> Any:
+        return self.return_values[self.master_rank]
+
+    def master_breakdown(self) -> dict[str, float]:
+        """The Table 6 decomposition, taken at the master: COM + SEQ +
+        PAR ≈ total wall time (PAR includes waits for workers)."""
+        return self.ledgers[self.master_rank].as_dict()
+
+    def busy_times(self) -> list[Seconds]:
+        """Per-rank computation time (idle and transfers excluded) —
+        Table 7's processor run times."""
+        return [ledger.compute_busy for ledger in self.ledgers]
+
+
+class SimulationEngine:
+    """Owns clocks, ledgers, the router, and the serial-link schedule."""
+
+    def __init__(
+        self,
+        platform: HeterogeneousPlatform,
+        cost_model: CostModel | None = None,
+        deadlock_grace_s: float = 0.25,
+        trace: bool = False,
+    ) -> None:
+        self.platform = platform
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.trace = trace
+        self.clocks = [VirtualClock() for _ in range(platform.size)]
+        self.ledgers = [PhaseLedger() for _ in range(platform.size)]
+        self._link_free: dict[tuple[str, str], Seconds] = {}
+        self._events: list[TraceEvent] = []
+        self._events_lock = threading.Lock()
+        self.router = Router(
+            platform.size, self._on_match, deadlock_grace_s=deadlock_grace_s
+        )
+
+    def record_event(self, event: TraceEvent) -> None:
+        """Append a trace event (thread-safe; no-op semantics when the
+        engine was built without tracing are the caller's concern)."""
+        with self._events_lock:
+            self._events.append(event)
+
+    def _on_match(self, src: int, dst: int, megabits: float) -> None:
+        """Advance both endpoint clocks across a transfer (lock held).
+
+        The transfer starts when sender, receiver, *and* any serial
+        inter-segment link are all free; waiting is idle time (PAR), the
+        transfer itself is COM for both endpoints.
+        """
+        network = self.platform.network
+        duration = network.transfer_seconds(src, dst, megabits)
+        start = max(self.clocks[src].now, self.clocks[dst].now)
+        link = network.link_resource(src, dst)
+        if link is not None:
+            start = max(start, self._link_free.get(link, 0.0))
+        end = start + duration
+        for rank in (src, dst):
+            wait = start - self.clocks[rank].now
+            if wait > 0:
+                self.ledgers[rank].add_idle(wait)
+            self.ledgers[rank].add(Phase.COM, duration)
+            self.clocks[rank].advance_to(end)
+        if link is not None:
+            self._link_free[link] = end
+        if self.trace:
+            for rank, peer in ((src, dst), (dst, src)):
+                self.record_event(
+                    TraceEvent(
+                        kind="transfer",
+                        rank=rank,
+                        start=start,
+                        end=end,
+                        detail=f"{'->' if rank == src else '<-'}{peer} "
+                               f"{megabits:.3f} Mbit",
+                    )
+                )
+
+    def run(
+        self,
+        program: Callable[..., Any],
+        kwargs_per_rank: Sequence[Mapping[str, Any]] | None = None,
+        common_kwargs: Mapping[str, Any] | None = None,
+    ) -> SimulationResult:
+        """Execute ``program(ctx, **kwargs)`` on every rank and join.
+
+        Args:
+            program: the SPMD body; receives a :class:`RankContext`.
+            kwargs_per_rank: optional per-rank keyword arguments.
+            common_kwargs: keyword arguments shared by all ranks.
+
+        Raises:
+            The first rank exception, if any rank failed.
+        """
+        n = self.platform.size
+        if kwargs_per_rank is not None and len(kwargs_per_rank) != n:
+            raise ConfigurationError(
+                f"kwargs_per_rank has {len(kwargs_per_rank)} entries for "
+                f"{n} ranks"
+            )
+        results: list[Any] = [None] * n
+        failures: list[tuple[int, BaseException]] = []
+        failure_lock = threading.Lock()
+
+        def body(rank: int) -> None:
+            ctx = RankContext(rank, self)
+            kwargs = dict(common_kwargs or {})
+            if kwargs_per_rank is not None:
+                kwargs.update(kwargs_per_rank[rank])
+            try:
+                results[rank] = program(ctx, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with failure_lock:
+                    failures.append((rank, exc))
+                self.router.abort()
+            finally:
+                self.router.retire(rank)
+
+        threads = [
+            threading.Thread(target=body, args=(rank,), name=f"sim-rank-{rank}",
+                             daemon=True)
+            for rank in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if failures:
+            # A crashing rank makes its peers fail with secondary
+            # DeadlockErrors (the abort wakes them); report the root
+            # cause, not the fallout.
+            from repro.errors import DeadlockError
+
+            failures.sort(
+                key=lambda item: (isinstance(item[1], DeadlockError), item[0])
+            )
+            rank, exc = failures[0]
+            if isinstance(exc, ReproError):
+                raise exc
+            raise ReproError(f"rank {rank} failed: {exc!r}") from exc
+
+        with self._events_lock:
+            events = sorted(self._events, key=lambda e: (e.start, e.rank))
+        return SimulationResult(
+            platform_name=self.platform.name,
+            return_values=results,
+            finish_times=[c.now for c in self.clocks],
+            ledgers=self.ledgers,
+            master_rank=self.platform.master_rank,
+            events=events,
+        )
+
+
+def run_program(
+    platform: HeterogeneousPlatform,
+    program: Callable[..., Any],
+    kwargs_per_rank: Sequence[Mapping[str, Any]] | None = None,
+    cost_model: CostModel | None = None,
+    **common_kwargs: Any,
+) -> SimulationResult:
+    """One-shot convenience: build an engine and run ``program``.
+
+    Extra keyword arguments are forwarded to every rank.
+    """
+    engine = SimulationEngine(platform, cost_model=cost_model)
+    return engine.run(program, kwargs_per_rank, common_kwargs)

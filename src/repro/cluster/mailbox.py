@@ -1,0 +1,251 @@
+"""Rendezvous message router for the rank-per-thread runtime.
+
+Point-to-point messaging uses synchronous (rendezvous) semantics: a
+send blocks until the matching receive consumes it.  This mirrors MPI's
+synchronous mode and — crucially for reproducibility — makes all
+transfer-timing decisions happen in *receiver program order*, so the
+virtual-time results of master/worker codes are deterministic no matter
+how the OS schedules the threads.
+
+The router is timing-agnostic: the engine injects a ``match_handler``
+callback, invoked with the router lock held at the instant a send and
+receive pair up.  The virtual-time engine uses it to advance clocks and
+reserve serial inter-segment links; the wall-clock backend passes a
+no-op.
+
+Deadlock detection: when every live rank is blocked and no
+(offer, receive) pair can match, all waiters raise
+:class:`~repro.errors.DeadlockError` instead of hanging the test suite.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import threading
+from collections import deque
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import CommunicationError, DeadlockError
+from repro.types import Megabits
+
+__all__ = [
+    "ANY_TAG",
+    "ANY_SOURCE",
+    "payload_wire_megabits",
+    "copy_payload",
+    "Router",
+]
+
+#: Wildcard tag for receives.
+ANY_TAG = -1
+#: Wildcard source for receives.  Matching order among ready senders is
+#: thread-arrival order, so virtual times of ANY_SOURCE programs are only
+#: reproducible statistically — use it for dynamic (demand-driven)
+#: scheduling baselines, not for the deterministic experiments.
+ANY_SOURCE = -2
+
+#: Wire-size overhead charged for envelope/bookkeeping, in values.
+_ENVELOPE_VALUES = 8
+
+
+def _count_values(payload: Any) -> int | None:
+    """Number of numeric values in a payload made of arrays/containers,
+    or None if the payload is not array-structured."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.size)
+    if isinstance(payload, (list, tuple)):
+        total = 0
+        for item in payload:
+            sub = _count_values(item)
+            if sub is None:
+                return None
+            total += sub
+        return total
+    if isinstance(payload, dict):
+        return _count_values(tuple(payload.values()))
+    if isinstance(payload, (int, float, np.integer, np.floating, bool)):
+        return 1
+    if payload is None:
+        return 0
+    return None
+
+
+def payload_wire_megabits(payload: Any, bytes_per_value: int = 4) -> Megabits:
+    """Estimated on-the-wire size of a payload, in megabits.
+
+    Array-structured payloads are charged ``values × bytes_per_value``
+    (the paper's codes shipped 4-byte samples); anything else falls
+    back to its pickled size.  A small envelope overhead is added so
+    zero-length control messages still cost latency-scale time.
+    """
+    values = _count_values(payload)
+    if values is not None:
+        nbytes = (values + _ENVELOPE_VALUES) * bytes_per_value
+    else:
+        nbytes = len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+    return nbytes * 8.0 / 1e6
+
+
+def copy_payload(payload: Any) -> Any:
+    """Value-semantics copy of a payload (arrays copied, not aliased)."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(copy_payload(p) for p in payload)
+    if isinstance(payload, list):
+        return [copy_payload(p) for p in payload]
+    if isinstance(payload, dict):
+        return {k: copy_payload(v) for k, v in payload.items()}
+    if isinstance(payload, (int, float, str, bytes, bool, np.integer, np.floating)):
+        return payload
+    if payload is None:
+        return None
+    return copy.deepcopy(payload)
+
+
+class _Offer:
+    """A pending send awaiting its matching receive."""
+
+    __slots__ = ("src", "dst", "tag", "payload", "megabits", "done")
+
+    def __init__(self, src: int, dst: int, tag: int, payload: Any, megabits: float):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.payload = payload
+        self.megabits = megabits
+        self.done = False
+
+
+class Router:
+    """Matches sends to receives across ``n_ranks`` threads.
+
+    Args:
+        n_ranks: number of participating ranks.
+        match_handler: ``f(src, dst, megabits)`` invoked under the lock
+            when a pair matches (use it to advance virtual clocks).
+        deadlock_grace_s: real-time grace period before an all-blocked,
+            no-progress state is declared a deadlock.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        match_handler: Callable[[int, int, float], None] | None = None,
+        deadlock_grace_s: float = 0.25,
+    ) -> None:
+        if n_ranks < 1:
+            raise CommunicationError(f"need >= 1 rank, got {n_ranks}")
+        self._n = n_ranks
+        self._handler = match_handler or (lambda src, dst, mb: None)
+        self._grace = deadlock_grace_s
+        self._cond = threading.Condition()
+        self._offers: dict[int, deque[_Offer]] = {i: deque() for i in range(n_ranks)}
+        self._pending_recvs: dict[int, tuple[int, int]] = {}  # dst -> (src, tag)
+        self._blocked = 0
+        self._retired = 0
+        self._version = 0
+        self._dead = False
+
+    # -- lifecycle -------------------------------------------------------------
+    def retire(self, rank: int) -> None:
+        """Mark a rank's program as finished (for deadlock accounting)."""
+        with self._cond:
+            self._retired += 1
+            self._version += 1
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Wake all waiters with a deadlock error (used on rank crash)."""
+        with self._cond:
+            self._dead = True
+            self._cond.notify_all()
+
+    # -- point-to-point -----------------------------------------------------------
+    def send(self, src: int, dst: int, tag: int, payload: Any, megabits: float) -> None:
+        """Post a message and block until the matching receive consumes it."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if src == dst:
+            raise CommunicationError(f"rank {src} cannot send to itself")
+        offer = _Offer(src, dst, tag, copy_payload(payload), megabits)
+        with self._cond:
+            self._offers[dst].append(offer)
+            self._version += 1
+            self._cond.notify_all()
+            self._wait(lambda: offer.done, rank=src)
+
+    def recv(self, dst: int, src: int, tag: int = ANY_TAG) -> Any:
+        """Block until a message from ``src`` (with ``tag``) arrives; return it.
+
+        Matching is FIFO among ``src``'s offers to ``dst`` that satisfy
+        the tag filter.
+        """
+        self._check_rank(dst, "destination")
+        if src != ANY_SOURCE:
+            self._check_rank(src, "source")
+
+        def find() -> _Offer | None:
+            for offer in self._offers[dst]:
+                if (src == ANY_SOURCE or offer.src == src) and (
+                    tag == ANY_TAG or offer.tag == tag
+                ):
+                    return offer
+            return None
+
+        with self._cond:
+            self._pending_recvs[dst] = (src, tag)
+            try:
+                offer = self._wait(find, rank=dst)
+            finally:
+                self._pending_recvs.pop(dst, None)
+            self._offers[dst].remove(offer)
+            # Timing decision happens here, in receiver program order,
+            # while the sender is still parked on ``offer.done``.
+            self._handler(offer.src, dst, offer.megabits)
+            offer.done = True
+            self._version += 1
+            self._cond.notify_all()
+            return offer.payload
+
+    # -- internals --------------------------------------------------------------
+    def _check_rank(self, rank: int, role: str) -> None:
+        if not 0 <= rank < self._n:
+            raise CommunicationError(f"{role} rank {rank} outside [0, {self._n})")
+
+    def _wait(self, predicate: Callable[[], Any], rank: int) -> Any:
+        """Block until ``predicate()`` is truthy; detect global deadlock."""
+        value = predicate()
+        self._blocked += 1
+        try:
+            while not value:
+                if self._dead:
+                    raise DeadlockError(
+                        f"rank {rank}: communication aborted (deadlock or "
+                        "peer failure)"
+                    )
+                everyone_stuck = self._blocked + self._retired >= self._n
+                if everyone_stuck:
+                    version = self._version
+                    self._cond.wait(timeout=self._grace)
+                    if (
+                        not self._dead
+                        and self._version == version
+                        and self._blocked + self._retired >= self._n
+                        and not predicate()
+                    ):
+                        self._dead = True
+                        self._cond.notify_all()
+                        raise DeadlockError(
+                            f"rank {rank}: all {self._n} ranks blocked with no "
+                            "matching messages — communication deadlock"
+                        )
+                else:
+                    self._cond.wait(timeout=self._grace)
+                value = predicate()
+        finally:
+            self._blocked -= 1
+        return value

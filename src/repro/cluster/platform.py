@@ -1,0 +1,173 @@
+"""The heterogeneous platform: processors + network, and the
+Lastovetsky–Reddy equivalent homogeneous platform construction.
+
+A platform is the complete graph ``G = (P, E)`` of Section 2: node
+weights are processor cycle-times, edge weights are link capacities.
+The evaluation methodology of Section 3.1 compares a heterogeneous
+algorithm on a heterogeneous platform against its homogeneous version
+on the *equivalent* homogeneous platform — same processor count, each
+processor running at the average speed, same aggregate communication
+characteristics.  :meth:`HeterogeneousPlatform.equivalent_homogeneous`
+implements exactly that construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.network import CommunicationNetwork, uniform_network
+from repro.cluster.processor import ProcessorSpec
+from repro.errors import PlatformError
+from repro.types import FloatArray
+
+__all__ = ["HeterogeneousPlatform"]
+
+
+class HeterogeneousPlatform:
+    """A named set of processors joined by a communication network.
+
+    Args:
+        name: human-readable platform name.
+        processors: one spec per node; rank ``i`` runs on
+            ``processors[i]``.
+        network: pairwise capacities; must match the processor count.
+        master_rank: the rank acting as master/root (paper: the server).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        processors: Sequence[ProcessorSpec],
+        network: CommunicationNetwork,
+        master_rank: int = 0,
+    ) -> None:
+        procs = list(processors)
+        if not procs:
+            raise PlatformError("platform needs at least one processor")
+        if network.size != len(procs):
+            raise PlatformError(
+                f"network is sized for {network.size} processors but "
+                f"{len(procs)} specs were given"
+            )
+        if not 0 <= master_rank < len(procs):
+            raise PlatformError(
+                f"master rank {master_rank} outside [0, {len(procs)})"
+            )
+        self.name = name
+        self.processors = procs
+        self.network = network
+        self.master_rank = master_rank
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.processors)
+
+    @property
+    def cycle_times(self) -> FloatArray:
+        """``(P,)`` of ``w_i`` in seconds per megaflop."""
+        return np.array([p.cycle_time for p in self.processors])
+
+    @property
+    def speeds(self) -> FloatArray:
+        """``(P,)`` of relative speeds ``1/w_i``."""
+        return 1.0 / self.cycle_times
+
+    @property
+    def total_speed(self) -> float:
+        """Aggregate speed ``Σ 1/w_i`` (megaflops/s)."""
+        return float(self.speeds.sum())
+
+    @property
+    def memory_mb(self) -> FloatArray:
+        return np.array([p.memory_mb for p in self.processors])
+
+    def processor(self, rank: int) -> ProcessorSpec:
+        if not 0 <= rank < self.size:
+            raise PlatformError(f"rank {rank} outside [0, {self.size})")
+        return self.processors[rank]
+
+    def is_homogeneous_processors(self, rtol: float = 1e-9) -> bool:
+        w = self.cycle_times
+        return bool(np.allclose(w, w[0], rtol=rtol))
+
+    def is_fully_homogeneous(self) -> bool:
+        return self.is_homogeneous_processors() and self.network.is_uniform()
+
+    def heterogeneity_ratio(self) -> float:
+        """Fastest-to-slowest speed ratio (1.0 = homogeneous processors)."""
+        w = self.cycle_times
+        return float(w.max() / w.min())
+
+    # -- Lastovetsky-Reddy equivalence -------------------------------------------
+    def equivalent_homogeneous(self, name: str | None = None) -> "HeterogeneousPlatform":
+        """The equivalent homogeneous platform of Section 3.1:
+
+        1. same number of processors;
+        2. each processor's speed = the *average* speed of the
+           heterogeneous processors (so cycle-time is the harmonic-style
+           reciprocal of mean speed);
+        3. aggregate communication = same, realized as a uniform network
+           at the mean off-diagonal capacity.
+        """
+        mean_speed = float(self.speeds.mean())
+        spec = ProcessorSpec(
+            name="p_avg",
+            cycle_time=1.0 / mean_speed,
+            memory_mb=float(self.memory_mb.mean()),
+            cache_kb=float(np.mean([p.cache_kb for p in self.processors])),
+            architecture="equivalent homogeneous",
+        )
+        net = uniform_network(
+            self.size,
+            self.network.mean_capacity() if self.size > 1 else 1.0,
+            latency_s=self.network.latency_s,
+        )
+        return HeterogeneousPlatform(
+            name=name or f"{self.name} (equivalent homogeneous)",
+            processors=[spec] * self.size,
+            network=net,
+            master_rank=self.master_rank,
+        )
+
+    def subset(self, ranks: Sequence[int], name: str | None = None) -> "HeterogeneousPlatform":
+        """A platform restricted to ``ranks`` (used for scaling studies).
+
+        The capacity sub-matrix is extracted as-is; the subset's master
+        is the first listed rank.
+        """
+        ranks = list(ranks)
+        if not ranks:
+            raise PlatformError("subset needs at least one rank")
+        for r in ranks:
+            if not 0 <= r < self.size:
+                raise PlatformError(f"rank {r} outside [0, {self.size})")
+        if len(set(ranks)) != len(ranks):
+            raise PlatformError("subset ranks must be distinct")
+        idx = np.asarray(ranks)
+        cap = self.network.capacity_matrix[np.ix_(idx, idx)].copy()
+        if len(ranks) > 1:
+            off = ~np.eye(len(ranks), dtype=bool)
+            cap[~off] = 0.0
+        # Remap segments to surviving members.
+        segs: dict[str, list[int]] = {}
+        for new_i, old in enumerate(ranks):
+            segs.setdefault(self.network.segment_of(old), []).append(new_i)
+        net = CommunicationNetwork(
+            cap, segments=segs, latency_s=self.network.latency_s
+        )
+        return HeterogeneousPlatform(
+            name=name or f"{self.name}[{len(ranks)} nodes]",
+            processors=[self.processors[r] for r in ranks],
+            network=net,
+            master_rank=0,
+        )
+
+    def __repr__(self) -> str:
+        kind = "homogeneous" if self.is_fully_homogeneous() else "heterogeneous"
+        return (
+            f"HeterogeneousPlatform({self.name!r}, P={self.size}, {kind}, "
+            f"het-ratio={self.heterogeneity_ratio():.2f})"
+        )

@@ -1,0 +1,82 @@
+"""Processor specifications.
+
+The paper characterizes each workstation by its *relative cycle-time*
+``w_i`` in seconds per megaflop (Table 1) — the reciprocal of delivered
+speed — plus main memory and cache sizes.  Cycle-time drives the WEA
+workload shares; memory drives the upper bound on how many pixel
+vectors a partition may hold.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProcessorSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorSpec:
+    """One computing node.
+
+    Attributes:
+        name: identifier, e.g. ``"p3"``.
+        cycle_time: seconds per megaflop (Table 1's ``w_i``); smaller is
+            faster.
+        memory_mb: main memory in MB, bounding local partition size.
+        cache_kb: L2 cache in KB (informational; used by ablations).
+        architecture: free-text description (OS – CPU), as in Table 1.
+    """
+
+    name: str
+    cycle_time: float
+    memory_mb: float = 1024.0
+    cache_kb: float = 512.0
+    architecture: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycle_time <= 0:
+            raise ConfigurationError(
+                f"processor {self.name!r}: cycle_time must be positive, "
+                f"got {self.cycle_time}"
+            )
+        if self.memory_mb <= 0:
+            raise ConfigurationError(
+                f"processor {self.name!r}: memory_mb must be positive"
+            )
+        if self.cache_kb < 0:
+            raise ConfigurationError(
+                f"processor {self.name!r}: cache_kb must be >= 0"
+            )
+
+    @property
+    def speed(self) -> float:
+        """Relative speed, megaflops per second (``1 / w_i``)."""
+        return 1.0 / self.cycle_time
+
+    def compute_seconds(self, mflops: float) -> float:
+        """Time to execute ``mflops`` megaflops on this processor."""
+        if mflops < 0:
+            raise ConfigurationError(f"mflops must be >= 0, got {mflops}")
+        return mflops * self.cycle_time
+
+    def max_pixels(
+        self, bands: int, bytes_per_value: int = 8, usable_fraction: float = 0.5
+    ) -> int:
+        """Upper bound on pixel vectors storable in local memory.
+
+        Args:
+            bands: spectral channels per pixel vector.
+            bytes_per_value: storage width (float64 → 8).
+            usable_fraction: fraction of physical memory available to
+                the partition (the rest is OS, buffers, program).
+        """
+        if bands <= 0 or bytes_per_value <= 0:
+            raise ConfigurationError("bands and bytes_per_value must be positive")
+        if not 0 < usable_fraction <= 1:
+            raise ConfigurationError(
+                f"usable_fraction must be in (0, 1], got {usable_fraction}"
+            )
+        usable_bytes = self.memory_mb * 1e6 * usable_fraction
+        return int(usable_bytes // (bands * bytes_per_value))

@@ -1,0 +1,116 @@
+"""Virtual clocks and phase ledgers.
+
+Each simulated rank owns a :class:`VirtualClock` that only moves
+forward, and a :class:`PhaseLedger` that buckets elapsed virtual time
+into the paper's Table 6 categories:
+
+* **COM** — time inside data transfers the rank participates in;
+* **SEQ** — computation flagged sequential (master-only steps with no
+  parallel work outstanding);
+* **PAR** — parallel computation *plus idle waiting*, matching the
+  paper's note that PAR "includes the times in which the workers
+  remain idle".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ConfigurationError
+from repro.types import Seconds
+
+__all__ = ["Phase", "VirtualClock", "PhaseLedger"]
+
+
+class Phase(enum.Enum):
+    """Table 6 time categories."""
+
+    COM = "communication"
+    SEQ = "sequential"
+    PAR = "parallel"
+
+
+class VirtualClock:
+    """A monotone per-rank clock in simulated seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: Seconds = 0.0) -> None:
+        if start < 0:
+            raise ConfigurationError(f"clock cannot start negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> Seconds:
+        return self._now
+
+    def advance(self, dt: Seconds) -> Seconds:
+        """Move forward by ``dt`` (must be >= 0); returns the new time."""
+        if dt < 0:
+            raise ConfigurationError(f"cannot advance clock by {dt} < 0")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: Seconds) -> Seconds:
+        """Move forward to absolute time ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+@dataclasses.dataclass
+class PhaseLedger:
+    """Accumulated virtual time per phase for one rank."""
+
+    com: Seconds = 0.0
+    seq: Seconds = 0.0
+    par: Seconds = 0.0
+
+    def add(self, phase: Phase, dt: Seconds) -> None:
+        if dt < 0:
+            raise ConfigurationError(f"cannot record negative duration {dt}")
+        if phase is Phase.COM:
+            self.com += dt
+        elif phase is Phase.SEQ:
+            self.seq += dt
+        else:
+            self.par += dt
+
+    @property
+    def total(self) -> Seconds:
+        return self.com + self.seq + self.par
+
+    @property
+    def busy(self) -> Seconds:
+        """Compute + transfer time (idle excluded)."""
+        return self.com + self.seq + self.par - self.idle
+
+    @property
+    def compute_busy(self) -> Seconds:
+        """Computation-only time (SEQ + PAR, idle and transfers
+        excluded) — the per-processor 'run time' of Table 7."""
+        return self.seq + self.par - self.idle
+
+    #: Idle wait time folded into PAR (tracked for busy-time computation).
+    idle: Seconds = 0.0
+
+    def add_idle(self, dt: Seconds) -> None:
+        """Record idle waiting: counts toward PAR and toward idle."""
+        if dt < 0:
+            raise ConfigurationError(f"cannot record negative idle {dt}")
+        self.par += dt
+        self.idle += dt
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "com": self.com,
+            "seq": self.seq,
+            "par": self.par,
+            "idle": self.idle,
+            "total": self.total,
+            "busy": self.busy,
+        }

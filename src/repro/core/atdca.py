@@ -1,0 +1,101 @@
+"""Sequential ATDCA: automated target detection and classification.
+
+The reference implementation of Algorithm 2's computational content,
+single-processor, exactly as the paper's sequential baseline ("really
+sequential, not parallel running on one processor").  The parallel
+versions in :mod:`repro.core.parallel_atdca` must produce identical
+target sets on the same input.
+
+The algorithm: seed with the brightest pixel (max ``xᵀx``), then
+repeatedly add the pixel with the largest energy in the orthogonal
+complement of the span of the targets found so far.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.hsi.cube import HyperspectralImage
+from repro.linalg.osp import brightest_pixel_index, residual_energy
+from repro.types import FloatArray, IntArray
+
+__all__ = ["TargetDetectionResult", "atdca_pixels", "atdca"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetDetectionResult:
+    """Detected targets, in extraction order.
+
+    Attributes:
+        flat_indices: ``(t,)`` indices into the flattened pixel list.
+        signatures: ``(t, bands)`` detected target spectra.
+        scores: the selection score of each target at the iteration it
+            was extracted (brightness for the first, residual OSP/error
+            energy after).
+        positions: ``(t, 2)`` (row, col) coordinates, present when the
+            input was an image cube.
+    """
+
+    flat_indices: IntArray
+    signatures: FloatArray
+    scores: FloatArray
+    positions: IntArray | None = None
+
+    @property
+    def n_targets(self) -> int:
+        return int(self.flat_indices.shape[0])
+
+
+def _check_inputs(pixels: FloatArray, n_targets: int) -> FloatArray:
+    pix = np.asarray(pixels, dtype=float)
+    if pix.ndim != 2:
+        raise ShapeError(f"expected (n, bands), got {pix.shape}")
+    if n_targets < 1:
+        raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
+    if n_targets > pix.shape[0]:
+        raise ConfigurationError(
+            f"cannot extract {n_targets} targets from {pix.shape[0]} pixels"
+        )
+    return pix
+
+
+def atdca_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
+    """Run ATDCA on a flat ``(n, bands)`` pixel matrix.
+
+    Returns targets in extraction order; ties in the argmax resolve to
+    the lowest pixel index (numpy convention), making results
+    deterministic.
+    """
+    pix = _check_inputs(pixels, n_targets)
+    indices: list[int] = []
+    scores: list[float] = []
+
+    first = brightest_pixel_index(pix)
+    indices.append(first)
+    scores.append(float(pix[first] @ pix[first]))
+
+    for _ in range(1, n_targets):
+        u = pix[np.asarray(indices)]
+        energy = residual_energy(pix, u)
+        nxt = int(np.argmax(energy))
+        indices.append(nxt)
+        scores.append(float(energy[nxt]))
+
+    idx = np.asarray(indices, dtype=np.int64)
+    return TargetDetectionResult(
+        flat_indices=idx,
+        signatures=pix[idx].copy(),
+        scores=np.asarray(scores),
+    )
+
+
+def atdca(image: HyperspectralImage, n_targets: int) -> TargetDetectionResult:
+    """Run ATDCA on an image cube; adds (row, col) positions."""
+    result = atdca_pixels(image.flatten_pixels(), n_targets)
+    rows, cols = np.divmod(result.flat_indices, image.cols)
+    return dataclasses.replace(
+        result, positions=np.stack([rows, cols], axis=1)
+    )

@@ -1,0 +1,147 @@
+"""Hetero-ATDCA (Algorithm 2): parallel automated target detection.
+
+Master/worker OSP target extraction over WEA row partitions:
+
+1. master scatters heterogeneous partitions (prologue in
+   :mod:`repro.core.parallel_common`);
+2. each worker finds its local brightest pixel; the master reduces the
+   candidates and broadcasts the first target;
+3. each iteration, workers score their partitions against the current
+   target matrix ``U`` with the orthogonal subspace projector, send
+   their local argmax (position + signature + score), the master
+   re-projects the candidates (sequential, with the explicit projector
+   the paper writes), selects the winner and broadcasts it;
+4. after ``t`` targets, the master returns the result.
+
+Produces *bit-identical* targets to :func:`repro.core.atdca.atdca` on
+the same image: per-partition argmaxes combined with
+lowest-global-index tie-breaking equal the global argmax.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.atdca import TargetDetectionResult
+from repro.core.parallel_common import (
+    charge_sequential,
+    cost_model_of,
+    distribute_row_blocks,
+    master_only,
+)
+from repro.errors import ConfigurationError
+from repro.hsi.cube import HyperspectralImage
+from repro.linalg.osp import residual_energy
+from repro.mpi.communicator import Communicator, MessageContext
+from repro.scheduling.static_part import RowPartition
+
+__all__ = ["parallel_atdca_program"]
+
+
+def _local_argmax(scores: np.ndarray) -> tuple[int, float]:
+    idx = int(np.argmax(scores))
+    return idx, float(scores[idx])
+
+
+def _select_candidate(candidates: list[tuple[float, int, np.ndarray]]) -> int:
+    """Pick the winning (score, global_index, signature) candidate:
+    maximum score, ties to the lowest global index (matching the
+    sequential argmax convention)."""
+    best = None
+    for i, (score, gidx, _sig) in enumerate(candidates):
+        if best is None:
+            best = i
+            continue
+        b_score, b_gidx, _ = candidates[best]
+        if score > b_score or (score == b_score and gidx < b_gidx):
+            best = i
+    assert best is not None
+    return best
+
+
+def parallel_atdca_program(
+    ctx: MessageContext,
+    partition: RowPartition,
+    n_targets: int,
+    image: HyperspectralImage | None = None,
+) -> TargetDetectionResult | None:
+    """SPMD body of Hetero-ATDCA; returns the result at the master.
+
+    Args:
+        ctx: rank context (sim or in-process backend).
+        partition: WEA row partition (same object on all ranks).
+        n_targets: ``t``, the number of targets to extract.
+        image: the scene — master rank only.
+    """
+    if n_targets < 1:
+        raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
+    comm = Communicator(ctx)
+    cost = cost_model_of(ctx)
+    master_only(ctx, image, "image")
+
+    block = distribute_row_blocks(comm, image, partition)
+    local = block.core_pixels
+    bands = block.bands
+    n_local = local.shape[0]
+
+    # -- step 2-3: the brightest pixel ----------------------------------------
+    ctx.compute(cost.brightest_search(n_local, bands))
+    if n_local:
+        energies = np.einsum("ij,ij->i", local, local)
+        lidx, score = _local_argmax(energies)
+        candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+    else:  # an empty share still participates in the collectives
+        candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+    gathered = comm.gather(candidate)
+
+    indices: list[int] = []
+    signatures: list[np.ndarray] = []
+    scores: list[float] = []
+    if comm.is_master:
+        charge_sequential(ctx, cost.brightest_search(comm.size, bands))
+        win = _select_candidate(gathered)
+        first = gathered[win]
+        indices.append(first[1])
+        signatures.append(first[2])
+        scores.append(first[0])
+        u_matrix = first[2][None, :]
+    else:
+        u_matrix = None
+    u_matrix = comm.bcast(u_matrix)
+
+    # -- steps 4-6: iterative OSP extraction ------------------------------------
+    for k in range(1, n_targets):
+        ctx.compute(cost.osp_scores(n_local, bands, k))
+        if n_local:
+            energies = residual_energy(local, u_matrix)
+            lidx, score = _local_argmax(energies)
+            candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+        else:
+            candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+        gathered = comm.gather(candidate)
+        if comm.is_master:
+            # The paper's master applies P_U^⊥ to the candidate pixels —
+            # with the explicit N×N projector, a sequential step.
+            charge_sequential(
+                ctx, cost.master_osp_selection(bands, k, comm.size)
+            )
+            win = _select_candidate(gathered)
+            chosen = gathered[win]
+            indices.append(chosen[1])
+            signatures.append(chosen[2])
+            scores.append(chosen[0])
+            new_u = np.vstack([u_matrix, chosen[2][None, :]])
+        else:
+            new_u = None
+        u_matrix = comm.bcast(new_u)
+
+    if not comm.is_master:
+        return None
+    idx = np.asarray(indices, dtype=np.int64)
+    rows, cols = np.divmod(idx, block.cols)
+    return TargetDetectionResult(
+        flat_indices=idx,
+        signatures=np.vstack(signatures),
+        scores=np.asarray(scores),
+        positions=np.stack([rows, cols], axis=1),
+    )

@@ -1,0 +1,163 @@
+"""Hetero-PCT (Algorithm 4): parallel PCT classification.
+
+1. master scatters WEA partitions;
+2. each worker builds a local SAD-unique spectral set;
+3. the master merges the per-worker sets into one ``c``-member unique
+   set (sequential — one of the steps that make PCT's SEQ share the
+   largest of the four algorithms);
+4–6. workers accumulate covariance sufficient statistics over their
+   partitions; the master combines them (the paper parallelizes the
+   covariance *sum* and serializes the combination);
+7. the master eigendecomposes (sequential — "related to the number of
+   spectral bands rather than the image size") and broadcasts the
+   transform;
+8. workers project their pixels;
+9. workers label their pixels against the unique set in the
+   PCT-reduced space and the master assembles the label image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.parallel_common import (
+    charge_sequential,
+    cost_model_of,
+    distribute_row_blocks,
+    master_only,
+)
+from repro.core.pct import DEFAULT_UNIQUE_THRESHOLD, PCTClassification
+from repro.core.unique import UniqueSet, greedy_unique, merge_unique_sets
+from repro.errors import ConfigurationError
+from repro.hsi.cube import HyperspectralImage
+from repro.hsi.metrics import sad_to_references
+from repro.linalg.pca import (
+    apply_pct,
+    combine_covariance_sums,
+    partial_covariance_sums,
+    pct_transform,
+)
+from repro.mpi.communicator import Communicator, MessageContext
+from repro.scheduling.static_part import RowPartition
+
+__all__ = ["parallel_pct_program"]
+
+
+def parallel_pct_program(
+    ctx: MessageContext,
+    partition: RowPartition,
+    n_classes: int,
+    image: HyperspectralImage | None = None,
+    threshold: float = DEFAULT_UNIQUE_THRESHOLD,
+) -> PCTClassification | None:
+    """SPMD body of Hetero-PCT; returns the classification at the master."""
+    if n_classes < 1:
+        raise ConfigurationError(f"n_classes must be >= 1, got {n_classes}")
+    comm = Communicator(ctx)
+    cost = cost_model_of(ctx)
+    master_only(ctx, image, "image")
+
+    block = distribute_row_blocks(comm, image, partition)
+    local = block.core_pixels
+    bands = block.bands
+    n_local = local.shape[0]
+
+    # -- step 2: local unique sets -------------------------------------------
+    ctx.compute(cost.unique_set_scan(n_local, bands, n_classes))
+    if n_local:
+        local_unique = greedy_unique(local, threshold, max_keep=4 * n_classes)
+        offset = block.halo.core_start * block.cols
+        local_unique = UniqueSet(
+            signatures=local_unique.signatures,
+            indices=local_unique.indices + offset,
+        )
+    else:
+        local_unique = None
+    gathered_sets = comm.gather(
+        None
+        if local_unique is None
+        else (local_unique.signatures, local_unique.indices)
+    )
+
+    # -- step 3: master merges, one pair at a time ---------------------------------
+    if comm.is_master:
+        sets = [
+            UniqueSet(signatures=sig, indices=idx)
+            for payload in gathered_sets
+            if payload is not None
+            for sig, idx in [payload]
+        ]
+        total_candidates = sum(s.count for s in sets)
+        charge_sequential(
+            ctx, cost.dedup_unique_set(total_candidates, bands, kept=n_classes)
+        )
+        unique = merge_unique_sets(sets, threshold, count=n_classes)
+        unique_payload = (unique.signatures, unique.indices)
+    else:
+        unique_payload = None
+    unique_payload = comm.bcast(unique_payload)
+    unique = UniqueSet(signatures=unique_payload[0], indices=unique_payload[1])
+
+    # -- steps 4-6: distributed covariance --------------------------------------
+    ctx.compute(cost.covariance_accumulate(n_local, bands))
+    if n_local:
+        sums = partial_covariance_sums(local)
+    else:
+        sums = (np.zeros(bands), np.zeros((bands, bands)), 0)
+    all_sums = comm.gather(sums)
+
+    # -- step 7: sequential eigendecomposition at the master ---------------------
+    if comm.is_master:
+        charge_sequential(
+            ctx,
+            cost.covariance_accumulate(comm.size, bands)
+            + cost.eigendecomposition(bands),
+        )
+        mean, covariance = combine_covariance_sums(all_sums)
+        transform, eigenvalues = pct_transform(
+            covariance, n_components=unique.count
+        )
+        stats_payload = (mean, transform, eigenvalues)
+    else:
+        stats_payload = None
+    mean, transform, eigenvalues = comm.bcast(stats_payload)
+
+    # -- steps 8-9: parallel projection and labelling ------------------------------
+    ctx.compute(
+        cost.pct_projection(n_local, bands, unique.count)
+        + cost.classify_by_sad(n_local, unique.count, unique.count)
+    )
+    if n_local:
+        reduced = apply_pct(local, mean, transform)
+        reduced_refs = apply_pct(unique.signatures, mean, transform)
+        offset_vec = reduced.min(axis=0)
+        # The SAD-positivity shift must be *global* to match the
+        # sequential path; reduce the per-partition minima first.
+        local_min = offset_vec
+    else:
+        reduced = None
+        reduced_refs = None
+        local_min = np.full(unique.count, np.inf)
+    global_min = comm.allreduce(local_min, op=np.minimum)
+
+    if n_local:
+        shifted = reduced - global_min + 1.0
+        shifted_refs = reduced_refs - global_min + 1.0
+        angles = sad_to_references(shifted, shifted_refs)
+        labels = np.argmin(angles, axis=1).astype(np.int64)
+    else:
+        labels = np.empty(0, dtype=np.int64)
+    gathered_labels = comm.gather(labels)
+
+    if not comm.is_master:
+        return None
+    label_map = np.concatenate(gathered_labels).reshape(
+        block.total_rows, block.cols
+    )
+    return PCTClassification(
+        labels=label_map,
+        unique=unique,
+        mean=np.asarray(mean),
+        transform=np.asarray(transform),
+        eigenvalues=np.asarray(eigenvalues),
+    )

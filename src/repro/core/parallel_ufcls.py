@@ -1,0 +1,109 @@
+"""Hetero-UFCLS (Algorithm 3): parallel unsupervised FCLS target finding.
+
+Same master/worker skeleton as Hetero-ATDCA (steps 1–3 are shared
+verbatim, per the paper), but each iteration's worker step builds a
+local *error image* — the fully constrained least-squares residual of
+every pixel against the current target set — and the candidate with the
+largest error becomes the next target.
+
+Bit-identical to :func:`repro.core.ufcls.ufcls` on the same image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.atdca import TargetDetectionResult
+from repro.core.parallel_atdca import _local_argmax, _select_candidate
+from repro.core.parallel_common import (
+    charge_sequential,
+    cost_model_of,
+    distribute_row_blocks,
+    master_only,
+)
+from repro.core.ufcls import fcls_error_image
+from repro.errors import ConfigurationError
+from repro.hsi.cube import HyperspectralImage
+from repro.mpi.communicator import Communicator, MessageContext
+from repro.scheduling.static_part import RowPartition
+
+__all__ = ["parallel_ufcls_program"]
+
+
+def parallel_ufcls_program(
+    ctx: MessageContext,
+    partition: RowPartition,
+    n_targets: int,
+    image: HyperspectralImage | None = None,
+) -> TargetDetectionResult | None:
+    """SPMD body of Hetero-UFCLS; returns the result at the master."""
+    if n_targets < 1:
+        raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
+    comm = Communicator(ctx)
+    cost = cost_model_of(ctx)
+    master_only(ctx, image, "image")
+
+    block = distribute_row_blocks(comm, image, partition)
+    local = block.core_pixels
+    bands = block.bands
+    n_local = local.shape[0]
+
+    # -- step 1: brightest pixel (shared with Hetero-ATDCA) ---------------------
+    ctx.compute(cost.brightest_search(n_local, bands))
+    if n_local:
+        energies = np.einsum("ij,ij->i", local, local)
+        lidx, score = _local_argmax(energies)
+        candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+    else:
+        candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+    gathered = comm.gather(candidate)
+
+    indices: list[int] = []
+    signatures: list[np.ndarray] = []
+    scores: list[float] = []
+    if comm.is_master:
+        charge_sequential(ctx, cost.brightest_search(comm.size, bands))
+        win = _select_candidate(gathered)
+        first = gathered[win]
+        indices.append(first[1])
+        signatures.append(first[2])
+        scores.append(first[0])
+        targets = first[2][None, :]
+    else:
+        targets = None
+    targets = comm.bcast(targets)
+
+    # -- steps 2-5: iterative error-driven extraction ------------------------------
+    for k in range(1, n_targets):
+        ctx.compute(cost.fcls_scores(n_local, bands, k))
+        if n_local:
+            error = fcls_error_image(local, targets)
+            lidx, score = _local_argmax(error)
+            candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+        else:
+            candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+        gathered = comm.gather(candidate)
+        if comm.is_master:
+            charge_sequential(
+                ctx, cost.master_scls_selection(bands, k, comm.size)
+            )
+            win = _select_candidate(gathered)
+            chosen = gathered[win]
+            indices.append(chosen[1])
+            signatures.append(chosen[2])
+            scores.append(chosen[0])
+            new_targets = np.vstack([targets, chosen[2][None, :]])
+        else:
+            new_targets = None
+        targets = comm.bcast(new_targets)
+
+    if not comm.is_master:
+        return None
+    idx = np.asarray(indices, dtype=np.int64)
+    rows, cols = np.divmod(idx, block.cols)
+    return TargetDetectionResult(
+        flat_indices=idx,
+        signatures=np.vstack(signatures),
+        scores=np.asarray(scores),
+        positions=np.stack([rows, cols], axis=1),
+    )

@@ -1,0 +1,300 @@
+"""High-level driver: run any of the four algorithms on any platform.
+
+Connects the pieces: chooses workload fractions for the requested
+variant (heterogeneous/homogeneous), derives the WEA row partition with
+memory bounds, and executes the SPMD program on the virtual-time engine
+(for performance experiments) or the in-process wall-clock backend (for
+correctness and real parallel runs).
+
+Variants:
+
+* ``"hetero"`` — the paper's heterogeneous algorithms: WEA
+  speed-proportional shares (Algorithm 1), with halo-compensated row
+  counts for the windowed MORPH kernels.  For the iterative
+  master/worker loops this is near-optimal: every iteration ends at a
+  gather barrier, so per-iteration compute balance dominates and the
+  one-time scatter skew is amortized;
+* ``"dlt"`` — divisible-load-theory shares optimizing the serialized
+  one-shot scatter-plus-compute schedule (processor cycle-times *and*
+  link capacities).  Better for single-pass workloads; over-tilts
+  shares for the iterative algorithms (the ablation benchmark
+  quantifies both regimes);
+* ``"homo"`` — the homogeneous versions: equal shares.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping
+
+from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.engine import SimulationResult, run_program
+from repro.cluster.platform import HeterogeneousPlatform
+from repro.core.parallel_atdca import parallel_atdca_program
+from repro.core.parallel_morph import morph_halo_depth, parallel_morph_program
+from repro.core.parallel_pct import parallel_pct_program
+from repro.core.parallel_ufcls import parallel_ufcls_program
+from repro.errors import ConfigurationError
+from repro.hsi.cube import HyperspectralImage
+from repro.morphology.structuring import square
+from repro.mpi.inproc import InprocResult, run_inproc
+from repro.scheduling.static_part import (
+    RowPartition,
+    dlt_fractions,
+    halo_compensated_rows,
+    heterogeneous_fractions,
+    homogeneous_fractions,
+    wea_partition,
+)
+from repro.types import FloatArray
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "estimate_row_workload",
+    "make_fractions",
+    "make_row_partition",
+    "ParallelRun",
+    "run_parallel",
+]
+
+#: The paper's four algorithms.
+ALGORITHM_NAMES: tuple[str, ...] = ("atdca", "ufcls", "pct", "morph")
+
+_PROGRAMS: Mapping[str, Callable[..., Any]] = {
+    "atdca": parallel_atdca_program,
+    "ufcls": parallel_ufcls_program,
+    "pct": parallel_pct_program,
+    "morph": parallel_morph_program,
+}
+
+_VARIANTS = ("hetero", "dlt", "homo")
+
+
+def _check_algorithm(name: str) -> str:
+    if name not in _PROGRAMS:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; expected one of {ALGORITHM_NAMES}"
+        )
+    return name
+
+
+def estimate_row_workload(
+    algorithm: str,
+    cols: int,
+    bands: int,
+    params: Mapping[str, Any],
+    cost_model: CostModel | None = None,
+) -> tuple[float, float]:
+    """Per-row (mflops, megabits) for the network-aware WEA fractions.
+
+    Uses the same cost formulas the programs charge, evaluated for one
+    row of ``cols`` pixels across the algorithm's dominant loop.
+    """
+    _check_algorithm(algorithm)
+    cost = cost_model or DEFAULT_COST_MODEL
+    megabits = cost.pixels_megabits(cols, bands)
+    if algorithm == "atdca":
+        t = int(params.get("n_targets", 18))
+        mflops = sum(cost.osp_scores(cols, bands, k) for k in range(1, t))
+        mflops += cost.brightest_search(cols, bands)
+    elif algorithm == "ufcls":
+        t = int(params.get("n_targets", 18))
+        mflops = sum(cost.fcls_scores(cols, bands, k) for k in range(1, t))
+        mflops += cost.brightest_search(cols, bands)
+    elif algorithm == "pct":
+        c = int(params.get("n_classes", 24))
+        mflops = (
+            cost.unique_set_scan(cols, bands, c)
+            + cost.covariance_accumulate(cols, bands)
+            + cost.pct_projection(cols, bands, c)
+            + cost.classify_by_sad(cols, c, c)
+        )
+    else:  # morph
+        c = int(params.get("n_classes", 24))
+        iterations = int(params.get("iterations", 5))
+        se = params.get("se") or square(3)
+        mflops = (
+            cost.morph_iteration(cols, bands, se.size) * iterations
+            + cost.classify_by_sad(cols, bands, c)
+        )
+        megabits = cost.pixels_megabits(cols, bands)  # halo ignored here
+    return float(mflops), float(megabits)
+
+
+def make_fractions(
+    platform: HeterogeneousPlatform,
+    algorithm: str,
+    cols: int,
+    bands: int,
+    params: Mapping[str, Any],
+    variant: str = "hetero",
+    cost_model: CostModel | None = None,
+) -> FloatArray:
+    """Workload fractions for the requested variant.
+
+    The DLT solve is scale-invariant, so the per-row workload estimates
+    stand in for the totals.
+    """
+    if variant not in _VARIANTS:
+        raise ConfigurationError(
+            f"unknown variant {variant!r}; expected one of {_VARIANTS}"
+        )
+    if variant == "homo":
+        return homogeneous_fractions(platform)
+    if variant == "hetero":
+        return heterogeneous_fractions(platform)
+    mflops, megabits = estimate_row_workload(
+        algorithm, cols, bands, params, cost_model
+    )
+    return dlt_fractions(platform, mflops, megabits)
+
+
+def _morph_halo(params: Mapping[str, Any]) -> int:
+    se = params.get("se") or square(3)
+    iterations = int(params.get("iterations", 5))
+    return morph_halo_depth(se, iterations, exact=bool(params.get("exact_halo", False)))
+
+
+def make_row_partition(
+    platform: HeterogeneousPlatform,
+    image: HyperspectralImage,
+    algorithm: str,
+    params: Mapping[str, Any],
+    variant: str = "hetero",
+    cost_model: CostModel | None = None,
+) -> RowPartition:
+    """Fractions → memory-bounded WEA row partition for ``image``.
+
+    For MORPH under the heterogeneous variants, row counts are
+    additionally halo-compensated: the windowed kernels process
+    ``rows + 2·halo`` rows, so shares equalize extended-block work.
+    """
+    algorithm = _check_algorithm(algorithm)
+    fractions = make_fractions(
+        platform, algorithm, image.cols, image.bands,
+        params, variant, cost_model,
+    )
+    if algorithm == "morph" and variant != "homo":
+        counts = halo_compensated_rows(
+            image.rows, fractions, _morph_halo(params)
+        )
+        return RowPartition(counts)
+    return wea_partition(
+        platform, image.rows, image.cols, image.bands, fractions=fractions
+    )
+
+
+@dataclasses.dataclass
+class ParallelRun:
+    """Outcome of one parallel execution.
+
+    Attributes:
+        algorithm: ``"atdca" | "ufcls" | "pct" | "morph"``.
+        variant: partitioning variant used.
+        output: the algorithm's result object (from the master rank).
+        partition: the row partition that was executed.
+        sim: virtual-time result (``backend="sim"``), else ``None``.
+        inproc: wall-clock result (``backend="inproc"``), else ``None``.
+    """
+
+    algorithm: str
+    variant: str
+    output: Any
+    partition: RowPartition
+    sim: SimulationResult | None = None
+    inproc: InprocResult | None = None
+
+    @property
+    def makespan(self) -> float:
+        if self.sim is None:
+            raise ConfigurationError("makespan requires the sim backend")
+        return self.sim.makespan
+
+
+def run_parallel(
+    algorithm: str,
+    image: HyperspectralImage,
+    platform: HeterogeneousPlatform,
+    params: Mapping[str, Any] | None = None,
+    variant: str = "hetero",
+    backend: str = "sim",
+    cost_model: CostModel | None = None,
+    partition: RowPartition | None = None,
+) -> ParallelRun:
+    """Run one algorithm end to end on a platform.
+
+    Args:
+        algorithm: one of :data:`ALGORITHM_NAMES`.
+        image: the scene (held by the master; scattered by the program).
+        platform: processors + network (also fixes the rank count).
+        params: algorithm parameters (``n_targets`` for the detectors,
+            ``n_classes``/``iterations``/``se``/``exact_halo`` for the
+            classifiers).
+        variant: ``"hetero"`` (default), ``"speed"``, or ``"homo"``.
+        backend: ``"sim"`` (virtual time) or ``"inproc"`` (wall clock).
+        cost_model: flop/byte accounting (sim backend).
+        partition: override the derived partition (ablations).
+
+    Returns:
+        A :class:`ParallelRun` with the master's output and timing.
+    """
+    _check_algorithm(algorithm)
+    params = dict(params or {})
+    if backend not in ("sim", "inproc"):
+        raise ConfigurationError(f"unknown backend {backend!r}")
+    part = partition or make_row_partition(
+        platform, image, algorithm, params, variant, cost_model
+    )
+
+    program = _PROGRAMS[algorithm]
+    program_kwargs: dict[str, Any] = {"partition": part}
+    if algorithm in ("atdca", "ufcls"):
+        program_kwargs["n_targets"] = int(params.get("n_targets", 18))
+    else:
+        program_kwargs["n_classes"] = int(params.get("n_classes", 24))
+        if algorithm == "morph":
+            program_kwargs["iterations"] = int(params.get("iterations", 5))
+            if params.get("se") is not None:
+                program_kwargs["se"] = params["se"]
+            if params.get("dedup_threshold") is not None:
+                program_kwargs["dedup_threshold"] = params["dedup_threshold"]
+            if params.get("exact_halo") is not None:
+                program_kwargs["exact_halo"] = bool(params["exact_halo"])
+        elif params.get("threshold") is not None:
+            program_kwargs["threshold"] = params["threshold"]
+
+    master = platform.master_rank
+    kwargs_per_rank = [
+        {"image": image if rank == master else None}
+        for rank in range(platform.size)
+    ]
+
+    if backend == "sim":
+        sim = run_program(
+            platform,
+            program,
+            kwargs_per_rank=kwargs_per_rank,
+            cost_model=cost_model,
+            **program_kwargs,
+        )
+        return ParallelRun(
+            algorithm=algorithm,
+            variant=variant,
+            output=sim.return_values[master],
+            partition=part,
+            sim=sim,
+        )
+    inproc = run_inproc(
+        platform.size,
+        program,
+        kwargs_per_rank=kwargs_per_rank,
+        master_rank=master,
+        **program_kwargs,
+    )
+    return ParallelRun(
+        algorithm=algorithm,
+        variant=variant,
+        output=inproc.return_values[master],
+        partition=part,
+        inproc=inproc,
+    )

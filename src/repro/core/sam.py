@@ -1,0 +1,95 @@
+"""Supervised SAM classification against a spectral library.
+
+The paper uses SAD/SAM throughout as its similarity metric; the
+corresponding *supervised* classifier — label every pixel with the most
+spectrally similar library signature, optionally rejecting pixels whose
+best angle exceeds a threshold — is the standard operational tool for
+mapping when reference spectra exist (exactly what USGS produced for
+the WTC deposits).  Provided for downstream users; the paper's own
+classifiers are unsupervised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.hsi.cube import HyperspectralImage
+from repro.hsi.groundtruth import UNLABELLED
+from repro.hsi.metrics import sad_to_references
+from repro.hsi.spectra import SpectralLibrary
+from repro.types import FloatArray, IntArray
+
+__all__ = ["SAMClassification", "sam_classify"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SAMClassification:
+    """Supervised classification outcome.
+
+    Attributes:
+        labels: ``(rows, cols)`` indices into ``class_names``
+            (:data:`~repro.hsi.groundtruth.UNLABELLED` where rejected).
+        angles: the winning SAD per pixel (radians).
+        class_names: the reference labels, index-aligned.
+        rejection_threshold: the angle cutoff used (None = no rejection).
+    """
+
+    labels: IntArray
+    angles: FloatArray
+    class_names: tuple[str, ...]
+    rejection_threshold: float | None
+
+    @property
+    def rejected_fraction(self) -> float:
+        return float(np.mean(self.labels == UNLABELLED))
+
+
+def sam_classify(
+    image: HyperspectralImage,
+    references: SpectralLibrary | FloatArray,
+    class_names: list[str] | None = None,
+    rejection_threshold: float | None = None,
+) -> SAMClassification:
+    """Label each pixel with its most similar reference signature.
+
+    Args:
+        image: the scene.
+        references: a :class:`SpectralLibrary` (class names taken from
+            it) or a ``(k, bands)`` signature matrix.
+        class_names: names when ``references`` is a plain matrix.
+        rejection_threshold: pixels whose best SAD exceeds this are
+            left :data:`UNLABELLED` (radians; None disables).
+    """
+    if isinstance(references, SpectralLibrary):
+        names = tuple(references.names)
+        matrix = references.to_matrix()
+    else:
+        matrix = np.asarray(references, dtype=float)
+        if matrix.ndim != 2:
+            raise DataError(f"references must be (k, bands), got {matrix.shape}")
+        names = tuple(
+            class_names
+            if class_names is not None
+            else [f"class_{i}" for i in range(matrix.shape[0])]
+        )
+    if len(names) != matrix.shape[0]:
+        raise ConfigurationError(
+            f"{len(names)} names for {matrix.shape[0]} references"
+        )
+    if rejection_threshold is not None and rejection_threshold <= 0:
+        raise ConfigurationError("rejection_threshold must be positive")
+
+    angles = sad_to_references(image.flatten_pixels(), matrix)
+    best = np.argmin(angles, axis=1).astype(np.int64)
+    best_angle = np.take_along_axis(angles, best[:, None], axis=1)[:, 0]
+    if rejection_threshold is not None:
+        best = np.where(best_angle <= rejection_threshold, best, UNLABELLED)
+    return SAMClassification(
+        labels=best.reshape(image.rows, image.cols),
+        angles=best_angle.reshape(image.rows, image.cols),
+        class_names=names,
+        rejection_threshold=rejection_threshold,
+    )

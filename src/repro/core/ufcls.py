@@ -1,0 +1,67 @@
+"""Sequential UFCLS: unsupervised fully constrained least squares.
+
+Algorithm 3's computational content: seed with the brightest pixel,
+then repeatedly add the pixel whose fully constrained linear-mixture
+reconstruction from the current target set has the largest residual —
+least-squares error minimization replacing ATDCA's orthogonal
+projection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.atdca import TargetDetectionResult, _check_inputs
+from repro.hsi.cube import HyperspectralImage
+from repro.linalg.fcls import fcls_abundances, reconstruction_error
+from repro.linalg.osp import brightest_pixel_index
+from repro.types import FloatArray
+
+__all__ = ["ufcls_pixels", "ufcls", "fcls_error_image"]
+
+
+def fcls_error_image(pixels: FloatArray, targets: FloatArray) -> FloatArray:
+    """The UFCLS 'error image': per-pixel FCLS residual → ``(n,)``.
+
+    Step 2 of Algorithm 3: each pixel is represented as a fully
+    constrained (non-negative, sum-to-one) mixture of the current
+    targets; the score is the squared reconstruction error.
+    """
+    abundances = fcls_abundances(pixels, targets)
+    return reconstruction_error(pixels, targets, abundances)
+
+
+def ufcls_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
+    """Run UFCLS on a flat ``(n, bands)`` pixel matrix."""
+    pix = _check_inputs(pixels, n_targets)
+    indices: list[int] = []
+    scores: list[float] = []
+
+    first = brightest_pixel_index(pix)
+    indices.append(first)
+    scores.append(float(pix[first] @ pix[first]))
+
+    for _ in range(1, n_targets):
+        targets = pix[np.asarray(indices)]
+        error = fcls_error_image(pix, targets)
+        nxt = int(np.argmax(error))
+        indices.append(nxt)
+        scores.append(float(error[nxt]))
+
+    idx = np.asarray(indices, dtype=np.int64)
+    return TargetDetectionResult(
+        flat_indices=idx,
+        signatures=pix[idx].copy(),
+        scores=np.asarray(scores),
+    )
+
+
+def ufcls(image: HyperspectralImage, n_targets: int) -> TargetDetectionResult:
+    """Run UFCLS on an image cube; adds (row, col) positions."""
+    result = ufcls_pixels(image.flatten_pixels(), n_targets)
+    rows, cols = np.divmod(result.flat_indices, image.cols)
+    return dataclasses.replace(
+        result, positions=np.stack([rows, cols], axis=1)
+    )

@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems raise the most specific
+subclass that applies; constructors accept a human-readable message and
+(optionally) structured context that is folded into the message.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PlatformError",
+    "PartitionError",
+    "CommunicationError",
+    "TagMismatchError",
+    "TruncationError",
+    "DeadlockError",
+    "DataError",
+    "ShapeError",
+    "ConvergenceError",
+    "ExperimentError",
+    "EnviFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class PlatformError(ReproError):
+    """A heterogeneous platform description is malformed or unusable.
+
+    Raised e.g. for unknown processor ids, non-symmetric link-capacity
+    matrices, or topologies that are not connected.
+    """
+
+
+class PartitionError(ReproError):
+    """A data partitioning request cannot be satisfied.
+
+    Raised when the aggregate memory of the platform cannot hold the
+    workload, when workload fractions do not sum to one, or when a
+    partition would be empty where the algorithm requires non-empty
+    shares.
+    """
+
+
+class CommunicationError(ReproError):
+    """A message-passing operation failed or was used incorrectly."""
+
+
+class TagMismatchError(CommunicationError):
+    """A receive matched a message whose tag disagrees with the request."""
+
+
+class TruncationError(CommunicationError):
+    """A received message is larger than the posted receive buffer."""
+
+
+class DeadlockError(CommunicationError):
+    """The runtime detected that all ranks are blocked with no messages
+    in flight — the program can never make progress."""
+
+
+class DataError(ReproError, ValueError):
+    """Input data (image cube, spectra, ground truth) is invalid."""
+
+
+class ShapeError(DataError):
+    """An array does not have the shape or dimensionality required."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical routine failed to converge."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or produced invalid output."""
+
+
+class EnviFormatError(ReproError, IOError):
+    """An ENVI header/binary pair could not be parsed or round-tripped."""

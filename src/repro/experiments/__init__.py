@@ -1,0 +1,48 @@
+"""Experiment drivers: one module per paper table/figure + the CLI."""
+
+from repro.experiments.config import (
+    COMM_STREAMING_FACTOR,
+    PAPER_BANDS,
+    PAPER_COLS,
+    PAPER_ROWS,
+    ExperimentConfig,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.grid import NetworkGrid, run_network_grid, variant_label
+from repro.experiments.model import ModelResult, model_run
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import Table5Result, run_table5
+from repro.experiments.table6 import Table6Result, run_table6
+from repro.experiments.table7 import Table7Result, run_table7
+from repro.experiments.table8 import Table8Result, run_table8
+
+__all__ = [
+    "COMM_STREAMING_FACTOR",
+    "ExperimentConfig",
+    "Figure1Result",
+    "Figure2Result",
+    "ModelResult",
+    "NetworkGrid",
+    "PAPER_BANDS",
+    "PAPER_COLS",
+    "PAPER_ROWS",
+    "Table3Result",
+    "Table4Result",
+    "Table5Result",
+    "Table6Result",
+    "Table7Result",
+    "Table8Result",
+    "model_run",
+    "run_figure1",
+    "run_figure2",
+    "run_network_grid",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_table8",
+    "variant_label",
+]

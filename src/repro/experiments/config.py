@@ -1,0 +1,199 @@
+"""Shared experiment configuration and paper reference values.
+
+The accuracy experiments (Tables 3–4, Figure 1) run the real algorithms
+on the synthetic WTC scene.  The performance experiments (Tables 5–8,
+Figure 2) run them through the virtual-time engine with the cost model
+scaled from the experiment scene to the paper's full AVIRIS dimensions
+(2133 × 512 × 224), so virtual seconds land at paper magnitudes while
+every ratio is set by the algorithms and the Table 1/2 platform
+parameters.
+
+**Communication calibration.**  The paper's COM values (3–17 s) are
+irreconcilable with shipping the 1 GB scene through links benchmarked
+at ~20–155 ms per megabit (that alone would take hundreds of seconds);
+its measured runs evidently moved far less data at far higher sustained
+rates than the one-megabit-message benchmark suggests.  We therefore
+scale message volumes by ``1/COMM_STREAMING_FACTOR`` relative to
+compute, calibrated once so the master's COM share lands in the paper's
+range on the fully heterogeneous network; see EXPERIMENTS.md for the
+full discussion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.costs import CostModel
+from repro.errors import ConfigurationError
+from repro.hsi.scene import SceneConfig
+
+__all__ = [
+    "PAPER_ROWS",
+    "PAPER_COLS",
+    "PAPER_BANDS",
+    "COMM_STREAMING_FACTOR",
+    "ExperimentConfig",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "PAPER_TABLE7",
+    "PAPER_TABLE8",
+]
+
+#: The paper's full AVIRIS WTC scene dimensions.
+PAPER_ROWS, PAPER_COLS, PAPER_BANDS = 2133, 512, 224
+
+#: Sustained-throughput correction for large messages relative to the
+#: Table 2 one-megabit-message benchmark (see module docstring).
+COMM_STREAMING_FACTOR = 25.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers.
+
+    Attributes:
+        scene: synthetic-scene parameters for the *accuracy*
+            experiments (Tables 3–4, Figure 1).
+        grid_scene: scene parameters for the *timing* grid (Tables
+            5–7).  Virtual times depend only on dimensions and the
+            platform, so the grid uses a tall narrow scene: many rows
+            give the WEA row partition fine granularity (the slowest
+            Table 1 processor's fair share is ~1% of the rows —
+            rounding a 96-row scene would swamp the balance metrics).
+        n_targets: ``t`` for ATDCA/UFCLS (paper: 18).
+        n_classes: ``c`` for PCT/MORPH.  The paper set 7 after counting
+            the USGS map's classes; our synthetic scene has ~19 distinct
+            spectral components (12 materials + 7 fires), so the same
+            counting rule gives 24 (DESIGN.md).
+        iterations: ``I_max`` for MORPH (paper: 5).
+        thunderhead_cpus: the Table 8 / Figure 2 sweep.
+    """
+
+    scene: SceneConfig = SceneConfig(rows=96, cols=64, bands=48, seed=7)
+    grid_scene: SceneConfig = SceneConfig(rows=768, cols=8, bands=48, seed=7)
+    n_targets: int = 18
+    n_classes: int = 24
+    iterations: int = 5
+    thunderhead_cpus: tuple[int, ...] = (1, 4, 16, 36, 64, 100, 144, 196, 256)
+
+    def __post_init__(self) -> None:
+        if self.n_targets < 1 or self.n_classes < 1 or self.iterations < 1:
+            raise ConfigurationError("algorithm parameters must be >= 1")
+        if not self.thunderhead_cpus or min(self.thunderhead_cpus) < 1:
+            raise ConfigurationError("thunderhead_cpus must be positive")
+
+    def compute_scale(self, scene: SceneConfig | None = None) -> float:
+        """Paper workload / experiment workload (pixels × bands ratio)."""
+        scn = scene or self.grid_scene
+        actual = scn.rows * scn.cols * scn.bands
+        paper = PAPER_ROWS * PAPER_COLS * PAPER_BANDS
+        return paper / actual
+
+    def comm_scale(self, scene: SceneConfig | None = None) -> float:
+        """Paper volume / experiment volume, streaming-corrected."""
+        return self.compute_scale(scene) / COMM_STREAMING_FACTOR
+
+    def cost_model(self, scene: SceneConfig | None = None) -> CostModel:
+        """The paper-scaled cost model for the performance experiments
+        (scaled for the timing-grid scene by default)."""
+        return CostModel(
+            compute_scale=self.compute_scale(scene),
+            comm_scale=self.comm_scale(scene),
+        )
+
+    def detection_params(self) -> dict:
+        return {"n_targets": self.n_targets}
+
+    def classification_params(self, algorithm: str) -> dict:
+        params: dict = {"n_classes": self.n_classes}
+        if algorithm == "morph":
+            params["iterations"] = self.iterations
+        return params
+
+    def params_for(self, algorithm: str) -> dict:
+        if algorithm in ("atdca", "ufcls"):
+            return self.detection_params()
+        return self.classification_params(algorithm)
+
+
+# --- published values, kept next to the code that re-measures them ---------
+
+#: Table 3 — SAD (radians) between detected targets and ground targets,
+#: plus single-processor times (seconds) in the header row.
+PAPER_TABLE3 = {
+    "times": {"ATDCA": 1263.0, "UFCLS": 916.0},
+    "ATDCA": {"A": 0.002, "B": 0.001, "C": 0.005, "D": 0.003,
+              "E": 0.008, "F": 0.001, "G": 0.001},
+    "UFCLS": {"A": 0.123, "B": 0.005, "C": 0.012, "D": 0.002,
+              "E": 0.026, "F": 0.169, "G": 0.001},
+}
+
+#: Table 4 — classification accuracy (percent).  NOTE: the printed
+#: Hetero-MORPH column in the paper is corrupted (it repeats Table 3's
+#: SAD values); the running text states MORPH exceeded 93% overall, so
+#: only the PCT column and the MORPH overall claim are usable.
+PAPER_TABLE4 = {
+    "times": {"PCT": 1884.0, "MORPH": 2334.0},
+    "PCT": {
+        "concrete_wtc01_37b": 93.56, "concrete_wtc01_37am": 90.23,
+        "cement_wtc01_37a": 81.64, "dust_wtc01_15": 79.23,
+        "dust_wtc01_28": 76.67, "dust_wtc01_36": 85.02,
+        "gypsum_wallboard": 82.99, "Overall": 80.45,
+    },
+    "MORPH": {"Overall": 93.0},  # from the text; printed column corrupt
+}
+
+_NETWORKS = (
+    "fully heterogeneous", "fully homogeneous",
+    "partially heterogeneous", "partially homogeneous",
+)
+
+#: Table 5 — execution times (s) per algorithm/variant per network.
+PAPER_TABLE5 = {
+    ("Hetero-ATDCA"): dict(zip(_NETWORKS, (84, 89, 87, 88))),
+    ("Homo-ATDCA"): dict(zip(_NETWORKS, (667, 81, 638, 374))),
+    ("Hetero-UFCLS"): dict(zip(_NETWORKS, (51, 56, 55, 56))),
+    ("Homo-UFCLS"): dict(zip(_NETWORKS, (506, 50, 497, 253))),
+    ("Hetero-PCT"): dict(zip(_NETWORKS, (132, 136, 133, 135))),
+    ("Homo-PCT"): dict(zip(_NETWORKS, (562, 129, 547, 330))),
+    ("Hetero-MORPH"): dict(zip(_NETWORKS, (171, 177, 172, 174))),
+    ("Homo-MORPH"): dict(zip(_NETWORKS, (2216, 168, 2203, 925))),
+}
+
+#: Table 6 — (COM, SEQ, PAR) per algorithm/variant per network.
+PAPER_TABLE6 = {
+    "Hetero-ATDCA": dict(zip(_NETWORKS, [(7, 19, 58), (11, 16, 62), (8, 18, 61), (8, 20, 60)])),
+    "Homo-ATDCA": dict(zip(_NETWORKS, [(14, 19, 634), (6, 16, 59), (9, 18, 611), (12, 20, 342)])),
+    "Hetero-UFCLS": dict(zip(_NETWORKS, [(4, 17, 30), (7, 14, 35), (6, 17, 32), (8, 16, 32)])),
+    "Homo-UFCLS": dict(zip(_NETWORKS, [(9, 17, 480), (3, 14, 33), (5, 17, 475), (13, 16, 224)])),
+    "Hetero-PCT": dict(zip(_NETWORKS, [(6, 27, 99), (9, 28, 99), (8, 26, 99), (8, 27, 100)])),
+    "Homo-PCT": dict(zip(_NETWORKS, [(12, 27, 523), (5, 28, 96), (7, 26, 514), (9, 27, 294)])),
+    "Hetero-MORPH": dict(zip(_NETWORKS, [(9, 6, 156), (13, 8, 156), (10, 7, 155), (10, 8, 156)])),
+    "Homo-MORPH": dict(zip(_NETWORKS, [(17, 6, 2201), (7, 8, 153), (9, 7, 2187), (11, 8, 906)])),
+}
+
+#: Table 7 — (D_all, D_minus) per algorithm/variant per network.
+PAPER_TABLE7 = {
+    "Hetero-ATDCA": dict(zip(_NETWORKS, [(1.19, 1.05), (1.16, 1.03), (1.24, 1.06), (1.22, 1.03)])),
+    "Homo-ATDCA": dict(zip(_NETWORKS, [(1.62, 1.23), (1.20, 1.06), (1.67, 1.26), (1.41, 1.05)])),
+    "Hetero-UFCLS": dict(zip(_NETWORKS, [(1.49, 1.06), (1.51, 1.05), (1.69, 1.06), (1.54, 1.08)])),
+    "Homo-UFCLS": dict(zip(_NETWORKS, [(1.68, 1.25), (1.54, 1.11), (1.75, 1.34), (1.77, 1.09)])),
+    "Hetero-PCT": dict(zip(_NETWORKS, [(1.69, 1.06), (1.58, 1.03), (1.72, 1.05), (1.68, 1.07)])),
+    "Homo-PCT": dict(zip(_NETWORKS, [(1.81, 1.28), (1.56, 1.05), (1.82, 1.39), (1.83, 1.08)])),
+    "Hetero-MORPH": dict(zip(_NETWORKS, [(1.05, 1.01), (1.03, 1.02), (1.06, 1.02), (1.06, 1.04)])),
+    "Homo-MORPH": dict(zip(_NETWORKS, [(1.59, 1.21), (1.05, 1.01), (1.62, 1.24), (1.28, 1.13)])),
+}
+
+#: Table 8 — Thunderhead execution times (s) by CPU count.
+PAPER_TABLE8 = {
+    "ATDCA": dict(zip((1, 4, 16, 36, 64, 100, 144, 196, 256),
+                      (1263, 493, 141, 49, 26, 16, 11, 9, 7))),
+    "UFCLS": dict(zip((1, 4, 16, 36, 64, 100, 144, 196, 256),
+                      (916, 286, 63, 36, 18, 12, 9, 7, 6))),
+    "PCT": dict(zip((1, 4, 16, 36, 64, 100, 144, 196, 256),
+                    (1884, 460, 154, 73, 36, 26, 21, 17, 15))),
+    "MORPH": dict(zip((1, 4, 16, 36, 64, 100, 144, 196, 256),
+                      (2334, 741, 191, 74, 40, 26, 18, 13, 11))),
+}

@@ -1,0 +1,61 @@
+"""Figure 2 — speedup curves of the four algorithms on Thunderhead.
+
+Consumes the Table 8 sweep and renders the paper's figure as a terminal
+line chart (plus the raw speedup series for tests and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.core.runner import ALGORITHM_NAMES
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table8 import Table8Result, run_table8
+from repro.viz.ascii_chart import line_chart
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure2Result:
+    """Speedup series per algorithm + the source sweep."""
+
+    speedups: Mapping[str, tuple[float, ...]]
+    cpus: tuple[int, ...]
+    table8: Table8Result
+
+    def final_speedup(self, algorithm: str) -> float:
+        return self.speedups[algorithm.upper()][-1]
+
+    def scaling_order(self) -> list[str]:
+        """Algorithms sorted by speedup at the largest CPU count,
+        best first — the paper's ordering is MORPH first, PCT last."""
+        return sorted(
+            self.speedups, key=lambda a: -self.speedups[a][-1]
+        )
+
+    def to_text(self) -> str:
+        chart = line_chart(
+            [float(p) for p in self.cpus],
+            {alg: list(vals) for alg, vals in self.speedups.items()},
+            width=72,
+            height=24,
+            title="Figure 2: scalability of the heterogeneous algorithms "
+                  "on Thunderhead",
+            y_label="speedup",
+            x_label="CPUs",
+        )
+        order = ", ".join(self.scaling_order())
+        return f"{chart}\nScaling order (best first): {order}"
+
+
+def run_figure2(
+    config: ExperimentConfig | None = None, table8: Table8Result | None = None
+) -> Figure2Result:
+    t8 = table8 or run_table8(config)
+    speedups = {
+        alg.upper(): tuple(t8.curve(alg).speedups.tolist())
+        for alg in ALGORITHM_NAMES
+    }
+    return Figure2Result(speedups=speedups, cpus=t8.cpus, table8=t8)

@@ -1,0 +1,114 @@
+"""The network × algorithm × variant grid behind Tables 5, 6 and 7.
+
+One engine run per (algorithm, variant, network) cell; Tables 5–7 are
+three different projections of the same 32 runs, so the grid is
+computed once and shared.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.cluster.presets import all_networks
+from repro.core.runner import ALGORITHM_NAMES, ParallelRun, run_parallel
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.hsi.scene import WTCScene, make_wtc_scene
+from repro.perf.imbalance import ImbalanceScores, imbalance_of_run
+from repro.perf.timers import PhaseBreakdown, breakdown_of_run
+
+__all__ = ["GridCell", "NetworkGrid", "run_network_grid", "variant_label"]
+
+#: The two variants the paper compares.
+VARIANTS: tuple[str, ...] = ("hetero", "homo")
+
+
+def variant_label(algorithm: str, variant: str) -> str:
+    """The paper's row labels, e.g. ``"Hetero-ATDCA"``."""
+    prefix = {"hetero": "Hetero", "homo": "Homo", "speed": "Speed"}[variant]
+    return f"{prefix}-{algorithm.upper()}"
+
+
+@dataclasses.dataclass(frozen=True)
+class GridCell:
+    """One (algorithm, variant, network) measurement."""
+
+    run: ParallelRun
+    breakdown: PhaseBreakdown
+    imbalance: ImbalanceScores
+
+    @property
+    def total(self) -> float:
+        return self.run.makespan
+
+
+@dataclasses.dataclass
+class NetworkGrid:
+    """All runs keyed by ``(row_label, network_name)``."""
+
+    cells: Mapping[tuple[str, str], GridCell]
+    scene: WTCScene
+    config: ExperimentConfig
+
+    @property
+    def row_labels(self) -> list[str]:
+        return sorted({k[0] for k in self.cells}, key=_row_order)
+
+    @property
+    def network_names(self) -> list[str]:
+        order = list(all_networks())
+        present = {k[1] for k in self.cells}
+        return [n for n in order if n in present]
+
+    def cell(self, row: str, network: str) -> GridCell:
+        try:
+            return self.cells[(row, network)]
+        except KeyError:
+            raise ExperimentError(
+                f"grid has no cell ({row!r}, {network!r})"
+            ) from None
+
+
+def _row_order(label: str) -> tuple[int, int]:
+    alg_order = {name.upper(): i for i, name in enumerate(ALGORITHM_NAMES)}
+    prefix, _, alg = label.partition("-")
+    return alg_order.get(alg, 99), 0 if prefix == "Hetero" else 1
+
+
+def run_network_grid(
+    config: ExperimentConfig | None = None,
+    algorithms: tuple[str, ...] = ALGORITHM_NAMES,
+    variants: tuple[str, ...] = VARIANTS,
+    scene: WTCScene | None = None,
+) -> NetworkGrid:
+    """Execute the full grid on the virtual-time engine.
+
+    Args:
+        config: experiment configuration (paper-scaled cost model).
+        algorithms: subset of algorithms to run (all four by default).
+        variants: partitioning variants (paper: hetero + homo).
+        scene: reuse an existing scene (else built from the config).
+    """
+    cfg = config or ExperimentConfig()
+    scn = scene or make_wtc_scene(cfg.grid_scene)
+    cost = cfg.cost_model(cfg.grid_scene)
+    cells: dict[tuple[str, str], GridCell] = {}
+    for network_name, platform in all_networks().items():
+        for algorithm in algorithms:
+            for variant in variants:
+                run = run_parallel(
+                    algorithm,
+                    scn.image,
+                    platform,
+                    params=cfg.params_for(algorithm),
+                    variant=variant,
+                    cost_model=cost,
+                )
+                assert run.sim is not None
+                cells[(variant_label(algorithm, variant), network_name)] = GridCell(
+                    run=run,
+                    breakdown=breakdown_of_run(run.sim),
+                    imbalance=imbalance_of_run(run.sim),
+                )
+    return NetworkGrid(cells=cells, scene=scn, config=cfg)

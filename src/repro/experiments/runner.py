@@ -1,0 +1,112 @@
+"""Experiment CLI: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro-experiments all
+    repro-experiments table3 table5 --outdir results/
+    python -m repro.experiments figure2
+
+Tables 5–7 share one grid of engine runs; requesting several of them in
+the same invocation computes the grid once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.grid import run_network_grid
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+from repro.hsi.scene import SceneConfig, make_wtc_scene
+
+__all__ = ["main", "EXPERIMENT_NAMES"]
+
+EXPERIMENT_NAMES = (
+    "table3", "table4", "table5", "table6", "table7", "table8",
+    "figure1", "figure2",
+)
+_GRID_EXPERIMENTS = {"table5", "table6", "table7"}
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    scene = SceneConfig(
+        rows=args.rows, cols=args.cols, bands=args.bands, seed=args.seed
+    )
+    grid_scene = SceneConfig(
+        rows=768, cols=8, bands=args.bands, seed=args.seed
+    )
+    return ExperimentConfig(scene=scene, grid_scene=grid_scene)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*EXPERIMENT_NAMES, "all"],
+        help="which tables/figures to run ('all' for everything)",
+    )
+    parser.add_argument("--outdir", default="experiments_output",
+                        help="directory for rendered files and transcripts")
+    parser.add_argument("--rows", type=int, default=96, help="scene rows")
+    parser.add_argument("--cols", type=int, default=64, help="scene cols")
+    parser.add_argument("--bands", type=int, default=48, help="scene bands")
+    parser.add_argument("--seed", type=int, default=7, help="scene seed")
+    args = parser.parse_args(argv)
+
+    wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
+        name for name in EXPERIMENT_NAMES if name in args.experiments
+    ]
+    config = _build_config(args)
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    scene = make_wtc_scene(config.scene)
+    grid = None
+    if _GRID_EXPERIMENTS & set(wanted):
+        print("building the network grid (32 simulated runs)...", flush=True)
+        grid = run_network_grid(config)  # builds its own timing scene
+
+    sections: list[str] = []
+    for name in wanted:
+        print(f"running {name}...", flush=True)
+        if name == "table3":
+            text = run_table3(config, scene=scene).to_text()
+        elif name == "table4":
+            text = run_table4(config, scene=scene).to_text()
+        elif name == "table5":
+            text = run_table5(config, grid=grid).to_text()
+        elif name == "table6":
+            text = run_table6(config, grid=grid).to_text()
+        elif name == "table7":
+            text = run_table7(config, grid=grid).to_text()
+        elif name == "table8":
+            text = run_table8(config).to_text()
+        elif name == "figure1":
+            text = run_figure1(config, scene=scene, output_dir=outdir).to_text()
+        else:  # figure2
+            text = run_figure2(config).to_text()
+        sections.append(text)
+        print(text)
+        print()
+
+    transcript = outdir / "experiments.txt"
+    transcript.write_text("\n\n".join(sections) + "\n", encoding="utf-8")
+    print(f"transcript written to {transcript}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

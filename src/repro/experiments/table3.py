@@ -1,0 +1,94 @@
+"""Table 3 — target-detection accuracy of ATDCA vs UFCLS.
+
+Runs the sequential versions (as the paper's parenthesized times do) on
+the WTC scene with ``t = 18`` targets, and reports the SAD between each
+known hot spot ('A'–'G') and the most similar detected target, side by
+side with the published values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Mapping
+
+from repro.core.atdca import atdca
+from repro.core.ufcls import ufcls
+from repro.experiments.config import PAPER_TABLE3, ExperimentConfig
+from repro.hsi.metrics import match_targets
+from repro.hsi.scene import WTCScene, make_wtc_scene
+from repro.perf.report import format_table
+
+__all__ = ["Table3Result", "run_table3"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Result:
+    """Measured Table 3.
+
+    Attributes:
+        sad: algorithm → hot-spot label → SAD (radians).
+        wall_seconds: algorithm → sequential wall time on this machine
+            (the paper's parenthesized values are Thunderhead
+            single-processor times; scale differs, role is the same).
+        paper: the published values for side-by-side comparison.
+    """
+
+    sad: Mapping[str, Mapping[str, float]]
+    wall_seconds: Mapping[str, float]
+    paper: Mapping = dataclasses.field(default_factory=lambda: PAPER_TABLE3)
+
+    def detected_all(self, algorithm: str, tolerance: float = 0.02) -> bool:
+        """True if every hot spot was matched within ``tolerance`` radians."""
+        return all(v <= tolerance for v in self.sad[algorithm].values())
+
+    def missed(self, algorithm: str, tolerance: float = 0.02) -> list[str]:
+        """Hot spots with SAD above ``tolerance`` (detection failures)."""
+        return sorted(
+            label for label, v in self.sad[algorithm].items() if v > tolerance
+        )
+
+    def to_text(self) -> str:
+        rows = []
+        for label in sorted(self.sad["ATDCA"]):
+            rows.append(
+                [
+                    f"'{label}'",
+                    self.sad["ATDCA"][label],
+                    self.paper["ATDCA"][label],
+                    self.sad["UFCLS"][label],
+                    self.paper["UFCLS"][label],
+                ]
+            )
+        title = (
+            "Table 3: SAD between detected targets and ground targets\n"
+            f"(sequential wall times: ATDCA {self.wall_seconds['ATDCA']:.1f}s, "
+            f"UFCLS {self.wall_seconds['UFCLS']:.1f}s; paper "
+            f"{self.paper['times']['ATDCA']:.0f}s / "
+            f"{self.paper['times']['UFCLS']:.0f}s on one Thunderhead node)"
+        )
+        return format_table(
+            ["Hot spot", "ATDCA", "ATDCA(paper)", "UFCLS", "UFCLS(paper)"],
+            rows,
+            title=title,
+            precision=3,
+        )
+
+
+def run_table3(
+    config: ExperimentConfig | None = None, scene: WTCScene | None = None
+) -> Table3Result:
+    """Measure Table 3 on the configured scene."""
+    cfg = config or ExperimentConfig()
+    scn = scene or make_wtc_scene(cfg.scene)
+    truth_sigs = scn.truth.target_signatures()
+
+    sad: dict[str, dict[str, float]] = {}
+    wall: dict[str, float] = {}
+    for name, fn in (("ATDCA", atdca), ("UFCLS", ufcls)):
+        start = time.perf_counter()
+        result = fn(scn.image, cfg.n_targets)
+        wall[name] = time.perf_counter() - start
+        matches = match_targets(result.signatures, truth_sigs)
+        sad[name] = {label: m["sad"] for label, m in matches.items()}
+    return Table3Result(sad=sad, wall_seconds=wall)

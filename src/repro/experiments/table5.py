@@ -1,0 +1,66 @@
+"""Table 5 — execution times of the hetero/homo algorithm variants on
+the four equivalent networks (a projection of the shared grid)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.experiments.config import PAPER_TABLE5, ExperimentConfig
+from repro.experiments.grid import NetworkGrid, run_network_grid
+from repro.perf.report import format_table
+
+__all__ = ["Table5Result", "run_table5"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table5Result:
+    """Measured Table 5 (+ the grid it came from).
+
+    ``times[row_label][network]`` is the makespan in scaled virtual
+    seconds.
+    """
+
+    times: Mapping[str, Mapping[str, float]]
+    grid: NetworkGrid
+    paper: Mapping = dataclasses.field(default_factory=lambda: PAPER_TABLE5)
+
+    def ratio(self, algorithm: str, network: str) -> float:
+        """Homo/Hetero slowdown for one algorithm on one network."""
+        return (
+            self.times[f"Homo-{algorithm.upper()}"][network]
+            / self.times[f"Hetero-{algorithm.upper()}"][network]
+        )
+
+    def to_text(self) -> str:
+        networks = self.grid.network_names
+        rows = []
+        for label in self.grid.row_labels:
+            rows.append(
+                [label]
+                + [self.times[label][n] for n in networks]
+                + [self.paper[label][n] if label in self.paper else None
+                   for n in networks]
+            )
+        headers = (
+            ["Algorithm"]
+            + list(networks)
+            + [f"{n} (paper)" for n in networks]
+        )
+        return format_table(
+            headers, rows,
+            title="Table 5: execution times (s, scaled virtual time)",
+            precision=1,
+        )
+
+
+def run_table5(
+    config: ExperimentConfig | None = None, grid: NetworkGrid | None = None
+) -> Table5Result:
+    """Measure Table 5 (reusing a shared grid when provided)."""
+    g = grid or run_network_grid(config)
+    times = {
+        label: {n: g.cell(label, n).total for n in g.network_names}
+        for label in g.row_labels
+    }
+    return Table5Result(times=times, grid=g)

@@ -1,0 +1,59 @@
+"""Table 6 — COM/SEQ/PAR time decomposition (grid projection)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.experiments.config import PAPER_TABLE6, ExperimentConfig
+from repro.experiments.grid import NetworkGrid, run_network_grid
+from repro.perf.report import format_table
+from repro.perf.timers import PhaseBreakdown
+
+__all__ = ["Table6Result", "run_table6"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table6Result:
+    """Measured Table 6: ``breakdowns[row_label][network]``."""
+
+    breakdowns: Mapping[str, Mapping[str, PhaseBreakdown]]
+    grid: NetworkGrid
+    paper: Mapping = dataclasses.field(default_factory=lambda: PAPER_TABLE6)
+
+    def seq_share(self, row_label: str, network: str) -> float:
+        """SEQ / total — the serial fraction visible in the breakdown."""
+        b = self.breakdowns[row_label][network]
+        return b.seq / b.total if b.total > 0 else 0.0
+
+    def to_text(self) -> str:
+        networks = self.grid.network_names
+        headers = ["Algorithm"]
+        for n in networks:
+            headers += [f"{n}:COM", f"{n}:SEQ", f"{n}:PAR"]
+        rows = []
+        for label in self.grid.row_labels:
+            row: list = [label]
+            for n in networks:
+                b = self.breakdowns[label][n]
+                row += [b.com, b.seq, b.par]
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title=(
+                "Table 6: communication (COM), sequential (SEQ) and parallel"
+                " (PAR) times (s, scaled virtual time)"
+            ),
+            precision=1,
+        )
+
+
+def run_table6(
+    config: ExperimentConfig | None = None, grid: NetworkGrid | None = None
+) -> Table6Result:
+    g = grid or run_network_grid(config)
+    breakdowns = {
+        label: {n: g.cell(label, n).breakdown for n in g.network_names}
+        for label in g.row_labels
+    }
+    return Table6Result(breakdowns=breakdowns, grid=g)

@@ -1,0 +1,51 @@
+"""Table 7 — load-balancing rates D_all / D_minus (grid projection)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.experiments.config import PAPER_TABLE7, ExperimentConfig
+from repro.experiments.grid import NetworkGrid, run_network_grid
+from repro.perf.imbalance import ImbalanceScores
+from repro.perf.report import format_table
+
+__all__ = ["Table7Result", "run_table7"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table7Result:
+    """Measured Table 7: ``scores[row_label][network]``."""
+
+    scores: Mapping[str, Mapping[str, ImbalanceScores]]
+    grid: NetworkGrid
+    paper: Mapping = dataclasses.field(default_factory=lambda: PAPER_TABLE7)
+
+    def to_text(self) -> str:
+        networks = self.grid.network_names
+        headers = ["Algorithm"]
+        for n in networks:
+            headers += [f"{n}:D_all", f"{n}:D_minus"]
+        rows = []
+        for label in self.grid.row_labels:
+            row: list = [label]
+            for n in networks:
+                s = self.scores[label][n]
+                row += [s.d_all, s.d_minus]
+            rows.append(row)
+        return format_table(
+            headers, rows,
+            title="Table 7: load balancing rates (1.0 = perfect balance)",
+            precision=2,
+        )
+
+
+def run_table7(
+    config: ExperimentConfig | None = None, grid: NetworkGrid | None = None
+) -> Table7Result:
+    g = grid or run_network_grid(config)
+    scores = {
+        label: {n: g.cell(label, n).imbalance for n in g.network_names}
+        for label in g.row_labels
+    }
+    return Table7Result(scores=scores, grid=g)

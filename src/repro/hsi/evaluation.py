@@ -1,0 +1,113 @@
+"""Scoring unsupervised classifications against ground truth.
+
+The paper's classifiers are unsupervised: they produce clusters keyed
+to extracted endmembers, not to USGS class names.  Scoring against the
+reference map therefore needs the standard cluster-to-class assignment
+step: each predicted cluster is mapped to the ground-truth class it
+overlaps most (majority mapping), after which per-class and overall
+accuracies are ordinary supervised scores.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import DataError, ShapeError
+from repro.hsi.groundtruth import UNLABELLED
+from repro.hsi.metrics import overall_accuracy, per_class_accuracy
+from repro.types import FloatArray, IntArray
+
+__all__ = ["majority_mapping", "apply_mapping", "ClassificationScore", "score_classification"]
+
+
+def majority_mapping(
+    truth: IntArray, predicted: IntArray, n_true_classes: int
+) -> IntArray:
+    """Map each predicted cluster to its majority ground-truth class.
+
+    Clusters that never touch a labelled pixel map to class 0 (they
+    only matter if some labelled pixel lands there, which then scores
+    as an error — a conservative choice).
+
+    Returns:
+        ``(n_clusters,)`` mapping array.
+    """
+    t = np.asarray(truth).ravel()
+    p = np.asarray(predicted).ravel()
+    if t.shape != p.shape:
+        raise ShapeError(f"label shapes differ: {t.shape} vs {p.shape}")
+    if p.min(initial=0) < 0:
+        raise DataError("predicted labels must be >= 0")
+    n_clusters = int(p.max()) + 1 if p.size else 0
+    if n_clusters == 0:
+        raise DataError("no predictions to map")
+    mapping = np.zeros(n_clusters, dtype=np.int64)
+    labelled = t != UNLABELLED
+    for cluster in range(n_clusters):
+        mask = (p == cluster) & labelled
+        if mask.any():
+            mapping[cluster] = int(
+                np.bincount(t[mask], minlength=n_true_classes).argmax()
+            )
+    return mapping
+
+
+def apply_mapping(predicted: IntArray, mapping: IntArray) -> IntArray:
+    """Relabel cluster ids through a majority mapping."""
+    p = np.asarray(predicted)
+    m = np.asarray(mapping)
+    if p.max(initial=0) >= m.shape[0]:
+        raise DataError(
+            f"mapping covers {m.shape[0]} clusters but prediction uses "
+            f"label {int(p.max())}"
+        )
+    return m[p]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassificationScore:
+    """Accuracy summary in the paper's Table 4 format.
+
+    Attributes:
+        per_class: producer's accuracy per ground-truth class (percent;
+            NaN for classes absent from the reference map).
+        overall: overall accuracy over labelled pixels (percent).
+        class_names: row labels, aligned with ``per_class``.
+    """
+
+    per_class: FloatArray
+    overall: float
+    class_names: tuple[str, ...]
+
+    def as_dict(self) -> Mapping[str, float]:
+        out = {name: float(v) for name, v in zip(self.class_names, self.per_class)}
+        out["Overall"] = self.overall
+        return out
+
+
+def score_classification(
+    truth: IntArray,
+    predicted_clusters: IntArray,
+    class_names: list[str] | tuple[str, ...],
+) -> ClassificationScore:
+    """Majority-map predicted clusters onto truth classes and score.
+
+    Args:
+        truth: ``(rows, cols)`` reference labels (:data:`UNLABELLED`
+            for background).
+        predicted_clusters: same-shape raw cluster labels.
+        class_names: names of the truth classes, index-aligned.
+    """
+    n_classes = len(class_names)
+    if n_classes == 0:
+        raise DataError("need at least one class name")
+    mapping = majority_mapping(truth, predicted_clusters, n_classes)
+    mapped = apply_mapping(predicted_clusters, mapping)
+    return ClassificationScore(
+        per_class=per_class_accuracy(truth, mapped, n_classes),
+        overall=overall_accuracy(truth, mapped, n_classes),
+        class_names=tuple(class_names),
+    )

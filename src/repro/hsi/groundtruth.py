@@ -1,0 +1,122 @@
+"""Ground-truth containers for synthetic scenes.
+
+Mirrors the two reference products used by the paper: the USGS thermal
+map (hot-spot locations 'A'–'G' with temperatures) used to validate
+target detection, and the USGS dust/debris class map used to validate
+classification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DataError, ShapeError
+from repro.types import FloatArray, IntArray
+
+__all__ = ["TargetSpot", "SceneGroundTruth", "UNLABELLED"]
+
+#: Class-map value meaning "no ground truth at this pixel".
+UNLABELLED = -1
+
+
+@dataclasses.dataclass(frozen=True)
+class TargetSpot:
+    """One known thermal hot spot.
+
+    Attributes:
+        label: the paper's letter label ('A'–'G').
+        row, col: pixel position in the scene.
+        temperature_f: fire temperature in °F.
+        signature: the pure at-sensor signature of the spot.
+    """
+
+    label: str
+    row: int
+    col: int
+    temperature_f: float
+    signature: FloatArray
+
+    def __post_init__(self) -> None:
+        sig = np.asarray(self.signature, dtype=float)
+        if sig.ndim != 1:
+            raise ShapeError(f"target {self.label!r} signature must be 1-D")
+        object.__setattr__(self, "signature", sig)
+
+    @property
+    def position(self) -> tuple[int, int]:
+        return (self.row, self.col)
+
+
+class SceneGroundTruth:
+    """Everything needed to score detection and classification results.
+
+    Args:
+        targets: the known hot spots, keyed by label.
+        class_map: ``(rows, cols)`` int map; values index
+            ``class_names``, with :data:`UNLABELLED` for background.
+        class_names: ordered class labels (Table 4 rows).
+    """
+
+    def __init__(
+        self,
+        targets: Mapping[str, TargetSpot],
+        class_map: IntArray,
+        class_names: Sequence[str],
+    ) -> None:
+        cmap = np.asarray(class_map)
+        if cmap.ndim != 2:
+            raise ShapeError(f"class map must be 2-D, got {cmap.shape}")
+        if not np.issubdtype(cmap.dtype, np.integer):
+            raise DataError("class map must be integer-typed")
+        names = list(class_names)
+        if not names:
+            raise DataError("need at least one class name")
+        if cmap.max(initial=UNLABELLED) >= len(names):
+            raise DataError(
+                f"class map contains label {cmap.max()} but only "
+                f"{len(names)} class names were given"
+            )
+        if cmap.min(initial=UNLABELLED) < UNLABELLED:
+            raise DataError("class map labels below the UNLABELLED sentinel")
+        for label, spot in targets.items():
+            if label != spot.label:
+                raise DataError(f"target key {label!r} != spot label {spot.label!r}")
+            if not (0 <= spot.row < cmap.shape[0] and 0 <= spot.col < cmap.shape[1]):
+                raise DataError(
+                    f"target {label!r} at {spot.position} lies outside the "
+                    f"{cmap.shape} scene"
+                )
+        self.targets: dict[str, TargetSpot] = dict(targets)
+        self.class_map = cmap
+        self.class_names = names
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.class_map.shape  # type: ignore[return-value]
+
+    def target_labels(self) -> list[str]:
+        """Labels sorted alphabetically ('A' ... 'G')."""
+        return sorted(self.targets)
+
+    def target_positions(self) -> dict[str, tuple[int, int]]:
+        return {label: spot.position for label, spot in self.targets.items()}
+
+    def target_signatures(self) -> dict[str, FloatArray]:
+        return {label: spot.signature for label, spot in self.targets.items()}
+
+    def labelled_fraction(self) -> float:
+        """Fraction of pixels carrying a class label."""
+        return float(np.mean(self.class_map != UNLABELLED))
+
+    def class_pixel_counts(self) -> IntArray:
+        """Number of ground-truth pixels per class, shape ``(n_classes,)``."""
+        flat = self.class_map.ravel()
+        flat = flat[flat != UNLABELLED]
+        return np.bincount(flat, minlength=self.n_classes)

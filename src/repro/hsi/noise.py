@@ -1,0 +1,101 @@
+"""Sensor noise models for synthetic scenes.
+
+AVIRIS SNR varies strongly with wavelength (high in the VNIR, dropping
+through the SWIR and collapsing inside the 1.4/1.9 µm atmospheric water
+bands).  We model per-band SNR with a smooth profile plus water-band
+notches, then inject zero-mean Gaussian noise whose per-band standard
+deviation is ``signal_rms / snr``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.types import FloatArray
+
+__all__ = ["aviris_snr_profile", "add_sensor_noise", "NoiseModel"]
+
+
+def aviris_snr_profile(
+    wavelengths_um: FloatArray,
+    vnir_snr: float = 500.0,
+    swir_snr: float = 100.0,
+    water_band_snr: float = 10.0,
+) -> FloatArray:
+    """Per-band SNR profile shaped like AVIRIS's.
+
+    Linear ramp from ``vnir_snr`` at 0.4 µm to ``swir_snr`` at 2.5 µm,
+    with Gaussian notches down to ``water_band_snr`` at the 1.38 and
+    1.88 µm atmospheric water absorptions.
+    """
+    wl = np.asarray(wavelengths_um, dtype=float)
+    if wl.ndim != 1:
+        raise DataError("wavelengths must be 1-D")
+    lo, hi = float(wl[0]), float(wl[-1])
+    frac = (wl - lo) / max(hi - lo, 1e-12)
+    snr = vnir_snr + (swir_snr - vnir_snr) * frac
+    for center in (1.38, 1.88):
+        notch = np.exp(-0.5 * ((wl - center) / 0.03) ** 2)
+        snr = snr * (1 - notch) + water_band_snr * notch
+    return np.maximum(snr, 1.0)
+
+
+def add_sensor_noise(
+    cube: FloatArray,
+    snr: FloatArray | float,
+    rng: np.random.Generator,
+    signal_dependence: float = 0.7,
+) -> FloatArray:
+    """Return ``cube`` plus zero-mean Gaussian noise scaled to per-band SNR.
+
+    The noise standard deviation blends a signal-dependent (shot-noise)
+    term with a scene-level floor:
+    ``σ = [sd · |pixel value| + (1 − sd) · band RMS] / SNR``.
+    Pure floor noise (``signal_dependence = 0``) makes dark pixels —
+    water, shadow — spectrally chaotic under angle metrics, which real
+    sensors are not; AVIRIS noise is predominantly signal-dependent.
+
+    Args:
+        cube: ``(rows, cols, bands)`` radiance/reflectance values.
+        snr: scalar or per-band ``(bands,)`` signal-to-noise ratios.
+        rng: numpy Generator — callers own seeding for reproducibility.
+        signal_dependence: fraction of σ that scales with the local
+            signal (in [0, 1]).
+    """
+    data = np.asarray(cube, dtype=float)
+    if data.ndim != 3:
+        raise DataError(f"expected (rows, cols, bands), got {data.shape}")
+    if not 0.0 <= signal_dependence <= 1.0:
+        raise DataError(
+            f"signal_dependence must be in [0, 1], got {signal_dependence}"
+        )
+    snr_arr = np.broadcast_to(np.asarray(snr, dtype=float), (data.shape[2],))
+    if np.any(snr_arr <= 0):
+        raise DataError("SNR values must be positive")
+    band_rms = np.sqrt(np.mean(data * data, axis=(0, 1)))
+    sigma = (
+        signal_dependence * np.abs(data)
+        + (1.0 - signal_dependence) * band_rms
+    ) / snr_arr
+    noise = rng.standard_normal(data.shape) * sigma
+    return data + noise
+
+
+class NoiseModel:
+    """Bundles an SNR profile with a seeded generator for repeatable noise."""
+
+    def __init__(
+        self,
+        wavelengths_um: FloatArray,
+        vnir_snr: float = 500.0,
+        swir_snr: float = 100.0,
+        water_band_snr: float = 10.0,
+    ) -> None:
+        self.snr = aviris_snr_profile(
+            wavelengths_um, vnir_snr, swir_snr, water_band_snr
+        )
+
+    def apply(self, cube: FloatArray, rng: np.random.Generator) -> FloatArray:
+        """Noise-corrupt ``cube`` (returns a new array)."""
+        return add_sensor_noise(cube, self.snr, rng)

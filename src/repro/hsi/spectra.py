@@ -1,0 +1,547 @@
+"""Synthetic spectral library for AVIRIS-like scenes.
+
+The paper's experiments use an AVIRIS scene of the World Trade Center
+with USGS ground truth: dust/debris classes (concrete, cement, dust
+variants, gypsum wall board) and thermal hot spots at 700–1300 °F.  The
+real spectra are not redistributable, so this module synthesizes
+physically-motivated stand-ins:
+
+* **Reflective materials** are modelled as a smooth continuum (linear +
+  curvature term) minus a handful of Gaussian absorption features at
+  material-characteristic wavelengths (e.g. the 2.2 µm cement
+  carbonate/hydroxyl feature, 1.4/1.9 µm water bands in gypsum, the
+  chlorophyll red edge for vegetation).
+
+* **Thermal hot spots** add Planck blackbody emission, which for
+  644–978 K (700–1300 °F) rises steeply across the SWIR — exactly why
+  the WTC fires are visible to AVIRIS at 2.5 µm.
+
+What matters for reproducing Tables 3–4 is not spectro-chemical realism
+but that the library members are *mutually distinguishable under the
+spectral angle* to the same rough degree the USGS materials are; the
+test-suite pins that property.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DataError
+from repro.types import FloatArray
+
+__all__ = [
+    "AVIRIS_NUM_BANDS",
+    "AVIRIS_RANGE_UM",
+    "aviris_wavelengths",
+    "gaussian_absorption",
+    "continuum",
+    "reflectance_signature",
+    "blackbody_radiance",
+    "thermal_signature",
+    "fahrenheit_to_kelvin",
+    "Signature",
+    "SpectralLibrary",
+    "wtc_material_params",
+    "build_wtc_library",
+]
+
+#: Number of AVIRIS spectral channels.
+AVIRIS_NUM_BANDS = 224
+#: AVIRIS spectral coverage in micrometres.
+AVIRIS_RANGE_UM = (0.4, 2.5)
+
+# Planck constants (SI).
+_H = 6.62607015e-34  # J s
+_C = 2.99792458e8  # m / s
+_KB = 1.380649e-23  # J / K
+
+
+def aviris_wavelengths(
+    n_bands: int = AVIRIS_NUM_BANDS,
+    start_um: float = AVIRIS_RANGE_UM[0],
+    stop_um: float = AVIRIS_RANGE_UM[1],
+) -> FloatArray:
+    """Return the band-centre wavelength grid in micrometres.
+
+    AVIRIS samples 0.4–2.5 µm with 224 roughly evenly spaced channels;
+    a uniform grid is an adequate stand-in.
+
+    Raises:
+        DataError: if ``n_bands < 2`` or the range is empty.
+    """
+    if n_bands < 2:
+        raise DataError(f"need at least 2 bands, got {n_bands}")
+    if not stop_um > start_um > 0:
+        raise DataError(f"invalid wavelength range ({start_um}, {stop_um})")
+    return np.linspace(start_um, stop_um, n_bands)
+
+
+def gaussian_absorption(
+    wavelengths: FloatArray, center_um: float, width_um: float, depth: float
+) -> FloatArray:
+    """A Gaussian absorption feature: ``depth * exp(-(λ-c)²/2σ²)``.
+
+    Positive ``depth`` means reflectance is *reduced* around
+    ``center_um`` when the result is subtracted from a continuum.
+    """
+    if width_um <= 0:
+        raise DataError(f"absorption width must be positive, got {width_um}")
+    x = (np.asarray(wavelengths, dtype=float) - center_um) / width_um
+    return depth * np.exp(-0.5 * x * x)
+
+
+def continuum(
+    wavelengths: FloatArray, base: float, slope: float, curvature: float = 0.0
+) -> FloatArray:
+    """Smooth reflectance continuum ``base + slope·(λ-λ₀) + curvature·(λ-λ₀)²``.
+
+    ``λ₀`` is the first wavelength, so ``base`` is the reflectance at the
+    blue end of the spectrum.
+    """
+    wl = np.asarray(wavelengths, dtype=float)
+    d = wl - wl[0]
+    return base + slope * d + curvature * d * d
+
+
+def reflectance_signature(
+    wavelengths: FloatArray,
+    base: float,
+    slope: float,
+    features: Sequence[tuple[float, float, float]] = (),
+    curvature: float = 0.0,
+) -> FloatArray:
+    """Build a reflectance spectrum from a continuum and absorption features.
+
+    Args:
+        wavelengths: band centres in µm.
+        base, slope, curvature: continuum parameters (see :func:`continuum`).
+        features: iterable of ``(center_um, width_um, depth)`` Gaussian
+            absorptions subtracted from the continuum.
+
+    Returns:
+        Reflectance in ``[0, 1]`` (clipped), shape ``(bands,)``.
+    """
+    spec = continuum(wavelengths, base, slope, curvature)
+    for center_um, width_um, depth in features:
+        spec = spec - gaussian_absorption(wavelengths, center_um, width_um, depth)
+    return np.clip(spec, 0.0, 1.0)
+
+
+def fahrenheit_to_kelvin(temp_f: float) -> float:
+    """Convert Fahrenheit to Kelvin (the paper quotes hot spots in °F)."""
+    return (temp_f - 32.0) * 5.0 / 9.0 + 273.15
+
+
+def blackbody_radiance(wavelengths_um: FloatArray, temperature_k: float) -> FloatArray:
+    """Planck spectral radiance ``B(λ, T)`` in W·m⁻²·sr⁻¹·µm⁻¹.
+
+    Args:
+        wavelengths_um: wavelengths in micrometres.
+        temperature_k: blackbody temperature in Kelvin (must be > 0).
+    """
+    if temperature_k <= 0:
+        raise DataError(f"temperature must be positive, got {temperature_k} K")
+    lam = np.asarray(wavelengths_um, dtype=float) * 1e-6  # metres
+    # 2hc² / λ⁵, converted from per-metre to per-micrometre (×1e-6).
+    numerator = 2.0 * _H * _C * _C / lam**5 * 1e-6
+    expo = _H * _C / (lam * _KB * temperature_k)
+    # expm1 keeps precision for the long-wavelength (small-exponent) limit.
+    return numerator / np.expm1(expo)
+
+
+#: Candidate centre wavelengths (µm) for flame emission features —
+#: chosen in spectrally *quiet* zones: clear of every material
+#: absorption in :func:`wtc_material_params` and of the 1.38/1.88 µm
+#: atmospheric water bands.  A flame feature that lands on a material's
+#: absorption band shares that material's 1-D spectral direction, and
+#: subspace-projection detectors can no longer separate the fire from
+#: the material.
+FLAME_EMISSION_CENTERS_UM: tuple[float, ...] = (
+    0.555, 0.595, 1.485, 1.525, 1.565, 2.42, 2.46,
+)
+
+
+def flame_emission_center_um(temperature_k: float) -> float:
+    """Centre wavelength of the flame's emission feature, by temperature.
+
+    Real fires superimpose combustion emission features (alkali lines,
+    hot CO₂/H₂O bands) on the grey-body continuum, and the dominant
+    feature shifts with combustion conditions.  We model one Gaussian
+    feature per fire, binning temperature over the paper's 644–978 K
+    hot-spot range onto the quiet-zone centre list — each hot spot gets
+    a spectral direction no other scene component shares, which is what
+    lets subspace-projection methods separate spots whose grey-body
+    tails are nearly collinear.
+    """
+    lo, hi = 620.0, 1000.0
+    frac = float(np.clip((temperature_k - lo) / (hi - lo), 0.0, 1.0))
+    idx = min(
+        int(frac * len(FLAME_EMISSION_CENTERS_UM)),
+        len(FLAME_EMISSION_CENTERS_UM) - 1,
+    )
+    return FLAME_EMISSION_CENTERS_UM[idx]
+
+
+def thermal_signature(
+    wavelengths: FloatArray,
+    temperature_f: float,
+    ambient: FloatArray | None = None,
+    emissivity: float = 0.95,
+    ambient_weight: float = 0.15,
+    emission_strength: float = 0.25,
+    emission_center_um: float | None = None,
+) -> FloatArray:
+    """At-sensor signature of a fire pixel: emitted radiance + dim ambient.
+
+    The emitted term is Planck radiance normalized to unit peak over the
+    instrument's band set, so signatures of different temperatures differ
+    by *shape* (the Wien shift across the SWIR), plus a
+    temperature-indexed flame emission feature (see
+    :func:`flame_emission_center_um`), which is what the spectral angle
+    metric responds to.
+
+    Args:
+        wavelengths: band centres in µm.
+        temperature_f: hot-spot temperature in °F (paper: 700–1300 °F).
+        ambient: optional background reflectance mixed in with weight
+            ``ambient_weight`` (e.g. the rubble the fire burns within).
+        emissivity: grey-body scaling of the emitted term.
+        ambient_weight: fraction of the ambient signature blended in.
+        emission_strength: amplitude of the flame emission feature.
+        emission_center_um: explicit feature centre; defaults to the
+            temperature-binned :func:`flame_emission_center_um` (pass
+            explicitly when several fires share a temperature bin).
+    """
+    temp_k = fahrenheit_to_kelvin(temperature_f)
+    radiance = blackbody_radiance(wavelengths, temp_k)
+    peak = float(radiance.max())
+    if peak <= 0:
+        raise DataError("blackbody radiance vanished over the band set")
+    emitted = emissivity * radiance / peak
+    if emission_strength > 0:
+        center = (
+            flame_emission_center_um(temp_k)
+            if emission_center_um is None
+            else emission_center_um
+        )
+        emitted = emitted + gaussian_absorption(
+            wavelengths, center, 0.035, -emission_strength
+        )
+    if ambient is not None:
+        ambient = np.asarray(ambient, dtype=float)
+        if ambient.shape != np.shape(wavelengths):
+            raise DataError(
+                f"ambient shape {ambient.shape} != wavelength grid "
+                f"{np.shape(wavelengths)}"
+            )
+        emitted = (1.0 - ambient_weight) * emitted + ambient_weight * ambient
+    return emitted
+
+
+@dataclasses.dataclass(frozen=True)
+class Signature:
+    """A named spectrum.
+
+    Attributes:
+        name: unique identifier within a library (e.g. ``"dust_wtc01_15"``).
+        values: spectrum sampled on the library's wavelength grid.
+        kind: ``"reflective"`` or ``"thermal"`` — scene builders place
+            thermal members as point targets rather than area classes.
+    """
+
+    name: str
+    values: FloatArray
+    kind: str = "reflective"
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        if values.ndim != 1:
+            raise DataError(f"signature {self.name!r} must be 1-D")
+        if not np.all(np.isfinite(values)):
+            raise DataError(f"signature {self.name!r} contains non-finite values")
+        object.__setattr__(self, "values", values)
+
+    @property
+    def n_bands(self) -> int:
+        return int(self.values.shape[0])
+
+
+class SpectralLibrary:
+    """An ordered collection of named signatures on a common wavelength grid.
+
+    Supports mapping-style access by name, iteration in insertion order,
+    and bulk export to a ``(n_signatures, bands)`` matrix for mixing.
+    """
+
+    def __init__(self, wavelengths: FloatArray) -> None:
+        self._wavelengths = np.asarray(wavelengths, dtype=float)
+        if self._wavelengths.ndim != 1 or self._wavelengths.size < 2:
+            raise DataError("wavelength grid must be 1-D with >= 2 samples")
+        if np.any(np.diff(self._wavelengths) <= 0):
+            raise DataError("wavelength grid must be strictly increasing")
+        self._members: Dict[str, Signature] = {}
+
+    # -- mapping protocol -------------------------------------------------
+    @property
+    def wavelengths(self) -> FloatArray:
+        """Band-centre wavelengths in µm (read-only view)."""
+        view = self._wavelengths.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_bands(self) -> int:
+        return int(self._wavelengths.size)
+
+    @property
+    def names(self) -> list[str]:
+        """Signature names in insertion order."""
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._members
+
+    def __getitem__(self, name: str) -> Signature:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise KeyError(
+                f"no signature {name!r}; library has {sorted(self._members)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Signature]:
+        return iter(self._members.values())
+
+    # -- construction ------------------------------------------------------
+    def add(self, signature: Signature) -> None:
+        """Add a signature; its length must match the grid and its name be new."""
+        if signature.n_bands != self.n_bands:
+            raise DataError(
+                f"signature {signature.name!r} has {signature.n_bands} bands, "
+                f"library grid has {self.n_bands}"
+            )
+        if signature.name in self._members:
+            raise DataError(f"duplicate signature name {signature.name!r}")
+        self._members[signature.name] = signature
+
+    def add_reflectance(
+        self,
+        name: str,
+        base: float,
+        slope: float,
+        features: Sequence[tuple[float, float, float]] = (),
+        curvature: float = 0.0,
+    ) -> Signature:
+        """Convenience: build with :func:`reflectance_signature` and add."""
+        sig = Signature(
+            name,
+            reflectance_signature(self._wavelengths, base, slope, features, curvature),
+            kind="reflective",
+        )
+        self.add(sig)
+        return sig
+
+    def add_thermal(
+        self,
+        name: str,
+        temperature_f: float,
+        ambient_name: str | None = None,
+        **kwargs: float,
+    ) -> Signature:
+        """Convenience: build with :func:`thermal_signature` and add."""
+        ambient = self._members[ambient_name].values if ambient_name else None
+        sig = Signature(
+            name,
+            thermal_signature(self._wavelengths, temperature_f, ambient, **kwargs),
+            kind="thermal",
+        )
+        self.add(sig)
+        return sig
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: "str | os.PathLike") -> None:
+        """Write the library to an ``.npz`` file (wavelengths, spectra,
+        names, kinds)."""
+        np.savez_compressed(
+            path,
+            wavelengths=self._wavelengths,
+            spectra=self.to_matrix(),
+            names=np.array(self.names, dtype=object),
+            kinds=np.array([s.kind for s in self], dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike") -> "SpectralLibrary":
+        """Read a library written by :meth:`save`."""
+        with np.load(path, allow_pickle=True) as data:
+            try:
+                lib = cls(data["wavelengths"])
+                spectra = data["spectra"]
+                names = [str(n) for n in data["names"]]
+                kinds = [str(k) for k in data["kinds"]]
+            except KeyError as exc:
+                raise DataError(f"{path}: not a spectral library file: {exc}")
+        for name, kind, values in zip(names, kinds, spectra):
+            lib.add(Signature(name, values, kind=kind))
+        return lib
+
+    # -- export -------------------------------------------------------------
+    def subset(self, names: Iterable[str]) -> "SpectralLibrary":
+        """A new library holding only ``names`` (order as given)."""
+        out = SpectralLibrary(self._wavelengths)
+        for name in names:
+            out.add(self[name])
+        return out
+
+    def to_matrix(self, names: Sequence[str] | None = None) -> FloatArray:
+        """Stack signatures into a ``(k, bands)`` matrix.
+
+        Args:
+            names: subset/order to export; defaults to all, insertion order.
+        """
+        use = list(names) if names is not None else self.names
+        if not use:
+            raise DataError("cannot export an empty signature matrix")
+        return np.stack([self[name].values for name in use])
+
+    def reflective_names(self) -> list[str]:
+        return [s.name for s in self if s.kind == "reflective"]
+
+    def thermal_names(self) -> list[str]:
+        return [s.name for s in self if s.kind == "thermal"]
+
+
+def wtc_material_params() -> Mapping[str, dict]:
+    """Continuum/feature parameters for the WTC dust-and-debris materials.
+
+    Keys are the class names used throughout the experiments, mirroring
+    the USGS sample labels of the paper's Table 4 plus the background
+    materials needed to paint a lower-Manhattan-like scene.
+    """
+    return {
+        # -- Table 4 dust/debris classes -----------------------------------
+        # Feature depths are strong enough that the seven classes are
+        # mutually separable under full-spectral SAD (min pairwise angle
+        # ≈ 0.1 rad) — comparable to the USGS laboratory materials,
+        # whose diagnostic bands are well resolved at AVIRIS SNR.
+        "concrete_wtc01_37b": dict(
+            base=0.28, slope=0.055, curvature=-0.012,
+            features=[(1.42, 0.05, 0.10), (1.93, 0.06, 0.12), (2.31, 0.04, 0.12)],
+        ),
+        "concrete_wtc01_37am": dict(
+            base=0.22, slope=0.085, curvature=-0.020,
+            features=[(0.78, 0.05, 0.07), (1.10, 0.06, 0.10), (2.34, 0.05, 0.14)],
+        ),
+        "cement_wtc01_37a": dict(
+            base=0.32, slope=0.035, curvature=-0.008,
+            features=[(1.45, 0.06, 0.10), (1.95, 0.07, 0.14), (2.20, 0.05, 0.16)],
+        ),
+        "dust_wtc01_15": dict(
+            base=0.18, slope=0.090, curvature=-0.020,
+            features=[(0.90, 0.10, 0.08), (1.62, 0.05, 0.09), (2.21, 0.04, 0.09)],
+        ),
+        "dust_wtc01_28": dict(
+            base=0.21, slope=0.075, curvature=-0.016,
+            features=[(1.02, 0.08, 0.09), (1.25, 0.04, 0.08), (2.26, 0.05, 0.12)],
+        ),
+        "dust_wtc01_36": dict(
+            base=0.16, slope=0.100, curvature=-0.022,
+            features=[(0.66, 0.05, 0.06), (1.70, 0.06, 0.12), (2.10, 0.04, 0.09)],
+        ),
+        "gypsum_wallboard": dict(
+            base=0.45, slope=0.030, curvature=-0.010,
+            # Gypsum's diagnostic hydration bands at 1.4/1.75/1.9/2.2 µm.
+            features=[
+                (1.40, 0.04, 0.18), (1.75, 0.04, 0.08),
+                (1.94, 0.05, 0.25), (2.21, 0.04, 0.10),
+            ],
+        ),
+        # -- background materials -------------------------------------------
+        "vegetation": dict(
+            base=0.05, slope=0.150, curvature=-0.055,
+            # Chlorophyll well + liquid-water bands; red edge emerges from
+            # the steep slope against the 0.68 µm absorption.
+            features=[(0.68, 0.05, 0.06), (0.98, 0.05, 0.05),
+                      (1.20, 0.06, 0.06), (1.45, 0.08, 0.14), (1.94, 0.09, 0.18)],
+        ),
+        "water": dict(
+            base=0.09, slope=-0.035, curvature=0.004,
+            features=[(0.75, 0.15, 0.02)],
+        ),
+        "asphalt": dict(
+            base=0.07, slope=0.025, curvature=-0.004,
+            features=[(1.70, 0.10, 0.01), (2.30, 0.08, 0.02)],
+        ),
+        "smoke_plume": dict(
+            # Strong blue/short-wavelength scattering, per the paper's
+            # remark that smoke appears bright in the 655 nm channel.
+            base=0.55, slope=-0.190, curvature=0.045,
+            features=[(1.38, 0.05, 0.03), (1.88, 0.05, 0.04)],
+        ),
+        "soil": dict(
+            base=0.12, slope=0.080, curvature=-0.018,
+            features=[(0.87, 0.09, 0.04), (2.21, 0.05, 0.05)],
+        ),
+    }
+
+
+#: Hot-spot labels and temperatures (°F).  The paper names spots 'A'–'G'
+#: and quotes the range 700 °F (spot 'F') to 1300 °F (spot 'G').
+WTC_HOTSPOT_TEMPS_F: Mapping[str, float] = {
+    "A": 1020.0,
+    "B": 900.0,
+    "C": 1100.0,
+    "D": 830.0,
+    "E": 760.0,
+    "F": 700.0,
+    "G": 1300.0,
+}
+
+
+#: Per-spot ambient rubble: each fire burns within different debris, so
+#: each hot-spot signature blends a different reflective component —
+#: this is what makes the seven spots mutually separable under OSP
+#: (pure blackbody tails at neighbouring temperatures are near-collinear).
+WTC_HOTSPOT_AMBIENTS: Mapping[str, str] = {
+    "A": "concrete_wtc01_37b",
+    "B": "cement_wtc01_37a",
+    "C": "gypsum_wallboard",
+    "D": "concrete_wtc01_37am",
+    "E": "dust_wtc01_28",
+    "F": "dust_wtc01_15",
+    "G": "asphalt",
+}
+
+
+def build_wtc_library(n_bands: int = AVIRIS_NUM_BANDS) -> SpectralLibrary:
+    """Build the full WTC spectral library (materials + hot spots A–G).
+
+    Thermal members are named ``hotspot_<letter>`` and flagged
+    ``kind="thermal"``; everything else is reflective.
+    """
+    lib = SpectralLibrary(aviris_wavelengths(n_bands))
+    for name, params in wtc_material_params().items():
+        lib.add_reflectance(name, **params)
+    # One quiet-zone emission centre per spot, assigned by temperature
+    # rank so no two fires share a spectral direction.
+    by_temp = sorted(WTC_HOTSPOT_TEMPS_F, key=WTC_HOTSPOT_TEMPS_F.get)
+    centers = {
+        label: FLAME_EMISSION_CENTERS_UM[i % len(FLAME_EMISSION_CENTERS_UM)]
+        for i, label in enumerate(by_temp)
+    }
+    for label, temp_f in WTC_HOTSPOT_TEMPS_F.items():
+        lib.add_thermal(
+            f"hotspot_{label.lower()}",
+            temp_f,
+            ambient_name=WTC_HOTSPOT_AMBIENTS[label],
+            ambient_weight=0.35,
+            emission_center_um=centers[label],
+        )
+    return lib

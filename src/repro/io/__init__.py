@@ -1,0 +1,5 @@
+"""File I/O: the ENVI container format used by AVIRIS products."""
+
+from repro.io.envi import ENVI_DTYPES, parse_envi_header, read_envi, write_envi
+
+__all__ = ["ENVI_DTYPES", "parse_envi_header", "read_envi", "write_envi"]

@@ -1,0 +1,175 @@
+"""ENVI-format hyperspectral I/O.
+
+AVIRIS products ship as a flat binary cube plus an ASCII ``.hdr`` in
+ENVI's keyword format.  This module reads and writes that container for
+the three interleaves (BSQ/BIL/BIP) and the common numeric types, so
+users with real AVIRIS data can load it straight into
+:class:`repro.hsi.cube.HyperspectralImage`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import EnviFormatError
+from repro.hsi.cube import HyperspectralImage
+from repro.types import Interleave
+
+__all__ = ["write_envi", "read_envi", "parse_envi_header", "ENVI_DTYPES"]
+
+#: ENVI ``data type`` codes ↔ numpy dtypes (the commonly used subset).
+ENVI_DTYPES: dict[int, np.dtype] = {
+    1: np.dtype(np.uint8),
+    2: np.dtype(np.int16),
+    3: np.dtype(np.int32),
+    4: np.dtype(np.float32),
+    5: np.dtype(np.float64),
+    12: np.dtype(np.uint16),
+}
+_DTYPE_CODES = {v: k for k, v in ENVI_DTYPES.items()}
+
+_BYTE_ORDER_LITTLE = 0
+_BYTE_ORDER_BIG = 1
+
+
+def _header_path(base: str | os.PathLike) -> Path:
+    base = Path(base)
+    return base.with_suffix(base.suffix + ".hdr") if base.suffix != ".hdr" else base
+
+
+def write_envi(
+    base_path: str | os.PathLike,
+    image: HyperspectralImage,
+    interleave: Interleave | str = Interleave.BSQ,
+    dtype: np.dtype | type = np.float32,
+    description: str = "repro hyperspectral cube",
+) -> tuple[Path, Path]:
+    """Write ``image`` as an ENVI binary + header pair.
+
+    Args:
+        base_path: path of the binary file (header gets ``.hdr`` added).
+        image: the cube to write.
+        interleave: on-disk layout.
+        dtype: on-disk sample type (must be an ENVI-supported dtype).
+
+    Returns:
+        ``(binary_path, header_path)``.
+    """
+    layout = Interleave.parse(interleave)
+    dt = np.dtype(dtype)
+    if dt not in _DTYPE_CODES:
+        raise EnviFormatError(f"dtype {dt} has no ENVI type code")
+    binary_path = Path(base_path)
+    data = image.as_array(layout).astype(dt)
+    data.tofile(binary_path)
+
+    lines = [
+        "ENVI",
+        f"description = {{{description}}}",
+        f"samples = {image.cols}",
+        f"lines = {image.rows}",
+        f"bands = {image.bands}",
+        "header offset = 0",
+        "file type = ENVI Standard",
+        f"data type = {_DTYPE_CODES[dt]}",
+        f"interleave = {layout.value}",
+        f"byte order = {_BYTE_ORDER_LITTLE if data.dtype.byteorder in ('<', '=', '|') else _BYTE_ORDER_BIG}",
+    ]
+    if image.wavelengths is not None:
+        wl = ", ".join(f"{w:.6f}" for w in image.wavelengths)
+        lines.append("wavelength units = Micrometers")
+        lines.append(f"wavelength = {{{wl}}}")
+    header_path = _header_path(binary_path)
+    header_path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    return binary_path, header_path
+
+
+def parse_envi_header(header_path: str | os.PathLike) -> dict:
+    """Parse an ENVI ``.hdr`` into a flat dict (keys lower-cased).
+
+    Handles multi-line ``{...}`` values; numeric fields stay strings
+    (callers convert).
+    """
+    text = Path(header_path).read_text(encoding="ascii", errors="replace")
+    if not text.lstrip().startswith("ENVI"):
+        raise EnviFormatError(f"{header_path}: missing ENVI magic")
+    fields: dict[str, str] = {}
+    body = text.split("\n", 1)[1] if "\n" in text else ""
+    i = 0
+    lines = body.splitlines()
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key = key.strip().lower()
+        value = value.strip()
+        if value.startswith("{") and not value.endswith("}"):
+            parts = [value]
+            while i < len(lines):
+                parts.append(lines[i].strip())
+                if lines[i].strip().endswith("}"):
+                    i += 1
+                    break
+                i += 1
+            value = " ".join(parts)
+        if value.startswith("{") and value.endswith("}"):
+            value = value[1:-1].strip()
+        fields[key] = value
+    return fields
+
+
+def read_envi(base_path: str | os.PathLike) -> HyperspectralImage:
+    """Read an ENVI binary + header pair into a cube.
+
+    ``base_path`` is the binary file; its ``.hdr`` must sit beside it.
+    """
+    binary_path = Path(base_path)
+    header = parse_envi_header(_header_path(binary_path))
+    try:
+        rows = int(header["lines"])
+        cols = int(header["samples"])
+        bands = int(header["bands"])
+        type_code = int(header["data type"])
+        interleave = Interleave.parse(header.get("interleave", "bsq"))
+    except (KeyError, ValueError) as exc:
+        raise EnviFormatError(f"{binary_path}: malformed header: {exc}") from exc
+    if type_code not in ENVI_DTYPES:
+        raise EnviFormatError(f"{binary_path}: unsupported data type {type_code}")
+    dt = ENVI_DTYPES[type_code]
+    if int(header.get("byte order", "0")) == _BYTE_ORDER_BIG:
+        dt = dt.newbyteorder(">")
+    offset = int(header.get("header offset", "0"))
+    expected = rows * cols * bands
+    data = np.fromfile(binary_path, dtype=dt, count=expected, offset=offset)
+    if data.size != expected:
+        raise EnviFormatError(
+            f"{binary_path}: expected {expected} samples, found {data.size}"
+        )
+    if interleave is Interleave.BSQ:
+        cube = data.reshape(bands, rows, cols)
+    elif interleave is Interleave.BIL:
+        cube = data.reshape(rows, bands, cols)
+    else:
+        cube = data.reshape(rows, cols, bands)
+    wavelengths = None
+    if "wavelength" in header:
+        try:
+            wavelengths = np.array(
+                [float(tok) for tok in header["wavelength"].split(",") if tok.strip()]
+            )
+        except ValueError as exc:
+            raise EnviFormatError(
+                f"{binary_path}: malformed wavelength list: {exc}"
+            ) from exc
+        if wavelengths.size != bands:
+            raise EnviFormatError(
+                f"{binary_path}: {wavelengths.size} wavelengths for {bands} bands"
+            )
+    return HyperspectralImage(
+        cube.astype(np.float64), interleave=interleave, wavelengths=wavelengths
+    )

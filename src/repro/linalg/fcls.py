@@ -1,0 +1,190 @@
+"""Least-squares linear unmixing solvers.
+
+UFCLS (Algorithm 3) scores every pixel by the residual of its *fully
+constrained* linear-mixture fit against the current target set: the
+abundances must be non-negative and sum to one.  We provide the
+unconstrained (LS), sum-to-one (SCLS, closed form via a Lagrange
+multiplier), non-negative (NNLS), and fully constrained (FCLS,
+Heinz–Chang style active-set iteration on top of SCLS) solvers, plus
+the reconstruction-error map UFCLS consumes.
+
+The FCLS path is vectorized over pixels: the SCLS solve is a single
+batched linear-algebra expression, and only pixels whose solution went
+negative enter the per-pixel active-set refinement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.optimize
+
+from repro.errors import ConvergenceError, DataError, ShapeError
+from repro.types import FloatArray
+
+__all__ = [
+    "ls_abundances",
+    "scls_abundances",
+    "nnls_abundances",
+    "fcls_abundances",
+    "reconstruction_error",
+]
+
+
+def _validate(pixels: FloatArray, endmembers: FloatArray) -> tuple[FloatArray, FloatArray]:
+    pix = np.asarray(pixels, dtype=float)
+    end = np.asarray(endmembers, dtype=float)
+    if pix.ndim == 1:
+        pix = pix[None, :]
+    if end.ndim == 1:
+        end = end[None, :]
+    if pix.ndim != 2 or end.ndim != 2:
+        raise ShapeError(
+            f"pixels and endmembers must be 2-D, got {pix.shape} and {end.shape}"
+        )
+    if pix.shape[1] != end.shape[1]:
+        raise ShapeError(
+            f"band mismatch: pixels {pix.shape[1]} vs endmembers {end.shape[1]}"
+        )
+    if end.shape[0] == 0:
+        raise DataError("need at least one endmember")
+    return pix, end
+
+
+def _gram_inverse(end: FloatArray, ridge: float) -> FloatArray:
+    k = end.shape[0]
+    gram = end @ end.T
+    # A tiny ridge keeps near-collinear target sets (common once ATDCA/UFCLS
+    # have extracted many similar spectra) numerically solvable.
+    return np.linalg.inv(gram + ridge * np.eye(k) * max(1.0, np.trace(gram) / k))
+
+
+def ls_abundances(
+    pixels: FloatArray, endmembers: FloatArray, ridge: float = 1e-10
+) -> FloatArray:
+    """Unconstrained least-squares abundances → ``(n, k)``.
+
+    Solves ``min_a ‖x − aᵀE‖²`` per pixel for endmember matrix ``E``
+    (rows are signatures).
+    """
+    pix, end = _validate(pixels, endmembers)
+    ginv = _gram_inverse(end, ridge)
+    return pix @ end.T @ ginv
+
+
+def scls_abundances(
+    pixels: FloatArray, endmembers: FloatArray, ridge: float = 1e-10
+) -> FloatArray:
+    """Sum-to-one constrained least squares (closed form) → ``(n, k)``.
+
+    Lagrange solution:
+    ``a = a_ls − G⁻¹1 (1ᵀa_ls − 1) / (1ᵀG⁻¹1)`` with ``G = EEᵀ``.
+    Abundances may still be negative; FCLS fixes that.
+    """
+    pix, end = _validate(pixels, endmembers)
+    ginv = _gram_inverse(end, ridge)
+    a_ls = pix @ end.T @ ginv  # (n, k)
+    ones = np.ones(end.shape[0])
+    ginv_one = ginv @ ones  # (k,)
+    denom = float(ones @ ginv_one)
+    if abs(denom) < 1e-300:
+        raise DataError("sum-to-one constraint is degenerate for these endmembers")
+    correction = (a_ls.sum(axis=1) - 1.0) / denom
+    return a_ls - correction[:, None] * ginv_one[None, :]
+
+
+def nnls_abundances(pixels: FloatArray, endmembers: FloatArray) -> FloatArray:
+    """Non-negative least squares per pixel (scipy NNLS) → ``(n, k)``."""
+    pix, end = _validate(pixels, endmembers)
+    out = np.empty((pix.shape[0], end.shape[0]))
+    design = np.ascontiguousarray(end.T)  # (bands, k)
+    for i in range(pix.shape[0]):
+        out[i], _ = scipy.optimize.nnls(design, pix[i])
+    return out
+
+
+def fcls_abundances(
+    pixels: FloatArray,
+    endmembers: FloatArray,
+    ridge: float = 1e-10,
+    max_iter: int | None = None,
+) -> FloatArray:
+    """Fully constrained (non-negative, sum-to-one) abundances → ``(n, k)``.
+
+    Batched active-set iteration: each round groups the still-infeasible
+    pixels by their active-endmember mask, runs one vectorized SCLS per
+    distinct mask, and deactivates each pixel's most negative abundance.
+    With ``k`` endmembers a pixel converges in at most ``k − 1`` drops,
+    and the number of distinct masks stays tiny in practice, so the
+    whole solve is a handful of batched linear-algebra calls rather than
+    a per-pixel Python loop.
+    """
+    pix, end = _validate(pixels, endmembers)
+    n, k = pix.shape[0], end.shape[0]
+    rounds = max_iter if max_iter is not None else k + 1
+    result = scls_abundances(pix, end, ridge)
+    bad = np.flatnonzero((result < -1e-12).any(axis=1))
+    if bad.size == 0:
+        np.maximum(result, 0.0, out=result)
+        return result
+
+    active = np.ones((n, k), dtype=bool)
+    # Round 0 already solved the all-active case; record first drops.
+    worst = np.argmin(result[bad], axis=1)
+    active[bad, worst] = False
+    todo = bad
+
+    for _ in range(rounds):
+        if todo.size == 0:
+            break
+        masks, inverse = np.unique(active[todo], axis=0, return_inverse=True)
+        next_todo: list[np.ndarray] = []
+        for m_idx in range(masks.shape[0]):
+            mask = masks[m_idx]
+            rows = todo[inverse == m_idx]
+            live = np.flatnonzero(mask)
+            if live.size == 0:
+                raise ConvergenceError(
+                    "FCLS active-set iteration emptied an active set"
+                )
+            sub = scls_abundances(pix[rows], end[live], ridge)
+            feasible = ~(sub < -1e-12).any(axis=1)
+            done_rows = rows[feasible]
+            if done_rows.size:
+                result[done_rows] = 0.0
+                result[done_rows[:, None], live[None, :]] = np.maximum(
+                    sub[feasible], 0.0
+                )
+            bad_rows = rows[~feasible]
+            if bad_rows.size:
+                worst_local = np.argmin(sub[~feasible], axis=1)
+                active[bad_rows, live[worst_local]] = False
+                next_todo.append(bad_rows)
+        todo = (
+            np.concatenate(next_todo) if next_todo else np.empty(0, dtype=np.int64)
+        )
+    if todo.size:
+        raise ConvergenceError(
+            f"FCLS failed to converge for {todo.size} pixel(s) in "
+            f"{rounds} rounds"
+        )
+    np.maximum(result, 0.0, out=result)
+    return result
+
+
+def reconstruction_error(
+    pixels: FloatArray, endmembers: FloatArray, abundances: FloatArray
+) -> FloatArray:
+    """Per-pixel squared reconstruction error ``‖x − aᵀE‖²`` → ``(n,)``.
+
+    This is the UFCLS 'error image' score: the pixel worst explained by
+    the current target set becomes the next target.
+    """
+    pix, end = _validate(pixels, endmembers)
+    ab = np.asarray(abundances, dtype=float)
+    if ab.shape != (pix.shape[0], end.shape[0]):
+        raise ShapeError(
+            f"abundances shape {ab.shape} does not match "
+            f"({pix.shape[0]}, {end.shape[0]})"
+        )
+    resid = pix - ab @ end
+    return np.einsum("ij,ij->i", resid, resid)

@@ -1,0 +1,109 @@
+"""Orthogonal subspace projection (OSP) kernels.
+
+ATDCA (Algorithm 2) repeatedly projects every pixel onto the orthogonal
+complement of the span of the targets found so far,
+``P^⊥_U = I − U (UᵀU)⁻¹ Uᵀ``, and picks the pixel with the largest
+projected energy.  Forming the ``N×N`` projector explicitly is O(N²)
+memory and O(npix·N²) time; we instead keep an orthonormal basis ``Q``
+of span(U) and evaluate the projected energy as
+``‖x‖² − ‖Qᵀx‖²``, which is O(npix·N·t) — the textbook algebraic
+identity, exact up to round-off.  :func:`osp_projector` still builds the
+explicit projector for tests and small problems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError, ShapeError
+from repro.types import FloatArray
+
+__all__ = [
+    "osp_projector",
+    "orthonormal_basis",
+    "projected_energy",
+    "residual_energy",
+    "brightest_pixel_index",
+]
+
+
+def _as_matrix(u: FloatArray) -> FloatArray:
+    mat = np.asarray(u, dtype=float)
+    if mat.ndim == 1:
+        mat = mat[None, :]
+    if mat.ndim != 2:
+        raise ShapeError(f"U must be (t, bands), got shape {mat.shape}")
+    return mat
+
+
+def osp_projector(u: FloatArray, rcond: float = 1e-10) -> FloatArray:
+    """The explicit orthogonal-complement projector ``I − Uᵀ(UUᵀ)⁻¹U``.
+
+    Args:
+        u: target matrix, ``(t, bands)`` — rows are signatures (the
+            paper writes U as t×N).
+        rcond: cutoff for the pseudo-inverse (rank-deficient U is fine).
+
+    Returns:
+        ``(bands, bands)`` symmetric idempotent matrix.
+    """
+    mat = _as_matrix(u)
+    bands = mat.shape[1]
+    pinv = np.linalg.pinv(mat @ mat.T, rcond=rcond, hermitian=True)
+    return np.eye(bands) - mat.T @ pinv @ mat
+
+
+def orthonormal_basis(u: FloatArray, tol: float = 1e-10) -> FloatArray:
+    """An orthonormal basis of span(rows of U) via thin QR → ``(bands, r)``.
+
+    Columns span the same subspace as U's rows; rank-deficient inputs
+    are reduced (columns with negligible R diagonal dropped).
+    """
+    mat = _as_matrix(u)
+    q, r = np.linalg.qr(mat.T)  # (bands, t), (t, t)
+    keep = np.abs(np.diag(r)) > tol * max(1.0, float(np.abs(r).max()))
+    basis = q[:, keep]
+    if basis.shape[1] == 0:
+        raise DataError("target matrix U has rank zero")
+    return basis
+
+
+def projected_energy(pixels: FloatArray, basis: FloatArray) -> FloatArray:
+    """Energy of each pixel after projecting *onto* span(basis columns).
+
+    ``pixels`` is ``(n, bands)``; returns ``(n,)`` of ``‖Qᵀx‖²``.
+    """
+    pix = np.asarray(pixels, dtype=float)
+    if pix.ndim == 1:
+        pix = pix[None, :]
+    if pix.shape[1] != basis.shape[0]:
+        raise ShapeError(
+            f"pixels have {pix.shape[1]} bands, basis expects {basis.shape[0]}"
+        )
+    coeff = pix @ basis  # (n, r)
+    return np.einsum("ij,ij->i", coeff, coeff)
+
+
+def residual_energy(pixels: FloatArray, u: FloatArray | None) -> FloatArray:
+    """OSP score per pixel: ``‖P^⊥_U x‖²`` (total energy if U is None).
+
+    This is the quantity maximized in ATDCA steps 2 and 4.  Computed as
+    ``‖x‖² − ‖Qᵀx‖²`` with Q an orthonormal basis of span(U); clipped at
+    zero to absorb round-off.
+    """
+    pix = np.asarray(pixels, dtype=float)
+    if pix.ndim == 1:
+        pix = pix[None, :]
+    total = np.einsum("ij,ij->i", pix, pix)
+    if u is None:
+        return total
+    basis = orthonormal_basis(u)
+    return np.maximum(total - projected_energy(pix, basis), 0.0)
+
+
+def brightest_pixel_index(pixels: FloatArray) -> int:
+    """Index of the pixel with the largest ``xᵀx`` (ATDCA's seed)."""
+    pix = np.asarray(pixels, dtype=float)
+    if pix.ndim != 2 or pix.shape[0] == 0:
+        raise ShapeError(f"expected non-empty (n, bands), got {pix.shape}")
+    return int(np.argmax(np.einsum("ij,ij->i", pix, pix)))

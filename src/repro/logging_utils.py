@@ -1,0 +1,48 @@
+"""Logging helpers.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger; applications opt in via :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger in the ``repro`` hierarchy.
+
+    ``name`` may be a module ``__name__`` (already prefixed) or a short
+    suffix such as ``"engine"``.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+    """Attach a stderr handler to the ``repro`` logger and return it.
+
+    Idempotent: repeated calls reuse the existing handler and only
+    adjust the level.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_console", False):
+            handler.setLevel(level)
+            logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler.setLevel(level)
+    handler._repro_console = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,34 @@
+"""Vector morphology: structuring elements, erosion/dilation/MEI, halos."""
+
+from repro.morphology.halo import (
+    HaloBlock,
+    extract_halo_block,
+    halo_depth,
+    redundant_fraction,
+)
+from repro.morphology.ops import (
+    MorphExtrema,
+    cumulative_sad_map,
+    dilation,
+    erosion,
+    mei_scores,
+    morph_extrema,
+)
+from repro.morphology.structuring import StructuringElement, cross, disk, square
+
+__all__ = [
+    "HaloBlock",
+    "MorphExtrema",
+    "StructuringElement",
+    "cross",
+    "cumulative_sad_map",
+    "dilation",
+    "disk",
+    "erosion",
+    "extract_halo_block",
+    "halo_depth",
+    "mei_scores",
+    "morph_extrema",
+    "redundant_fraction",
+    "square",
+]

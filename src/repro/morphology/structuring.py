@@ -1,0 +1,93 @@
+"""Structuring elements for vector (hyperspectral) morphology.
+
+A structuring element ``B`` defines the spatial neighbourhood over which
+the cumulative SAD distance ``D_B`` (eq. 2) is accumulated and over
+which erosion/dilation search for extrema.  Elements are small boolean
+masks centred on the origin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import BoolArray
+
+__all__ = ["StructuringElement", "square", "cross", "disk"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StructuringElement:
+    """A flat structuring element: an odd-sized boolean mask.
+
+    Attributes:
+        mask: ``(h, w)`` boolean array, ``h`` and ``w`` odd, with the
+            origin at the centre.  The centre cell need not be set, but
+            conventionally is.
+    """
+
+    mask: BoolArray
+
+    def __post_init__(self) -> None:
+        mask = np.asarray(self.mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ConfigurationError("structuring element mask must be 2-D")
+        if mask.shape[0] % 2 == 0 or mask.shape[1] % 2 == 0:
+            raise ConfigurationError(
+                f"structuring element must have odd dimensions, got {mask.shape}"
+            )
+        if not mask.any():
+            raise ConfigurationError("structuring element must cover >= 1 cell")
+        object.__setattr__(self, "mask", mask)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.mask.shape  # type: ignore[return-value]
+
+    @property
+    def radius(self) -> int:
+        """Maximum Chebyshev reach from the origin (for halo sizing)."""
+        return max(self.mask.shape[0] // 2, self.mask.shape[1] // 2)
+
+    @property
+    def size(self) -> int:
+        """Number of active cells."""
+        return int(self.mask.sum())
+
+    def offsets(self) -> list[tuple[int, int]]:
+        """Active cell offsets relative to the origin, row-major order."""
+        ch, cw = self.mask.shape[0] // 2, self.mask.shape[1] // 2
+        rr, cc = np.nonzero(self.mask)
+        return [(int(r) - ch, int(c) - cw) for r, c in zip(rr, cc)]
+
+    def __repr__(self) -> str:
+        return f"StructuringElement(shape={self.shape}, size={self.size})"
+
+
+def square(size: int = 3) -> StructuringElement:
+    """A ``size × size`` all-ones element (the paper's default B is 3×3)."""
+    if size < 1 or size % 2 == 0:
+        raise ConfigurationError(f"size must be odd and >= 1, got {size}")
+    return StructuringElement(np.ones((size, size), dtype=bool))
+
+
+def cross(size: int = 3) -> StructuringElement:
+    """A plus-shaped element of the given odd size."""
+    if size < 1 or size % 2 == 0:
+        raise ConfigurationError(f"size must be odd and >= 1, got {size}")
+    mask = np.zeros((size, size), dtype=bool)
+    mask[size // 2, :] = True
+    mask[:, size // 2] = True
+    return StructuringElement(mask)
+
+
+def disk(radius: int) -> StructuringElement:
+    """A Euclidean disk of the given radius (radius 1 → 3×3 cross+centre)."""
+    if radius < 0:
+        raise ConfigurationError(f"radius must be >= 0, got {radius}")
+    size = 2 * radius + 1
+    r = np.arange(size) - radius
+    mask = (r[:, None] ** 2 + r[None, :] ** 2) <= radius * radius
+    return StructuringElement(mask)

@@ -1,0 +1,28 @@
+"""MPI-like message-passing runtime (simulated-time and wall-clock)."""
+
+from repro.mpi.communicator import (
+    Communicator,
+    MessageContext,
+    concat_op,
+    max_op,
+    min_op,
+    sum_op,
+)
+from repro.mpi.datatypes import VectorDatatype, bsq_row_slab_type, pack, unpack
+from repro.mpi.inproc import InprocContext, InprocResult, run_inproc
+
+__all__ = [
+    "Communicator",
+    "InprocContext",
+    "InprocResult",
+    "MessageContext",
+    "VectorDatatype",
+    "bsq_row_slab_type",
+    "concat_op",
+    "max_op",
+    "min_op",
+    "pack",
+    "run_inproc",
+    "sum_op",
+    "unpack",
+]

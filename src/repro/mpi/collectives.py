@@ -1,0 +1,147 @@
+"""Tree algorithms for collective operations.
+
+These are the classic MPICH binomial-tree schedules, expressed over a
+minimal point-to-point interface (``send(dest, payload, tag)`` /
+``recv(source, tag)`` with synchronous-send semantics).  Binomial trees
+give O(log P) depth for broadcast and reduce — essential for the
+256-node Thunderhead runs, where a flat star would serialize 255
+transfers at the root.
+
+All functions assume SPMD call discipline: every rank calls the same
+collective in the same order with a consistent ``tag``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.errors import CommunicationError
+
+__all__ = [
+    "PointToPoint",
+    "binomial_bcast",
+    "binomial_reduce",
+    "flat_scatter",
+    "flat_gather",
+]
+
+
+class PointToPoint(Protocol):
+    """The minimal endpoint interface collectives are built on."""
+
+    rank: int
+
+    @property
+    def size(self) -> int: ...
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None: ...
+
+    def recv(self, source: int, tag: int = -1) -> Any: ...
+
+
+def _check_root(root: int, size: int) -> None:
+    if not 0 <= root < size:
+        raise CommunicationError(f"root {root} outside [0, {size})")
+
+
+def binomial_bcast(ep: PointToPoint, obj: Any, root: int, tag: int) -> Any:
+    """Broadcast ``obj`` from ``root`` along a binomial tree.
+
+    Non-root ranks ignore their ``obj`` argument and return the
+    received value; the root returns its own object unchanged.
+    """
+    size = ep.size
+    _check_root(root, size)
+    if size == 1:
+        return obj
+    relative = (ep.rank - root) % size
+
+    # Phase 1: receive from the parent (the rank that differs in the
+    # lowest set bit of our relative rank).
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = ((relative ^ mask) + root) % size
+            obj = ep.recv(parent, tag)
+            break
+        mask <<= 1
+    else:
+        mask = 1 << (size - 1).bit_length()  # root: start above the top bit
+
+    # Phase 2: forward to children.  For a non-root rank, ``mask`` is its
+    # lowest set relative bit, so every halved mask satisfies
+    # ``relative & mask == 0`` automatically; children are relative+mask.
+    mask >>= 1
+    while mask > 0:
+        if relative + mask < size:
+            child = ((relative + mask) + root) % size
+            ep.send(child, obj, tag)
+        mask >>= 1
+    return obj
+
+
+def binomial_reduce(
+    ep: PointToPoint,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int,
+    tag: int,
+) -> Any:
+    """Reduce ``value`` across ranks with (commutative, associative)
+    ``op``; the result lands at ``root`` (others get ``None``).
+    """
+    size = ep.size
+    _check_root(root, size)
+    if size == 1:
+        return value
+    relative = (ep.rank - root) % size
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = ((relative ^ mask) + root) % size
+            ep.send(parent, value, tag)
+            return None
+        peer_rel = relative | mask
+        if peer_rel < size:
+            peer = (peer_rel + root) % size
+            other = ep.recv(peer, tag)
+            value = op(value, other)
+        mask <<= 1
+    return value
+
+
+def flat_scatter(
+    ep: PointToPoint, items: Sequence[Any] | None, root: int, tag: int
+) -> Any:
+    """Root sends ``items[i]`` to rank ``i`` (in rank order); returns the
+    local item.  Item payloads differ per rank, so the schedule is a
+    star — exactly MPI_Scatterv's data movement."""
+    size = ep.size
+    _check_root(root, size)
+    if ep.rank == root:
+        if items is None or len(items) != size:
+            raise CommunicationError(
+                f"root must supply exactly {size} items, got "
+                f"{None if items is None else len(items)}"
+            )
+        for dest in range(size):
+            if dest != root:
+                ep.send(dest, items[dest], tag)
+        return items[root]
+    return ep.recv(root, tag)
+
+
+def flat_gather(ep: PointToPoint, obj: Any, root: int, tag: int) -> list[Any] | None:
+    """Everyone sends to root; root returns the rank-ordered list
+    (with its own contribution in place), others return ``None``."""
+    size = ep.size
+    _check_root(root, size)
+    if ep.rank == root:
+        out: list[Any] = [None] * size
+        out[root] = obj
+        for src in range(size):
+            if src != root:
+                out[src] = ep.recv(src, tag)
+        return out
+    ep.send(root, obj, tag)
+    return None

@@ -1,0 +1,151 @@
+"""Wall-clock in-process backend.
+
+Runs the same SPMD programs as the virtual-time engine, but on real
+threads with real time: :meth:`InprocContext.compute` is a no-op (the
+actual numpy work *is* the computation) and message transfers cost
+whatever the memory copy costs.  NumPy's BLAS kernels release the GIL,
+so genuinely parallel speedups are possible for the dense-linear-algebra
+phases; regardless, this backend is the reference for *correctness* —
+algorithm outputs must be identical on both backends.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.cluster.mailbox import Router, payload_wire_megabits
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = ["InprocContext", "InprocResult", "run_inproc"]
+
+
+class InprocContext:
+    """Per-rank context for the wall-clock backend.
+
+    Satisfies :class:`repro.mpi.communicator.MessageContext`; the time
+    and cost hooks are inert so programs written for the virtual engine
+    run unchanged.
+    """
+
+    def __init__(self, rank: int, size: int, router: Router, master_rank: int = 0):
+        if not 0 <= rank < size:
+            raise ConfigurationError(f"rank {rank} outside [0, {size})")
+        self.rank = rank
+        self._size = size
+        self._router = router
+        self._master = master_rank
+        #: Communication volume actually shipped by this rank (megabits).
+        self.sent_megabits = 0.0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def master_rank(self) -> int:
+        return self._master
+
+    @property
+    def is_master(self) -> bool:
+        return self.rank == self._master
+
+    def compute(self, mflops: float, sequential: bool = False) -> float:
+        """No-op: real computation takes real time here."""
+        return 0.0
+
+    def charge_seconds(self, seconds: float, phase: Any = None) -> None:
+        """No-op for wall-clock execution."""
+
+    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+        megabits = payload_wire_megabits(payload)
+        self.sent_megabits += megabits
+        self._router.send(self.rank, dest, tag, payload, megabits)
+
+    def recv(self, source: int, tag: int = -1) -> Any:
+        return self._router.recv(self.rank, source, tag)
+
+
+@dataclasses.dataclass
+class InprocResult:
+    """Outcome of a wall-clock run."""
+
+    return_values: list[Any]
+    wall_seconds: float
+
+    @property
+    def master_value(self) -> Any:
+        return self.return_values[0]
+
+
+def run_inproc(
+    n_ranks: int,
+    program: Callable[..., Any],
+    kwargs_per_rank: Sequence[Mapping[str, Any]] | None = None,
+    master_rank: int = 0,
+    deadlock_grace_s: float = 0.25,
+    **common_kwargs: Any,
+) -> InprocResult:
+    """Run ``program(ctx, **kwargs)`` on ``n_ranks`` real threads.
+
+    Args:
+        n_ranks: degree of parallelism.
+        program: SPMD body taking an :class:`InprocContext`.
+        kwargs_per_rank: optional per-rank keyword arguments.
+        master_rank: which rank plays master.
+        common_kwargs: forwarded to every rank.
+
+    Raises:
+        The first rank's exception if any rank failed.
+    """
+    if n_ranks < 1:
+        raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+    if kwargs_per_rank is not None and len(kwargs_per_rank) != n_ranks:
+        raise ConfigurationError(
+            f"kwargs_per_rank has {len(kwargs_per_rank)} entries for "
+            f"{n_ranks} ranks"
+        )
+    router = Router(n_ranks, deadlock_grace_s=deadlock_grace_s)
+    results: list[Any] = [None] * n_ranks
+    failures: list[tuple[int, BaseException]] = []
+    lock = threading.Lock()
+
+    def body(rank: int) -> None:
+        ctx = InprocContext(rank, n_ranks, router, master_rank)
+        kwargs = dict(common_kwargs)
+        if kwargs_per_rank is not None:
+            kwargs.update(kwargs_per_rank[rank])
+        try:
+            results[rank] = program(ctx, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with lock:
+                failures.append((rank, exc))
+            router.abort()
+        finally:
+            router.retire(rank)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=body, args=(r,), name=f"inproc-rank-{r}", daemon=True)
+        for r in range(n_ranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - start
+
+    if failures:
+        # Prefer the root cause over secondary deadlock fallout.
+        from repro.errors import DeadlockError
+
+        failures.sort(
+            key=lambda item: (isinstance(item[1], DeadlockError), item[0])
+        )
+        rank, exc = failures[0]
+        if isinstance(exc, ReproError):
+            raise exc
+        raise ReproError(f"rank {rank} failed: {exc!r}") from exc
+    return InprocResult(return_values=results, wall_seconds=elapsed)

@@ -1,0 +1,66 @@
+"""Load-balance metrics (Table 7).
+
+The paper quantifies balance as ``D = R_max / R_min`` over per-processor
+run times, reported both over all processors (``D_all``) and excluding
+the root (``D_minus``) — the latter isolates worker balance from the
+master's extra sequential duties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.engine import SimulationResult
+from repro.errors import ConfigurationError
+
+__all__ = ["ImbalanceScores", "imbalance", "imbalance_of_run"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ImbalanceScores:
+    """``D_all`` and ``D_minus`` (1.0 = perfect balance)."""
+
+    d_all: float
+    d_minus: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"d_all": self.d_all, "d_minus": self.d_minus}
+
+
+def imbalance(run_times: Sequence[float], master_rank: int = 0) -> ImbalanceScores:
+    """Compute ``D_all``/``D_minus`` from per-processor run times.
+
+    Args:
+        run_times: busy time per rank (compute + communication, no idle).
+        master_rank: which rank to exclude for ``D_minus``.
+
+    Raises:
+        ConfigurationError: for empty input, non-positive times, or a
+            single-processor ``D_minus`` request.
+    """
+    times = np.asarray(run_times, dtype=float)
+    if times.ndim != 1 or times.size == 0:
+        raise ConfigurationError("run_times must be a non-empty vector")
+    if np.any(times <= 0):
+        raise ConfigurationError(
+            "run times must be positive (did a rank do no work at all?)"
+        )
+    if not 0 <= master_rank < times.size:
+        raise ConfigurationError(
+            f"master rank {master_rank} outside [0, {times.size})"
+        )
+    d_all = float(times.max() / times.min())
+    if times.size < 2:
+        d_minus = 1.0
+    else:
+        workers = np.delete(times, master_rank)
+        d_minus = float(workers.max() / workers.min())
+    return ImbalanceScores(d_all=d_all, d_minus=d_minus)
+
+
+def imbalance_of_run(result: SimulationResult) -> ImbalanceScores:
+    """Table 7 scores straight from a simulation result."""
+    return imbalance(result.busy_times(), result.master_rank)

@@ -1,0 +1,102 @@
+"""Speedup and efficiency analysis (Table 8 / Figure 2).
+
+Standard strong-scaling quantities over a processor-count sweep, plus
+an Amdahl fit that extracts the serial fraction limiting each
+algorithm — the paper's explanation for PCT scaling worst ("the high
+number of sequential computations involved in Hetero-PCT").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import FloatArray
+
+__all__ = ["ScalingCurve", "speedups", "efficiencies", "amdahl_serial_fraction"]
+
+
+def speedups(times: Sequence[float], baseline: float | None = None) -> FloatArray:
+    """``S(p) = T(1) / T(p)``; baseline defaults to the first entry."""
+    arr = np.asarray(times, dtype=float)
+    if arr.size == 0 or np.any(arr <= 0):
+        raise ConfigurationError("times must be non-empty and positive")
+    t1 = arr[0] if baseline is None else float(baseline)
+    if t1 <= 0:
+        raise ConfigurationError("baseline time must be positive")
+    return t1 / arr
+
+
+def efficiencies(
+    times: Sequence[float],
+    cpus: Sequence[int],
+    baseline: float | None = None,
+) -> FloatArray:
+    """``E(p) = S(p) / p``."""
+    s = speedups(times, baseline)
+    p = np.asarray(cpus, dtype=float)
+    if p.shape != s.shape or np.any(p <= 0):
+        raise ConfigurationError("cpus must match times and be positive")
+    return s / p
+
+
+def amdahl_serial_fraction(
+    times: Sequence[float], cpus: Sequence[int]
+) -> float:
+    """Least-squares fit of the serial fraction ``f`` in Amdahl's law.
+
+    ``T(p) = T(1)·(f + (1−f)/p)``, least-squares over the sweep; the
+    first sample must be the single-processor baseline.  Returns ``f``
+    clipped to [0, 1].
+    """
+    arr = np.asarray(times, dtype=float)
+    p = np.asarray(cpus, dtype=float)
+    if arr.shape != p.shape or arr.size < 2:
+        raise ConfigurationError("need >= 2 matching (time, cpu) samples")
+    if np.any(arr <= 0) or np.any(p <= 0):
+        raise ConfigurationError("times and cpus must be positive")
+    if p[0] != 1:
+        raise ConfigurationError("the first sample must be the P=1 baseline")
+    # Model: T(p)/T(1) = f·(1 − 1/p) + 1/p  →  linear in f.
+    x = 1.0 - 1.0 / p
+    rhs = arr / arr[0] - 1.0 / p
+    denom = float(x @ x)
+    if denom <= 0:
+        return 0.0
+    return float(np.clip((x @ rhs) / denom, 0.0, 1.0))
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingCurve:
+    """One algorithm's strong-scaling sweep.
+
+    Attributes:
+        algorithm: name.
+        cpus: processor counts (ascending, first is the baseline).
+        times: execution time at each count.
+    """
+
+    algorithm: str
+    cpus: tuple[int, ...]
+    times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.cpus) != len(self.times) or not self.cpus:
+            raise ConfigurationError("cpus and times must align and be non-empty")
+        if list(self.cpus) != sorted(self.cpus):
+            raise ConfigurationError("cpus must be ascending")
+
+    @property
+    def speedups(self) -> FloatArray:
+        return speedups(self.times)
+
+    @property
+    def efficiencies(self) -> FloatArray:
+        return efficiencies(self.times, self.cpus)
+
+    @property
+    def serial_fraction(self) -> float:
+        return amdahl_serial_fraction(self.times, self.cpus)

@@ -1,0 +1,61 @@
+"""Aggregating COM/SEQ/PAR phase times from simulation results.
+
+Table 6's decomposition is taken at the master: its communication
+participation (COM), its sequential-only computation (SEQ), and
+everything else up to the makespan (PAR — parallel computation plus all
+waiting for workers).  By construction COM + SEQ + PAR equals the total
+execution time of Table 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.engine import SimulationResult
+from repro.errors import ConfigurationError
+
+__all__ = ["PhaseBreakdown", "breakdown_of_run"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseBreakdown:
+    """The Table 6 triple for one run.
+
+    Attributes:
+        com: master's transfer-participation time (s).
+        seq: master's sequential computation (s).
+        par: remainder of the makespan (parallel compute + idle waits).
+        total: the makespan; equals ``com + seq + par`` up to round-off.
+    """
+
+    com: float
+    seq: float
+    par: float
+
+    def __post_init__(self) -> None:
+        for name, value in (("com", self.com), ("seq", self.seq), ("par", self.par)):
+            if value < 0:
+                raise ConfigurationError(f"{name} time cannot be negative: {value}")
+
+    @property
+    def total(self) -> float:
+        return self.com + self.seq + self.par
+
+    def as_dict(self) -> dict[str, float]:
+        return {"com": self.com, "seq": self.seq, "par": self.par, "total": self.total}
+
+
+def breakdown_of_run(result: SimulationResult) -> PhaseBreakdown:
+    """Extract the Table 6 triple from a simulation result.
+
+    The master's ledger gives COM and SEQ directly; PAR absorbs the
+    remainder of the makespan, which includes any trailing wait between
+    the master's last event and the slowest rank's finish (the paper's
+    PAR likewise "includes the times in which the workers remain
+    idle").
+    """
+    ledger = result.ledgers[result.master_rank]
+    com = ledger.com
+    seq = ledger.seq
+    par = max(result.makespan - com - seq, 0.0)
+    return PhaseBreakdown(com=com, seq=seq, par=par)

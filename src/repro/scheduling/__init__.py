@@ -1,0 +1,55 @@
+"""Heterogeneity-aware scheduling: WEA partitioning, mapping, baselines."""
+
+from repro.scheduling.dynamic import (
+    WorkerResigned,
+    dynamic_master_worker,
+    fault_tolerant_master_worker,
+)
+from repro.scheduling.iterative import (
+    iterative_makespan,
+    optimal_iterative_fractions,
+)
+from repro.scheduling.heho import (
+    EquivalenceReport,
+    check_equivalence,
+    heterogeneous_efficiency,
+)
+from repro.scheduling.mapping import (
+    apply_mapping,
+    greedy_mapping,
+    makespan_estimate,
+    per_rank_cost_estimate,
+)
+from repro.scheduling.static_part import (
+    RowPartition,
+    dlt_fractions,
+    halo_compensated_rows,
+    heterogeneous_fractions,
+    homogeneous_fractions,
+    network_aware_fractions,
+    rows_from_fractions,
+    wea_partition,
+)
+
+__all__ = [
+    "EquivalenceReport",
+    "RowPartition",
+    "apply_mapping",
+    "check_equivalence",
+    "WorkerResigned",
+    "dlt_fractions",
+    "dynamic_master_worker",
+    "fault_tolerant_master_worker",
+    "halo_compensated_rows",
+    "iterative_makespan",
+    "optimal_iterative_fractions",
+    "greedy_mapping",
+    "heterogeneous_efficiency",
+    "heterogeneous_fractions",
+    "homogeneous_fractions",
+    "makespan_estimate",
+    "network_aware_fractions",
+    "per_rank_cost_estimate",
+    "rows_from_fractions",
+    "wea_partition",
+]

@@ -1,0 +1,102 @@
+"""Terminal line charts — used to render Figure 2 (speedup curves)
+without any plotting dependency."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def line_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 70,
+    height: int = 20,
+    title: str | None = None,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render one or more y(x) series on a character canvas.
+
+    Args:
+        x: shared x coordinates (ascending).
+        series: name → y values (same length as ``x``).
+        width, height: plot-area size in characters.
+        title/y_label/x_label: decorations.
+
+    Returns:
+        The chart as a multi-line string, with a legend mapping each
+        series to its marker character.
+    """
+    xs = np.asarray(x, dtype=float)
+    if xs.ndim != 1 or xs.size < 2:
+        raise ConfigurationError("need >= 2 x points")
+    if not series:
+        raise ConfigurationError("need at least one series")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(f"at most {len(_MARKERS)} series supported")
+    if width < 10 or height < 4:
+        raise ConfigurationError("canvas too small")
+    ys = {}
+    for name, vals in series.items():
+        arr = np.asarray(vals, dtype=float)
+        if arr.shape != xs.shape:
+            raise ConfigurationError(
+                f"series {name!r} has {arr.size} points for {xs.size} x values"
+            )
+        ys[name] = arr
+    y_all = np.concatenate(list(ys.values()))
+    y_min, y_max = float(y_all.min()), float(y_all.max())
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(xs.min()), float(xs.max())
+
+    canvas = [[" "] * width for _ in range(height)]
+    for (name, arr), marker in zip(ys.items(), _MARKERS):
+        # Dense sampling along segments so lines read as lines.
+        for i in range(xs.size - 1):
+            for frac in np.linspace(0.0, 1.0, max(width // (xs.size - 1), 2)):
+                xv = xs[i] + frac * (xs[i + 1] - xs[i])
+                yv = arr[i] + frac * (arr[i + 1] - arr[i])
+                col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+                row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+                cell = canvas[height - 1 - row][col]
+                if cell == " " or cell == ".":
+                    canvas[height - 1 - row][col] = "."
+        for xv, yv in zip(xs, arr):  # markers on the actual samples
+            col = int((xv - x_min) / (x_max - x_min) * (width - 1))
+            row = int((yv - y_min) / (y_max - y_min) * (height - 1))
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.1f}"
+    bottom_label = f"{y_min:.1f}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for i, row_cells in enumerate(canvas):
+        if i == 0:
+            prefix = top_label.rjust(pad)
+        elif i == height - 1:
+            prefix = bottom_label.rjust(pad)
+        elif i == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_cells)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    xt = f"{x_min:.0f}".ljust(width - 8) + f"{x_max:.0f}"
+    lines.append(" " * (pad + 2) + xt + (f"  {x_label}" if x_label else ""))
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(ys.items(), _MARKERS)
+    )
+    lines.append(" " * (pad + 2) + legend)
+    return "\n".join(lines)

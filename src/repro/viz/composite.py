@@ -1,0 +1,109 @@
+"""False-colour composites and classification-map rendering (Figure 1).
+
+The paper's Figure 1 shows the WTC scene as a false-colour composite of
+the 1682/1107/655 nm channels (R/G/B) with the thermal hot spots marked.
+These helpers reproduce both panels for any scene.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DataError
+from repro.hsi.cube import HyperspectralImage
+from repro.hsi.groundtruth import UNLABELLED, SceneGroundTruth
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "PAPER_COMPOSITE_BANDS_UM",
+    "stretch",
+    "false_color_composite",
+    "classification_to_rgb",
+    "mark_targets",
+    "DEFAULT_CLASS_PALETTE",
+]
+
+#: The paper's Figure 1 channels, in µm (1682 / 1107 / 655 nm → R/G/B).
+PAPER_COMPOSITE_BANDS_UM: tuple[float, float, float] = (1.682, 1.107, 0.655)
+
+#: Distinct colours for classification maps (uint8 RGB rows).
+DEFAULT_CLASS_PALETTE: np.ndarray = np.array(
+    [
+        [230, 25, 75], [60, 180, 75], [255, 225, 25], [0, 130, 200],
+        [245, 130, 48], [145, 30, 180], [70, 240, 240], [240, 50, 230],
+        [210, 245, 60], [250, 190, 212], [0, 128, 128], [220, 190, 255],
+        [170, 110, 40], [255, 250, 200], [128, 0, 0], [170, 255, 195],
+        [128, 128, 0], [255, 215, 180], [0, 0, 128], [128, 128, 128],
+        [255, 255, 255], [100, 60, 30], [60, 100, 160], [160, 60, 100],
+    ],
+    dtype=np.uint8,
+)
+
+
+def stretch(band: FloatArray, low_pct: float = 2.0, high_pct: float = 98.0) -> FloatArray:
+    """Percentile contrast stretch of one band to [0, 1]."""
+    if not 0 <= low_pct < high_pct <= 100:
+        raise ConfigurationError(
+            f"invalid percentile range ({low_pct}, {high_pct})"
+        )
+    arr = np.asarray(band, dtype=float)
+    lo, hi = np.percentile(arr, [low_pct, high_pct])
+    if hi <= lo:
+        return np.zeros_like(arr)
+    return np.clip((arr - lo) / (hi - lo), 0.0, 1.0)
+
+
+def false_color_composite(
+    image: HyperspectralImage,
+    bands_um: tuple[float, float, float] = PAPER_COMPOSITE_BANDS_UM,
+) -> IntArray:
+    """A paper-style false-colour composite → uint8 ``(rows, cols, 3)``.
+
+    Selects the bands nearest the requested wavelengths and
+    percentile-stretches each channel.
+    """
+    if image.wavelengths is None:
+        raise DataError("image needs a wavelength grid for band lookup")
+    channels = [
+        stretch(image.band(image.band_nearest(um))) for um in bands_um
+    ]
+    rgb = np.stack(channels, axis=2)
+    return (rgb * 255.0 + 0.5).astype(np.uint8)
+
+
+def classification_to_rgb(
+    labels: IntArray, palette: np.ndarray | None = None
+) -> IntArray:
+    """Colour a label map; :data:`~repro.hsi.groundtruth.UNLABELLED` → black."""
+    lab = np.asarray(labels)
+    if lab.ndim != 2:
+        raise DataError(f"labels must be 2-D, got shape {lab.shape}")
+    pal = DEFAULT_CLASS_PALETTE if palette is None else np.asarray(palette, np.uint8)
+    n = int(lab.max(initial=0)) + 1
+    if n > pal.shape[0]:
+        reps = int(np.ceil(n / pal.shape[0]))
+        pal = np.tile(pal, (reps, 1))
+    out = np.zeros((*lab.shape, 3), dtype=np.uint8)
+    valid = lab != UNLABELLED
+    out[valid] = pal[lab[valid]]
+    return out
+
+
+def mark_targets(
+    rgb: IntArray,
+    truth: SceneGroundTruth,
+    color: tuple[int, int, int] = (255, 0, 0),
+    radius: int = 2,
+) -> IntArray:
+    """Overlay hot-spot markers (filled squares) on a composite copy."""
+    img = np.asarray(rgb).copy()
+    if img.ndim != 3 or img.shape[2] != 3:
+        raise DataError(f"expected (rows, cols, 3), got {img.shape}")
+    rows, cols = img.shape[:2]
+    for spot in truth.targets.values():
+        r0 = max(spot.row - radius, 0)
+        r1 = min(spot.row + radius + 1, rows)
+        c0 = max(spot.col - radius, 0)
+        c1 = min(spot.col + radius + 1, cols)
+        img[r0:r1, c0:c1] = color
+    return img

@@ -1,0 +1,93 @@
+"""ASCII Gantt rendering of engine traces.
+
+Turns a traced :class:`~repro.cluster.engine.SimulationResult` into a
+per-rank timeline — one lane per processor, `#` for parallel compute,
+`S` for sequential compute, `=` for transfers, spaces for idle — the
+quickest way to *see* where a schedule loses time (a master serializing
+its scatter, a slow worker pinning the barrier, a serial link queueing
+transfers).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cluster.engine import SimulationResult, TraceEvent
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_gantt", "gantt_of_run"]
+
+_GLYPHS = {"compute": "#", "seq": "S", "transfer": "="}
+#: Painting priority: compute over transfer (overlaps happen when a
+#: transfer interval abuts a compute interval at cell resolution).
+_PRIORITY = {"transfer": 0, "=": 0, "compute": 1, "#": 1, "seq": 2, "S": 2}
+
+
+def ascii_gantt(
+    events: Sequence[TraceEvent],
+    n_ranks: int,
+    makespan: float | None = None,
+    width: int = 80,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Render trace events as one lane per rank.
+
+    Args:
+        events: the engine trace.
+        n_ranks: number of lanes.
+        makespan: time axis extent (defaults to the last event end).
+        width: characters across the time axis.
+        labels: optional lane labels (defaults to ``r0``, ``r1``, ...).
+    """
+    if n_ranks < 1:
+        raise ConfigurationError("need at least one rank")
+    if width < 10:
+        raise ConfigurationError("width must be >= 10")
+    if not events:
+        raise ConfigurationError("no events to render (trace the engine)")
+    horizon = makespan if makespan is not None else max(e.end for e in events)
+    if horizon <= 0:
+        raise ConfigurationError("makespan must be positive")
+    names = list(labels) if labels is not None else [f"r{i}" for i in range(n_ranks)]
+    if len(names) != n_ranks:
+        raise ConfigurationError(f"need {n_ranks} labels, got {len(names)}")
+    pad = max(len(n) for n in names)
+
+    lanes = [[" "] * width for _ in range(n_ranks)]
+    for event in events:
+        if not 0 <= event.rank < n_ranks:
+            raise ConfigurationError(
+                f"event rank {event.rank} outside [0, {n_ranks})"
+            )
+        glyph = _GLYPHS.get(event.kind)
+        if glyph is None:
+            continue
+        first = int(event.start / horizon * (width - 1))
+        last = max(first, int(min(event.end, horizon) / horizon * (width - 1)))
+        for col in range(first, last + 1):
+            cell = lanes[event.rank][col]
+            if cell == " " or _PRIORITY[glyph] >= _PRIORITY.get(cell, -1):
+                lanes[event.rank][col] = glyph
+
+    lines = [
+        f"{names[i].rjust(pad)} |{''.join(lanes[i])}|" for i in range(n_ranks)
+    ]
+    axis = " " * pad + " +" + "-" * width + "+"
+    scale = (
+        " " * pad
+        + "  0"
+        + " " * (width - 6 - len(f"{horizon:.2f}"))
+        + f"{horizon:.2f} s"
+    )
+    legend = " " * pad + "  #=parallel compute  S=sequential  ==transfer"
+    return "\n".join(lines + [axis, scale, legend])
+
+
+def gantt_of_run(result: SimulationResult, width: int = 80) -> str:
+    """Gantt chart straight from a traced simulation result."""
+    return ascii_gantt(
+        result.events,
+        n_ranks=len(result.finish_times),
+        makespan=result.makespan,
+        width=width,
+    )

@@ -1,0 +1,113 @@
+"""Tests for the flop/byte cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(efficiency=1.5)
+
+    def test_bad_scales_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(compute_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            CostModel(comm_scale=-1.0)
+
+
+class TestScaling:
+    def test_compute_scale_linear(self):
+        base = CostModel()
+        scaled = CostModel(compute_scale=7.0)
+        assert scaled.osp_scores(100, 32, 4) == pytest.approx(
+            7.0 * base.osp_scores(100, 32, 4)
+        )
+
+    def test_efficiency_inflates_work(self):
+        half = CostModel(efficiency=0.5)
+        full = CostModel(efficiency=1.0)
+        assert half.dot_products(10, 10) == pytest.approx(
+            2.0 * full.dot_products(10, 10)
+        )
+
+    def test_comm_scale_linear(self):
+        base = CostModel()
+        scaled = CostModel(comm_scale=3.0)
+        assert scaled.values_megabits(1000) == pytest.approx(
+            3.0 * base.values_megabits(1000)
+        )
+
+    def test_pixels_megabits(self):
+        model = CostModel(bytes_per_value=4)
+        assert model.pixels_megabits(100, 50) == pytest.approx(
+            100 * 50 * 4 * 8 / 1e6
+        )
+
+    def test_message_megabits_consistent_with_mailbox(self):
+        model = CostModel(comm_scale=2.0)
+        payload = np.zeros(500)
+        from repro.cluster.mailbox import payload_wire_megabits
+
+        assert model.message_megabits(payload) == pytest.approx(
+            2.0 * payload_wire_megabits(payload, 4)
+        )
+
+
+class TestMonotonicity:
+    def test_more_pixels_costs_more(self):
+        m = DEFAULT_COST_MODEL
+        assert m.osp_scores(200, 32, 4) > m.osp_scores(100, 32, 4)
+        assert m.fcls_scores(200, 32, 4) > m.fcls_scores(100, 32, 4)
+        assert m.morph_iteration(200, 32, 9) > m.morph_iteration(100, 32, 9)
+
+    def test_more_targets_costs_more(self):
+        m = DEFAULT_COST_MODEL
+        assert m.osp_scores(100, 32, 8) > m.osp_scores(100, 32, 2)
+
+    def test_ufcls_cheaper_than_atdca_per_iteration(self):
+        # Calibrated to the paper's sequential-time ratio (916/1263).
+        m = DEFAULT_COST_MODEL
+        t = 18
+        atdca = sum(m.osp_scores(1000, 224, k) for k in range(1, t))
+        ufcls = sum(m.fcls_scores(1000, 224, k) for k in range(1, t))
+        assert 0.6 < ufcls / atdca < 0.85
+
+    def test_dedup_greedy_not_quadratic(self):
+        m = DEFAULT_COST_MODEL
+        small = m.dedup_unique_set(100, 32, kept=10)
+        large = m.dedup_unique_set(1000, 32, kept=10)
+        assert large == pytest.approx(10 * small)  # linear in candidates
+
+    def test_eig_cubic_in_bands(self):
+        m = DEFAULT_COST_MODEL
+        assert m.eigendecomposition(64) == pytest.approx(
+            8 * m.eigendecomposition(32)
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_pixels=st.integers(min_value=0, max_value=100_000),
+    bands=st.integers(min_value=1, max_value=256),
+    k=st.integers(min_value=1, max_value=32),
+)
+def test_all_costs_nonnegative_property(n_pixels, bands, k):
+    m = DEFAULT_COST_MODEL
+    assert m.brightest_search(n_pixels, bands) >= 0
+    assert m.osp_scores(n_pixels, bands, k) >= 0
+    assert m.fcls_scores(n_pixels, bands, k) >= 0
+    assert m.unique_set_scan(n_pixels, bands, k) >= 0
+    assert m.covariance_accumulate(n_pixels, bands) >= 0
+    assert m.pct_projection(n_pixels, bands, k) >= 0
+    assert m.classify_by_sad(n_pixels, bands, k) >= 0
+    assert m.morph_iteration(n_pixels, bands, 9) >= 0
+    assert m.scatter_pack(n_pixels * bands) >= 0
+    assert m.values_megabits(n_pixels) >= 0

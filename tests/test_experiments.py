@@ -1,0 +1,195 @@
+"""Tests for the experiment drivers and the analytic performance model.
+
+The shape assertions here use reduced workloads (few targets/classes,
+small sub-grids); the full paper-scale sweeps live in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import fully_heterogeneous, fully_homogeneous, thunderhead
+from repro.core import run_parallel
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.grid import run_network_grid, variant_label
+from repro.experiments.model import model_run
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6
+from repro.experiments.table7 import run_table7
+from repro.experiments.table8 import run_table8
+from repro.hsi import SceneConfig
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    """Reduced workloads so driver tests stay quick."""
+    return ExperimentConfig(
+        scene=SceneConfig(rows=64, cols=32, bands=32, seed=7),
+        grid_scene=SceneConfig(rows=256, cols=8, bands=32, seed=7),
+        n_targets=6,
+        n_classes=10,
+        iterations=2,
+        thunderhead_cpus=(1, 4, 16, 64),
+    )
+
+
+class TestConfig:
+    def test_scales(self):
+        cfg = ExperimentConfig()
+        assert cfg.compute_scale(cfg.scene) == pytest.approx(
+            (2133 * 512 * 224) / (96 * 64 * 48)
+        )
+        assert cfg.comm_scale(cfg.scene) < cfg.compute_scale(cfg.scene)
+
+    def test_params_for(self):
+        cfg = ExperimentConfig()
+        assert cfg.params_for("atdca") == {"n_targets": 18}
+        assert cfg.params_for("morph")["iterations"] == 5
+
+    def test_invalid_rejected(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(n_targets=0)
+
+
+class TestModelValidation:
+    """The analytic model must agree with the engine."""
+
+    @pytest.mark.parametrize("algorithm", ["atdca", "ufcls"])
+    def test_detectors_exact(self, small_scene, algorithm):
+        plat = fully_heterogeneous()
+        params = {"n_targets": 5}
+        run = run_parallel(algorithm, small_scene.image, plat, params=params)
+        predicted = model_run(
+            algorithm, plat, run.partition,
+            small_scene.image.rows, small_scene.image.cols,
+            small_scene.image.bands, params,
+        )
+        assert predicted.total == pytest.approx(run.makespan, rel=1e-9)
+        assert predicted.breakdown.com == pytest.approx(
+            run.sim.master_breakdown()["com"], rel=1e-9
+        )
+
+    @pytest.mark.parametrize("algorithm", ["pct", "morph"])
+    def test_classifiers_within_tolerance(self, small_scene, algorithm):
+        plat = fully_heterogeneous()
+        params = {"n_classes": 10}
+        run = run_parallel(algorithm, small_scene.image, plat, params=params)
+        predicted = model_run(
+            algorithm, plat, run.partition,
+            small_scene.image.rows, small_scene.image.cols,
+            small_scene.image.bands, params,
+        )
+        assert predicted.total == pytest.approx(run.makespan, rel=0.08)
+
+    def test_model_single_rank(self):
+        from repro.scheduling.static_part import RowPartition
+
+        plat = thunderhead(1)
+        part = RowPartition(np.array([100]))
+        result = model_run("atdca", plat, part, 100, 64, 32, {"n_targets": 4})
+        assert result.total > 0
+        assert result.breakdown.com == 0.0  # nothing to ship
+
+
+class TestAccuracyDrivers:
+    def test_table3(self, fast_config, default_scene):
+        cfg = ExperimentConfig()  # default scene params, full t=18
+        result = run_table3(cfg, scene=default_scene)
+        assert result.detected_all("ATDCA", tolerance=0.02)
+        assert "F" in result.missed("UFCLS", tolerance=0.02)
+        text = result.to_text()
+        assert "Table 3" in text and "'G'" in text
+
+    def test_table4(self, default_scene):
+        cfg = ExperimentConfig()
+        result = run_table4(cfg, scene=default_scene)
+        assert result.overall("MORPH") > result.overall("PCT")
+        assert result.overall("MORPH") > 90.0
+        assert "Overall" in result.to_text()
+
+
+class TestGridDrivers:
+    @pytest.fixture(scope="class")
+    def mini_grid(self, fast_config):
+        # Single fast algorithm over both variants, all four networks.
+        return run_network_grid(fast_config, algorithms=("pct",))
+
+    def test_variant_label(self):
+        assert variant_label("atdca", "hetero") == "Hetero-ATDCA"
+        assert variant_label("morph", "homo") == "Homo-MORPH"
+
+    def test_table5_shape(self, fast_config, mini_grid):
+        result = run_table5(fast_config, grid=mini_grid)
+        het = result.times["Hetero-PCT"]
+        homo = result.times["Homo-PCT"]
+        # Homo collapses on processor-heterogeneous networks ...  (the
+        # reduced test workload shrinks the compute share, so the
+        # threshold is looser than the full-scale ~3.5x)
+        assert homo["fully heterogeneous"] > 1.8 * het["fully heterogeneous"]
+        assert homo["partially heterogeneous"] > 1.8 * het["partially heterogeneous"]
+        # ... and matches on processor-homogeneous ones.
+        assert homo["fully homogeneous"] == pytest.approx(
+            het["fully homogeneous"], rel=0.05
+        )
+        assert "Table 5" in result.to_text()
+
+    def test_table6_totals_consistent(self, fast_config, mini_grid):
+        t5 = run_table5(fast_config, grid=mini_grid)
+        t6 = run_table6(fast_config, grid=mini_grid)
+        for label in mini_grid.row_labels:
+            for network in mini_grid.network_names:
+                assert t6.breakdowns[label][network].total == pytest.approx(
+                    t5.times[label][network], rel=1e-9
+                )
+
+    def test_table7_hetero_workers_balanced(self, fast_config, mini_grid):
+        t7 = run_table7(fast_config, grid=mini_grid)
+        scores = t7.scores["Hetero-PCT"]["fully heterogeneous"]
+        assert scores.d_minus < 1.15
+        homo = t7.scores["Homo-PCT"]["fully heterogeneous"]
+        assert homo.d_all > 5.0  # equal shares on a 17x speed spread
+
+
+class TestThunderheadDrivers:
+    @pytest.fixture(scope="class")
+    def table8(self, fast_config):
+        return run_table8(fast_config)
+
+    def test_times_decrease_with_cpus(self, table8):
+        for alg in ("ATDCA", "UFCLS", "PCT", "MORPH"):
+            times = [table8.times[alg][p] for p in table8.cpus]
+            assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_single_cpu_ordering(self, table8):
+        # Paper: MORPH slowest, then PCT, ATDCA, UFCLS fastest.
+        t = {alg: table8.times[alg][1] for alg in table8.times}
+        assert t["MORPH"] > t["ATDCA"] > t["UFCLS"]
+
+    def test_figure2_speedups(self, table8, fast_config):
+        fig = run_figure2(fast_config, table8=table8)
+        for alg, series in fig.speedups.items():
+            assert series[0] == pytest.approx(1.0)
+            assert series[-1] > 1.0
+        assert "Figure 2" in fig.to_text()
+
+    def test_pct_scales_worst(self, fast_config):
+        cfg = ExperimentConfig(
+            scene=fast_config.scene,
+            thunderhead_cpus=(1, 16, 100, 256),
+        )
+        fig = run_figure2(cfg)
+        assert fig.scaling_order()[-1] == "PCT"
+        assert fig.scaling_order()[0] == "MORPH"
+
+
+class TestFigure1:
+    def test_writes_panels(self, fast_config, tmp_path, small_scene):
+        result = run_figure1(fast_config, scene=small_scene, output_dir=tmp_path)
+        assert result.composite_path.exists()
+        assert result.thermal_map_path.exists()
+        assert result.class_map_path.exists()
+        assert result.composite_path.read_bytes().startswith(b"P6")
+        assert "hot spots" in result.to_text()

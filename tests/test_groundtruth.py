@@ -1,0 +1,118 @@
+"""Tests for ground-truth containers and evaluation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError, ShapeError
+from repro.hsi.evaluation import (
+    apply_mapping,
+    majority_mapping,
+    score_classification,
+)
+from repro.hsi.groundtruth import UNLABELLED, SceneGroundTruth, TargetSpot
+
+
+def _spot(label="A", row=1, col=1):
+    return TargetSpot(label=label, row=row, col=col, temperature_f=900.0,
+                      signature=np.ones(4))
+
+
+class TestTargetSpot:
+    def test_position(self):
+        assert _spot(row=2, col=3).position == (2, 3)
+
+    def test_rejects_2d_signature(self):
+        with pytest.raises(ShapeError):
+            TargetSpot("A", 0, 0, 900.0, np.ones((2, 2)))
+
+
+class TestSceneGroundTruth:
+    def test_basic(self):
+        cmap = np.zeros((4, 4), dtype=np.int32)
+        gt = SceneGroundTruth({"A": _spot()}, cmap, ["only"])
+        assert gt.n_classes == 1
+        assert gt.target_labels() == ["A"]
+        assert gt.labelled_fraction() == 1.0
+
+    def test_unlabelled_fraction(self):
+        cmap = np.full((2, 2), UNLABELLED, dtype=np.int32)
+        cmap[0, 0] = 0
+        gt = SceneGroundTruth({}, cmap, ["c"])
+        assert gt.labelled_fraction() == pytest.approx(0.25)
+
+    def test_label_out_of_range_rejected(self):
+        cmap = np.full((2, 2), 3, dtype=np.int32)
+        with pytest.raises(DataError):
+            SceneGroundTruth({}, cmap, ["a", "b"])
+
+    def test_float_map_rejected(self):
+        with pytest.raises(DataError):
+            SceneGroundTruth({}, np.zeros((2, 2)), ["a"])
+
+    def test_target_outside_scene_rejected(self):
+        cmap = np.zeros((2, 2), dtype=np.int32)
+        with pytest.raises(DataError):
+            SceneGroundTruth({"A": _spot(row=5)}, cmap, ["a"])
+
+    def test_key_label_mismatch_rejected(self):
+        cmap = np.zeros((4, 4), dtype=np.int32)
+        with pytest.raises(DataError):
+            SceneGroundTruth({"B": _spot(label="A")}, cmap, ["a"])
+
+    def test_class_pixel_counts(self):
+        cmap = np.array([[0, 0], [1, UNLABELLED]], dtype=np.int32)
+        gt = SceneGroundTruth({}, cmap, ["x", "y"])
+        assert gt.class_pixel_counts().tolist() == [2, 1]
+
+
+class TestMajorityMapping:
+    def test_identity_when_aligned(self):
+        truth = np.array([[0, 0], [1, 1]])
+        pred = np.array([[0, 0], [1, 1]])
+        mapping = majority_mapping(truth, pred, 2)
+        assert mapping.tolist() == [0, 1]
+
+    def test_permutation_recovered(self):
+        truth = np.array([0, 0, 1, 1, 2, 2])
+        pred = np.array([2, 2, 0, 0, 1, 1])
+        mapping = majority_mapping(truth, pred, 3)
+        assert np.array_equal(apply_mapping(pred, mapping), truth)
+
+    def test_many_clusters_to_few_classes(self):
+        truth = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([0, 1, 1, 2, 3, 3])
+        mapped = apply_mapping(pred, majority_mapping(truth, pred, 2))
+        assert mapped.tolist() == [0, 0, 0, 1, 1, 1]
+
+    def test_unlabelled_ignored(self):
+        truth = np.array([UNLABELLED, 1, 1])
+        pred = np.array([0, 0, 0])
+        mapping = majority_mapping(truth, pred, 2)
+        assert mapping[0] == 1
+
+    def test_negative_prediction_rejected(self):
+        with pytest.raises(DataError):
+            majority_mapping(np.array([0]), np.array([-1]), 1)
+
+    def test_mapping_too_small_rejected(self):
+        with pytest.raises(DataError):
+            apply_mapping(np.array([3]), np.array([0, 1]))
+
+
+class TestScoreClassification:
+    def test_perfect_score(self):
+        truth = np.array([[0, 1], [2, UNLABELLED]])
+        pred = np.array([[5, 3], [1, 0]])  # any permutation of clusters
+        score = score_classification(truth, pred, ["a", "b", "c"])
+        assert score.overall == pytest.approx(100.0)
+        assert np.nanmin(score.per_class) == pytest.approx(100.0)
+
+    def test_as_dict_has_overall(self):
+        truth = np.array([[0]])
+        pred = np.array([[0]])
+        d = score_classification(truth, pred, ["a"]).as_dict()
+        assert "Overall" in d and "a" in d
+
+    def test_empty_class_names_rejected(self):
+        with pytest.raises(DataError):
+            score_classification(np.array([[0]]), np.array([[0]]), [])

@@ -1,0 +1,291 @@
+"""Tests for the rendezvous router and the virtual-time engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.costs import CostModel
+from repro.cluster.engine import SimulationEngine, run_program
+from repro.cluster.mailbox import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Router,
+    copy_payload,
+    payload_wire_megabits,
+)
+from repro.cluster.network import segmented_network
+from repro.cluster.platform import HeterogeneousPlatform
+from repro.cluster.processor import ProcessorSpec
+from repro.cluster.simtime import Phase, PhaseLedger, VirtualClock
+from repro.errors import CommunicationError, ConfigurationError, DeadlockError, ReproError
+from repro.mpi.inproc import run_inproc
+
+from conftest import make_tiny_platform
+
+
+class TestPayloadSizing:
+    def test_array_counts_values(self):
+        mb = payload_wire_megabits(np.zeros(1000), bytes_per_value=4)
+        assert mb == pytest.approx((1000 + 8) * 4 * 8 / 1e6)
+
+    def test_tuple_of_arrays(self):
+        payload = (np.zeros(10), np.zeros(20), 5)
+        mb = payload_wire_megabits(payload, bytes_per_value=4)
+        assert mb == pytest.approx((31 + 8) * 4 * 8 / 1e6)
+
+    def test_none_is_envelope_only(self):
+        assert payload_wire_megabits(None) == pytest.approx(8 * 4 * 8 / 1e6)
+
+    def test_non_array_falls_back_to_pickle(self):
+        mb = payload_wire_megabits("hello world")
+        assert mb > 0
+
+
+class TestCopyPayload:
+    def test_arrays_copied(self):
+        arr = np.ones(4)
+        dup = copy_payload(arr)
+        dup[0] = 9.0
+        assert arr[0] == 1.0
+
+    def test_nested_structures(self):
+        payload = {"a": [np.ones(2), (np.zeros(3), 1)]}
+        dup = copy_payload(payload)
+        dup["a"][0][0] = 5.0
+        assert payload["a"][0][0] == 1.0
+
+
+class TestRouterViaInproc:
+    """Exercise the router through real threads (wall-clock backend)."""
+
+    def test_point_to_point(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.arange(5), tag=7)
+                return None
+            return ctx.recv(0, tag=7)
+
+        result = run_inproc(2, program)
+        assert np.array_equal(result.return_values[1], np.arange(5))
+
+    def test_tag_filtering_in_order(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "first", tag=1)
+                ctx.send(1, "second", tag=2)
+                return None
+            first = ctx.recv(0, tag=1)
+            second = ctx.recv(0, tag=2)
+            return (first, second)
+
+        result = run_inproc(2, program)
+        assert result.return_values[1] == ("first", "second")
+
+    def test_out_of_order_tags_deadlock_under_rendezvous(self):
+        # Synchronous sends cannot be consumed out of tag order on one
+        # channel: the sender is parked on the first message.  The
+        # runtime must *detect* this rather than hang.
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "first", tag=1)
+                ctx.send(1, "second", tag=2)
+                return None
+            return ctx.recv(0, tag=2)
+
+        with pytest.raises((DeadlockError, ReproError)):
+            run_inproc(2, program, deadlock_grace_s=0.05)
+
+    def test_any_tag_fifo(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, "a", tag=5)
+                ctx.send(1, "b", tag=6)
+                return None
+            return (ctx.recv(0, ANY_TAG), ctx.recv(0, ANY_TAG))
+
+        result = run_inproc(2, program)
+        assert result.return_values[1] == ("a", "b")
+
+    def test_any_source(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                got = {ctx.recv(ANY_SOURCE)[0] for _ in range(2)}
+                return got
+            ctx.send(0, (ctx.rank, "hi"))
+            return None
+
+        result = run_inproc(3, program)
+        assert result.return_values[0] == {1, 2}
+
+    def test_send_to_self_rejected(self):
+        def program(ctx):
+            ctx.send(ctx.rank, "x")
+
+        with pytest.raises((CommunicationError, ReproError)):
+            run_inproc(2, program, deadlock_grace_s=0.05)
+
+    def test_deadlock_detected(self):
+        def program(ctx):
+            # Everyone receives; nobody sends.
+            ctx.recv((ctx.rank + 1) % ctx.size)
+
+        with pytest.raises((DeadlockError, ReproError)):
+            run_inproc(2, program, deadlock_grace_s=0.05)
+
+    def test_peer_exit_detected(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                return "done"  # exits immediately
+            ctx.recv(0)  # waits forever for rank 0
+
+        with pytest.raises((DeadlockError, ReproError)):
+            run_inproc(2, program, deadlock_grace_s=0.05)
+
+    def test_worker_exception_propagates(self):
+        def program(ctx):
+            if ctx.rank == 1:
+                raise ValueError("boom")
+            ctx.recv(1)
+
+        with pytest.raises(ReproError, match="boom"):
+            run_inproc(2, program, deadlock_grace_s=0.05)
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_never_backwards(self):
+        clock = VirtualClock(5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualClock().advance(-1.0)
+
+
+class TestPhaseLedger:
+    def test_buckets(self):
+        ledger = PhaseLedger()
+        ledger.add(Phase.COM, 1.0)
+        ledger.add(Phase.SEQ, 2.0)
+        ledger.add(Phase.PAR, 3.0)
+        ledger.add_idle(0.5)
+        assert ledger.total == pytest.approx(6.5)
+        assert ledger.compute_busy == pytest.approx(5.0)
+        assert ledger.busy == pytest.approx(6.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseLedger().add(Phase.COM, -1.0)
+
+
+class TestEngineTiming:
+    def test_compute_charged_at_cycle_time(self, tiny_platform):
+        def program(ctx):
+            ctx.compute(100.0)  # 100 Mflop
+
+        result = run_program(tiny_platform, program)
+        # rank 0: w=0.002 -> 0.2 s; rank 3: w=0.008 -> 0.8 s
+        assert result.finish_times[0] == pytest.approx(0.2)
+        assert result.finish_times[3] == pytest.approx(0.8)
+        assert result.makespan == pytest.approx(0.8)
+
+    def test_transfer_time_exact(self):
+        plat = make_tiny_platform(cycle_times=(0.01, 0.01), capacity=100.0)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.zeros(1000, dtype=np.float64))
+            else:
+                ctx.recv(0)
+
+        result = run_program(plat, program)
+        # (1000 + 8 envelope) values * 4 B * 8 b = 0.032256 megabit
+        # 100 ms/megabit -> 3.2256 ms + 1 ms latency
+        expected = 0.001 + 100e-3 * (1008 * 32 / 1e6)
+        assert result.makespan == pytest.approx(expected, rel=1e-9)
+        assert result.ledgers[0].com == pytest.approx(expected, rel=1e-9)
+
+    def test_receiver_waits_for_sender(self):
+        plat = make_tiny_platform(cycle_times=(0.01, 0.01), capacity=1.0)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.compute(500.0)  # 5 s before sending
+                ctx.send(1, 1)
+            else:
+                ctx.recv(0)
+
+        result = run_program(plat, program)
+        assert result.finish_times[1] > 5.0
+        assert result.ledgers[1].idle == pytest.approx(5.0, abs=1e-3)
+
+    def test_sequential_flag_buckets_to_seq(self, tiny_platform):
+        def program(ctx):
+            ctx.compute(10.0, sequential=ctx.is_master)
+
+        result = run_program(tiny_platform, program)
+        assert result.ledgers[0].seq > 0
+        assert result.ledgers[1].seq == 0
+
+    def test_serial_link_serializes_transfers(self):
+        # Two segments; both remote ranks send to master concurrently.
+        net = segmented_network(
+            {"a": 1, "b": 2},
+            {("a", "a"): 1.0, ("a", "b"): 1000.0, ("b", "b"): 1.0},
+            latency_s=0.0,
+        )
+        procs = [ProcessorSpec(f"p{i}", 0.01) for i in range(3)]
+        plat = HeterogeneousPlatform("seg", procs, net)
+        payload = np.zeros(10_000)
+        one_transfer = 1000e-3 * ((10_000 + 8) * 32 / 1e6)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.recv(1)
+                ctx.recv(2)
+            else:
+                ctx.send(0, payload)
+
+        result = run_program(plat, program)
+        # Both transfers cross the single a-b link: total = 2 transfers.
+        assert result.makespan == pytest.approx(2 * one_transfer, rel=1e-6)
+
+    def test_determinism_across_runs(self, tiny_platform, rng):
+        data = rng.random((8, 6))
+
+        def program(ctx, payload=None):
+            if ctx.rank == 0:
+                for dest in range(1, ctx.size):
+                    ctx.send(dest, payload)
+                return None
+            got = ctx.recv(0)
+            ctx.compute(float(got.sum()))
+            return None
+
+        r1 = run_program(make_tiny_platform(), program, payload=data)
+        r2 = run_program(make_tiny_platform(), program, payload=data)
+        assert r1.finish_times == r2.finish_times
+
+    def test_failure_reports_rank(self, tiny_platform):
+        def program(ctx):
+            if ctx.rank == 2:
+                raise RuntimeError("bad rank")
+
+        with pytest.raises(ReproError, match="rank 2"):
+            SimulationEngine(tiny_platform, deadlock_grace_s=0.05).run(program)
+
+    def test_cost_model_scaling(self):
+        plat = make_tiny_platform(cycle_times=(0.01, 0.01))
+
+        def program(ctx):
+            ctx.compute(ctx.cost_model.dot_products(1000, 10))
+
+        base = run_program(plat, program, cost_model=CostModel())
+        scaled = run_program(
+            plat, program, cost_model=CostModel(compute_scale=10.0)
+        )
+        assert scaled.makespan == pytest.approx(10 * base.makespan)

@@ -1,0 +1,187 @@
+"""Tests for structuring elements, vector morphology, and halos."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ShapeError
+from repro.morphology.halo import (
+    HaloBlock,
+    extract_halo_block,
+    halo_depth,
+    redundant_fraction,
+)
+from repro.morphology.ops import (
+    cumulative_sad_map,
+    dilation,
+    erosion,
+    mei_scores,
+    morph_extrema,
+)
+from repro.morphology.structuring import StructuringElement, cross, disk, square
+
+
+class TestStructuringElements:
+    def test_square(self):
+        se = square(3)
+        assert se.shape == (3, 3)
+        assert se.size == 9
+        assert se.radius == 1
+
+    def test_cross(self):
+        se = cross(3)
+        assert se.size == 5
+        assert (0, 0) in se.offsets()
+
+    def test_disk_radius_one(self):
+        se = disk(1)
+        assert se.shape == (3, 3)
+        assert se.size == 5  # centre + 4-neighbours
+
+    def test_disk_zero_is_single_cell(self):
+        assert disk(0).size == 1
+
+    def test_offsets_centered(self):
+        offsets = square(3).offsets()
+        assert (-1, -1) in offsets and (1, 1) in offsets
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            square(4)
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StructuringElement(np.zeros((3, 3), dtype=bool))
+
+    def test_even_mask_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StructuringElement(np.ones((2, 3), dtype=bool))
+
+
+class TestCumulativeSAD:
+    def test_zero_on_constant_image(self):
+        cube = np.ones((6, 6, 4))
+        dmap = cumulative_sad_map(cube, square(3))
+        assert np.allclose(dmap, 0.0, atol=1e-6)
+
+    def test_boundary_pixels_have_high_score(self):
+        cube = np.ones((6, 6, 4))
+        cube[:, 3:] = [[0.0, 0.0, 1.0, 1.0]]  # different material right half
+        dmap = cumulative_sad_map(cube, square(3))
+        assert dmap[:, 2:4].max() > dmap[:, 0].max() + 0.1
+
+    def test_scale_invariant(self, rng):
+        cube = rng.random((5, 5, 3)) + 0.1
+        a = cumulative_sad_map(cube, square(3))
+        b = cumulative_sad_map(cube * 7.0, square(3))
+        assert np.allclose(a, b, atol=1e-9)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            cumulative_sad_map(np.ones((4, 4)), square(3))
+
+
+class TestExtrema:
+    def _two_phase_cube(self):
+        cube = np.ones((5, 7, 3))
+        cube[:, 4:] = [0.1, 1.0, 0.1]
+        return cube
+
+    def test_extrema_coords_within_image(self, rng):
+        cube = rng.random((6, 6, 4)) + 0.1
+        ext = morph_extrema(cube, square(3))
+        assert ext.eroded_rows.min() >= 0 and ext.eroded_rows.max() < 6
+        assert ext.dilated_cols.min() >= 0 and ext.dilated_cols.max() < 6
+
+    def test_eroded_and_dilated_are_image_pixels(self, rng):
+        cube = rng.random((6, 6, 4)) + 0.1
+        ext = morph_extrema(cube, square(3))
+        r, c = 3, 3
+        assert np.array_equal(
+            ext.eroded[r, c], cube[ext.eroded_rows[r, c], ext.eroded_cols[r, c]]
+        )
+        assert np.array_equal(
+            ext.dilated[r, c],
+            cube[ext.dilated_rows[r, c], ext.dilated_cols[r, c]],
+        )
+
+    def test_interior_of_uniform_region_unchanged_by_erosion(self):
+        cube = self._two_phase_cube()
+        eroded = erosion(cube, square(3))
+        # deep inside the left phase everything is identical anyway
+        assert np.allclose(eroded[2, 1], cube[2, 1])
+
+    def test_mei_zero_on_constant_image(self):
+        cube = np.ones((5, 5, 3))
+        ext = morph_extrema(cube, square(3))
+        assert np.allclose(mei_scores(ext), 0.0, atol=1e-6)
+
+    def test_mei_positive_at_boundary(self):
+        cube = self._two_phase_cube()
+        ext = morph_extrema(cube, square(3))
+        mei = mei_scores(ext)
+        assert mei[:, 3:5].max() > 0.3
+
+    def test_dilation_output_shape(self, rng):
+        cube = rng.random((4, 5, 6))
+        assert dilation(cube, square(3)).shape == cube.shape
+
+
+class TestHalo:
+    def test_halo_depth(self):
+        assert halo_depth(square(3), 5) == 5
+        assert halo_depth(square(5), 2) == 4
+
+    def test_bad_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            halo_depth(square(3), 0)
+
+    def test_extract_interior_block(self, rng):
+        cube = rng.random((10, 4, 3))
+        block = extract_halo_block(cube, 4, 6, 2)
+        assert block.top == 2 and block.bottom == 2
+        assert block.total_rows == 6
+        assert np.array_equal(block.core_view(), cube[4:6])
+
+    def test_extract_at_boundary_clips(self, rng):
+        cube = rng.random((10, 4, 3))
+        block = extract_halo_block(cube, 0, 3, 2)
+        assert block.top == 0 and block.bottom == 2
+
+    def test_core_view_of_derived_array(self, rng):
+        cube = rng.random((10, 4, 3))
+        block = extract_halo_block(cube, 4, 6, 2)
+        derived = np.arange(block.total_rows)
+        assert block.core_view(derived).tolist() == [2, 3]
+
+    def test_to_global_row(self, rng):
+        cube = rng.random((10, 4, 3))
+        block = extract_halo_block(cube, 4, 6, 2)
+        assert block.to_global_row(0) == 2
+        assert block.to_global_row(2) == 4
+
+    def test_invalid_range_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            extract_halo_block(np.ones((5, 2, 2)), 3, 3, 1)
+
+    def test_redundant_fraction(self, rng):
+        cube = rng.random((12, 4, 3))
+        blocks = [
+            extract_halo_block(cube, 0, 6, 2),
+            extract_halo_block(cube, 6, 12, 2),
+        ]
+        # 12 core rows, each block borrows 2 from the other side.
+        assert redundant_fraction(blocks) == pytest.approx(4 / 16)
+
+    def test_blocks_cover_image(self, rng):
+        cube = rng.random((9, 3, 2))
+        blocks = [
+            extract_halo_block(cube, 0, 4, 1),
+            extract_halo_block(cube, 4, 9, 1),
+        ]
+        rebuilt = np.concatenate([b.core_view() for b in blocks])
+        assert np.array_equal(rebuilt, cube)
+
+    def test_halo_block_validates_array_rows(self, rng):
+        block = extract_halo_block(rng.random((8, 2, 2)), 2, 4, 1)
+        with pytest.raises(ShapeError):
+            block.core_view(np.ones(99))

@@ -1,0 +1,99 @@
+"""Tests for the sensor noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataError
+from repro.hsi.noise import NoiseModel, add_sensor_noise, aviris_snr_profile
+from repro.hsi.spectra import aviris_wavelengths
+
+
+class TestSNRProfile:
+    def test_shape(self):
+        wl = aviris_wavelengths(64)
+        snr = aviris_snr_profile(wl)
+        assert snr.shape == wl.shape
+
+    def test_vnir_higher_than_swir(self):
+        wl = aviris_wavelengths(64)
+        snr = aviris_snr_profile(wl)
+        assert snr[0] > snr[-1]
+
+    def test_water_band_notches(self):
+        wl = aviris_wavelengths(224)
+        snr = aviris_snr_profile(wl)
+        notch = np.argmin(np.abs(wl - 1.38))
+        clear = np.argmin(np.abs(wl - 1.10))
+        assert snr[notch] < snr[clear] / 3
+
+    def test_never_below_one(self):
+        wl = aviris_wavelengths(64)
+        snr = aviris_snr_profile(wl, vnir_snr=2.0, swir_snr=2.0, water_band_snr=0.5)
+        assert snr.min() >= 1.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError):
+            aviris_snr_profile(np.ones((2, 2)))
+
+
+class TestAddNoise:
+    def test_noise_magnitude_tracks_snr(self, rng):
+        cube = np.full((40, 40, 4), 2.0)
+        noisy = add_sensor_noise(cube, 100.0, rng, signal_dependence=0.0)
+        residual = noisy - cube
+        # sigma should be ~ rms/snr = 2/100
+        assert np.std(residual) == pytest.approx(0.02, rel=0.1)
+
+    def test_higher_snr_means_less_noise(self, rng):
+        cube = np.full((30, 30, 4), 1.0)
+        low = add_sensor_noise(cube, 10.0, np.random.default_rng(0))
+        high = add_sensor_noise(cube, 1000.0, np.random.default_rng(0))
+        assert np.std(low - cube) > np.std(high - cube)
+
+    def test_signal_dependence_shrinks_dark_pixel_noise(self):
+        cube = np.ones((50, 50, 2))
+        cube[:25] = 0.01  # dark half
+        floor = add_sensor_noise(
+            cube, 100.0, np.random.default_rng(0), signal_dependence=0.0
+        )
+        shot = add_sensor_noise(
+            cube, 100.0, np.random.default_rng(0), signal_dependence=1.0
+        )
+        dark_floor = np.std((floor - cube)[:25])
+        dark_shot = np.std((shot - cube)[:25])
+        assert dark_shot < dark_floor / 5
+
+    def test_deterministic_for_seed(self):
+        cube = np.ones((10, 10, 3))
+        a = add_sensor_noise(cube, 50.0, np.random.default_rng(42))
+        b = add_sensor_noise(cube, 50.0, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_per_band_snr(self, rng):
+        cube = np.ones((20, 20, 2))
+        noisy = add_sensor_noise(
+            cube, np.array([10.0, 1000.0]), rng, signal_dependence=0.0
+        )
+        assert np.std(noisy[:, :, 0] - 1) > np.std(noisy[:, :, 1] - 1)
+
+    def test_rejects_bad_snr(self, rng):
+        with pytest.raises(DataError):
+            add_sensor_noise(np.ones((2, 2, 2)), 0.0, rng)
+
+    def test_rejects_2d_cube(self, rng):
+        with pytest.raises(DataError):
+            add_sensor_noise(np.ones((4, 4)), 10.0, rng)
+
+    def test_rejects_bad_signal_dependence(self, rng):
+        with pytest.raises(DataError):
+            add_sensor_noise(np.ones((2, 2, 2)), 10.0, rng, signal_dependence=1.5)
+
+
+class TestNoiseModel:
+    def test_apply(self, rng):
+        wl = aviris_wavelengths(8)
+        model = NoiseModel(wl)
+        cube = np.ones((5, 5, 8))
+        noisy = model.apply(cube, rng)
+        assert noisy.shape == cube.shape
+        assert not np.array_equal(noisy, cube)

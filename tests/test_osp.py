@@ -1,0 +1,128 @@
+"""Tests for orthogonal subspace projection kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError, ShapeError
+from repro.linalg.osp import (
+    brightest_pixel_index,
+    orthonormal_basis,
+    osp_projector,
+    projected_energy,
+    residual_energy,
+)
+
+
+class TestProjector:
+    def test_idempotent(self, rng):
+        u = rng.random((3, 10))
+        p = osp_projector(u)
+        assert np.allclose(p @ p, p, atol=1e-9)
+
+    def test_symmetric(self, rng):
+        u = rng.random((3, 10))
+        p = osp_projector(u)
+        assert np.allclose(p, p.T)
+
+    def test_annihilates_rows_of_u(self, rng):
+        u = rng.random((4, 12))
+        p = osp_projector(u)
+        assert np.allclose(p @ u.T, 0.0, atol=1e-8)
+
+    def test_identity_minus_rank(self, rng):
+        u = rng.random((3, 8))
+        p = osp_projector(u)
+        assert np.trace(p) == pytest.approx(8 - 3, abs=1e-6)
+
+    def test_rank_deficient_handled(self):
+        u = np.vstack([np.ones(6), np.ones(6) * 2.0])  # rank 1
+        p = osp_projector(u)
+        assert np.trace(p) == pytest.approx(5, abs=1e-6)
+
+    def test_1d_input_promoted(self):
+        p = osp_projector(np.ones(4))
+        assert p.shape == (4, 4)
+
+
+class TestBasis:
+    def test_orthonormal_columns(self, rng):
+        u = rng.random((3, 10))
+        q = orthonormal_basis(u)
+        assert np.allclose(q.T @ q, np.eye(q.shape[1]), atol=1e-10)
+
+    def test_rank_deficiency_reduces_columns(self):
+        u = np.vstack([np.ones(6), np.ones(6) * 3.0])
+        q = orthonormal_basis(u)
+        assert q.shape[1] == 1
+
+    def test_zero_rank_rejected(self):
+        with pytest.raises(DataError):
+            orthonormal_basis(np.zeros((2, 4)))
+
+
+class TestResidualEnergy:
+    def test_matches_explicit_projector(self, rng):
+        u = rng.random((3, 12))
+        pixels = rng.random((20, 12))
+        p = osp_projector(u)
+        explicit = np.array([(p @ x) @ (p @ x) for x in pixels])
+        fast = residual_energy(pixels, u)
+        assert np.allclose(fast, explicit, atol=1e-8)
+
+    def test_none_targets_gives_total_energy(self, rng):
+        pixels = rng.random((5, 8))
+        assert np.allclose(
+            residual_energy(pixels, None),
+            np.einsum("ij,ij->i", pixels, pixels),
+        )
+
+    def test_zero_for_in_subspace_pixels(self, rng):
+        u = rng.random((2, 10))
+        pixels = 0.3 * u[0] + 0.7 * u[1]
+        assert residual_energy(pixels, u)[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_nonnegative(self, rng):
+        u = rng.random((4, 10))
+        pixels = rng.random((50, 10))
+        assert residual_energy(pixels, u).min() >= 0.0
+
+    def test_shape_mismatch_rejected(self, rng):
+        q = orthonormal_basis(rng.random((2, 8)))
+        with pytest.raises(ShapeError):
+            projected_energy(rng.random((3, 6)), q)
+
+
+class TestBrightest:
+    def test_picks_largest_norm(self):
+        pixels = np.array([[1.0, 0.0], [3.0, 4.0], [2.0, 2.0]])
+        assert brightest_pixel_index(pixels) == 1
+
+    def test_tie_goes_to_first(self):
+        pixels = np.array([[2.0, 0.0], [0.0, 2.0]])
+        assert brightest_pixel_index(pixels) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            brightest_pixel_index(np.empty((0, 3)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_targets=st.integers(min_value=1, max_value=4),
+    bands=st.integers(min_value=5, max_value=16),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_energy_decomposition_property(n_targets, bands, seed):
+    """Pythagorean identity: projected + residual == total energy."""
+    rng = np.random.default_rng(seed)
+    u = rng.random((n_targets, bands)) + 0.1
+    pixels = rng.random((10, bands))
+    q = orthonormal_basis(u)
+    total = np.einsum("ij,ij->i", pixels, pixels)
+    assert np.allclose(
+        projected_energy(pixels, q) + residual_energy(pixels, u),
+        total,
+        atol=1e-8,
+    )

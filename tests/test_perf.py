@@ -1,0 +1,107 @@
+"""Tests for performance analysis: imbalance, speedup, reports, timers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf.imbalance import imbalance
+from repro.perf.report import format_grid, format_table
+from repro.perf.speedup import (
+    ScalingCurve,
+    amdahl_serial_fraction,
+    efficiencies,
+    speedups,
+)
+from repro.perf.timers import PhaseBreakdown
+
+
+class TestImbalance:
+    def test_perfect_balance(self):
+        scores = imbalance([2.0, 2.0, 2.0])
+        assert scores.d_all == 1.0
+        assert scores.d_minus == 1.0
+
+    def test_master_excluded_from_minus(self):
+        scores = imbalance([10.0, 2.0, 2.0], master_rank=0)
+        assert scores.d_all == 5.0
+        assert scores.d_minus == 1.0
+
+    def test_single_processor(self):
+        scores = imbalance([3.0])
+        assert scores.d_all == 1.0 and scores.d_minus == 1.0
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            imbalance([1.0, 0.0])
+
+
+class TestSpeedup:
+    def test_speedups(self):
+        s = speedups([100.0, 50.0, 25.0])
+        assert np.allclose(s, [1.0, 2.0, 4.0])
+
+    def test_efficiencies(self):
+        e = efficiencies([100.0, 50.0, 25.0], [1, 2, 8])
+        assert np.allclose(e, [1.0, 1.0, 0.5])
+
+    def test_amdahl_recovers_planted_fraction(self):
+        f = 0.1
+        cpus = np.array([1, 2, 4, 8, 16, 64])
+        times = 100.0 * (f + (1 - f) / cpus)
+        assert amdahl_serial_fraction(times, cpus) == pytest.approx(f, abs=1e-9)
+
+    def test_amdahl_zero_for_perfect_scaling(self):
+        cpus = np.array([1, 2, 4, 8])
+        times = 100.0 / cpus
+        assert amdahl_serial_fraction(times, cpus) == pytest.approx(0.0, abs=1e-9)
+
+    def test_amdahl_requires_p1_baseline(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_serial_fraction([50.0, 25.0], [2, 4])
+
+    def test_scaling_curve(self):
+        curve = ScalingCurve("x", (1, 4, 16), (160.0, 40.0, 10.0))
+        assert curve.speedups[-1] == pytest.approx(16.0)
+        assert curve.serial_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_scaling_curve_requires_ascending(self):
+        with pytest.raises(ConfigurationError):
+            ScalingCurve("x", (4, 1), (1.0, 2.0))
+
+
+class TestPhaseBreakdown:
+    def test_total(self):
+        b = PhaseBreakdown(com=1.0, seq=2.0, par=3.0)
+        assert b.total == 6.0
+        assert b.as_dict()["total"] == 6.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseBreakdown(com=-1.0, seq=0.0, par=0.0)
+
+
+class TestReport:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.50" in text
+        assert "-" in lines[-1]  # None renders as dash
+
+    def test_format_table_title(self):
+        text = format_table(["c"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_grid(self):
+        text = format_grid(
+            ["r1"], ["c1", "c2"], {("r1", "c1"): 1.0, ("r1", "c2"): 2.0}
+        )
+        assert "r1" in text and "1.00" in text and "2.00" in text
+
+    def test_grid_missing_cell_renders_dash(self):
+        text = format_grid(["r1"], ["c1"], {})
+        assert "-" in text.splitlines()[-1]

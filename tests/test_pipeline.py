@@ -1,0 +1,89 @@
+"""Tests for the end-to-end scene analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import analyze_scene
+from repro.errors import ConfigurationError
+
+
+class TestSequentialPipeline:
+    @pytest.fixture(scope="class")
+    def analysis(self, small_scene):
+        return analyze_scene(
+            small_scene.image,
+            truth=small_scene.truth,
+            n_targets=10,
+            n_classes=12,
+            classifier_params={"morph": {"iterations": 2}},
+        )
+
+    # NOTE: class-scoped fixture cannot see function-scoped small_scene;
+    # override below.
+    @pytest.fixture(scope="class")
+    def small_scene(self):
+        from repro.hsi import SceneConfig, make_wtc_scene
+
+        return make_wtc_scene(SceneConfig(rows=64, cols=32, bands=32, seed=7))
+
+    def test_all_stages_present(self, analysis):
+        assert set(analysis.detections) == {"atdca", "ufcls"}
+        assert set(analysis.classifications) == {"pct", "morph"}
+        assert analysis.n_targets == 10
+        assert analysis.virtual_dimensionality is None
+
+    def test_scores_computed(self, analysis):
+        assert set(analysis.target_scores) == {"atdca", "ufcls"}
+        assert all(
+            len(s) == 7 for s in analysis.target_scores.values()
+        )
+        assert analysis.classification_scores["morph"].overall > 50.0
+
+    def test_wall_times_recorded(self, analysis):
+        for stage in ("atdca", "ufcls", "pct", "morph"):
+            assert analysis.wall_seconds[stage] >= 0.0
+
+    def test_summary_readable(self, analysis):
+        text = analysis.summary()
+        assert "ground targets matched" in text
+        assert "overall accuracy" in text
+
+
+class TestPipelineOptions:
+    def test_vd_sizes_targets(self, small_scene):
+        analysis = analyze_scene(
+            small_scene.image,
+            detectors=("atdca",),
+            classifiers=(),
+        )
+        assert analysis.virtual_dimensionality is not None
+        assert analysis.n_targets >= 8
+        assert analysis.detections["atdca"].n_targets == analysis.n_targets
+
+    def test_subset_of_algorithms(self, small_scene):
+        analysis = analyze_scene(
+            small_scene.image, n_targets=4, detectors=("atdca",),
+            classifiers=("morph",), n_classes=8,
+            classifier_params={"morph": {"iterations": 2}},
+        )
+        assert list(analysis.detections) == ["atdca"]
+        assert list(analysis.classifications) == ["morph"]
+
+    def test_parallel_platform_matches_sequential(self, small_scene, tiny_platform):
+        seq = analyze_scene(
+            small_scene.image, n_targets=5, detectors=("atdca",), classifiers=()
+        )
+        par = analyze_scene(
+            small_scene.image, n_targets=5, detectors=("atdca",),
+            classifiers=(), platform=tiny_platform,
+        )
+        assert np.array_equal(
+            seq.detections["atdca"].flat_indices,
+            par.detections["atdca"].flat_indices,
+        )
+
+    def test_unknown_algorithm_rejected(self, small_scene):
+        with pytest.raises(ConfigurationError):
+            analyze_scene(small_scene.image, detectors=("magic",))
+        with pytest.raises(ConfigurationError):
+            analyze_scene(small_scene.image, classifiers=("magic",))

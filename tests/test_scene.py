@@ -1,0 +1,97 @@
+"""Tests for the synthetic WTC scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hsi.groundtruth import UNLABELLED
+from repro.hsi.scene import DEBRIS_CLASS_NAMES, SceneConfig, make_wtc_scene
+
+
+class TestSceneConfig:
+    def test_defaults_valid(self):
+        SceneConfig()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SceneConfig(rows=8, cols=8)
+
+    def test_too_few_bands_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SceneConfig(bands=4)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SceneConfig(label_threshold=1.5)
+
+
+class TestSceneStructure:
+    def test_dimensions(self, small_scene):
+        cfg = small_scene.config
+        assert small_scene.image.shape == (cfg.rows, cfg.cols, cfg.bands)
+        assert small_scene.truth.class_map.shape == (cfg.rows, cfg.cols)
+
+    def test_deterministic(self):
+        cfg = SceneConfig(rows=48, cols=16, bands=16, seed=3)
+        a = make_wtc_scene(cfg)
+        b = make_wtc_scene(cfg)
+        assert np.array_equal(a.image.values, b.image.values)
+        assert np.array_equal(a.truth.class_map, b.truth.class_map)
+
+    def test_seed_changes_scene(self):
+        a = make_wtc_scene(SceneConfig(rows=48, cols=16, bands=16, seed=1))
+        b = make_wtc_scene(SceneConfig(rows=48, cols=16, bands=16, seed=2))
+        assert not np.array_equal(a.image.values, b.image.values)
+
+    def test_abundances_sum_to_one(self, small_scene):
+        totals = small_scene.abundances.sum(axis=2)
+        assert np.allclose(totals, 1.0)
+
+    def test_abundances_nonnegative(self, small_scene):
+        assert small_scene.abundances.min() >= 0.0
+
+    def test_cube_nonnegative(self, small_scene):
+        assert small_scene.image.values.min() >= 0.0
+
+    def test_seven_hotspots(self, small_scene):
+        assert sorted(small_scene.truth.targets) == list("ABCDEFG")
+
+    def test_seven_debris_classes(self, small_scene):
+        assert small_scene.class_names == list(DEBRIS_CLASS_NAMES)
+        assert small_scene.truth.n_classes == 7
+
+    def test_every_class_has_labelled_pixels(self, default_scene):
+        counts = default_scene.truth.class_pixel_counts()
+        assert np.all(counts > 0)
+
+    def test_pure_cores_exist_per_debris_class(self, default_scene):
+        names = default_scene.endmember_names
+        for class_name in DEBRIS_CLASS_NAMES:
+            idx = names.index(class_name)
+            pure = (default_scene.abundances[:, :, idx] > 0.95).sum()
+            assert pure > 0, class_name
+
+    def test_hottest_spot_is_scene_brightest(self, default_scene):
+        img = default_scene.image
+        energy = np.einsum("ijk,ijk->ij", img.values, img.values)
+        r, c = np.unravel_index(np.argmax(energy), energy.shape)
+        positions = default_scene.truth.target_positions().values()
+        assert (int(r), int(c)) in positions
+
+    def test_hotspot_pixels_not_labelled_as_debris(self, small_scene):
+        cmap = small_scene.truth.class_map
+        for spot in small_scene.truth.targets.values():
+            assert cmap[spot.row, spot.col] == UNLABELLED
+
+    def test_target_signatures_match_image(self, small_scene):
+        img = small_scene.image
+        for spot in small_scene.truth.targets.values():
+            assert np.array_equal(spot.signature, img.values[spot.row, spot.col])
+
+    def test_labelled_fraction_reasonable(self, default_scene):
+        frac = default_scene.truth.labelled_fraction()
+        assert 0.2 < frac < 0.9
+
+    def test_wavelengths_attached(self, small_scene):
+        assert small_scene.image.wavelengths is not None
+        assert small_scene.image.wavelengths.shape == (small_scene.config.bands,)

@@ -1,0 +1,218 @@
+"""Tests for the iterative-mapping LP, fault-tolerant scheduling,
+engine tracing, and the Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulationEngine, fully_heterogeneous
+from repro.errors import ConfigurationError
+from repro.mpi.inproc import run_inproc
+from repro.scheduling import (
+    WorkerResigned,
+    dlt_fractions,
+    fault_tolerant_master_worker,
+    heterogeneous_fractions,
+    iterative_makespan,
+    optimal_iterative_fractions,
+)
+from repro.viz.timeline import ascii_gantt, gantt_of_run
+
+from conftest import make_tiny_platform
+
+
+class TestIterativeLP:
+    def test_fractions_valid(self, het_platform):
+        alpha = optimal_iterative_fractions(het_platform, 10, 100.0, 50.0)
+        assert alpha.sum() == pytest.approx(1.0)
+        assert alpha.min() >= 0.0
+
+    def test_large_k_approaches_speed_proportional(self, het_platform):
+        alpha = optimal_iterative_fractions(het_platform, 10_000, 100.0, 50.0)
+        assert np.allclose(
+            alpha, heterogeneous_fractions(het_platform), atol=1e-4
+        )
+
+    def test_lp_dominates_heuristics(self, het_platform):
+        """The LP optimum is at least as good as WEA and DLT shares
+        under its own makespan model, for any iteration count."""
+        mflops, megabits = 100.0, 200.0
+        for k in (1, 3, 20, 200):
+            lp = optimal_iterative_fractions(het_platform, k, mflops, megabits)
+            t_lp = iterative_makespan(het_platform, lp, k, mflops, megabits)
+            for other in (
+                heterogeneous_fractions(het_platform),
+                dlt_fractions(het_platform, mflops, megabits),
+            ):
+                t_other = iterative_makespan(
+                    het_platform, other, k, mflops, megabits
+                )
+                assert t_lp <= t_other * (1 + 1e-9), k
+
+    def test_k1_can_beat_dlt_when_comm_dominates(self, het_platform):
+        """With communication dominating, handing slow-linked workers
+        any load is a loss; the LP finds that, equal-completion DLT
+        cannot."""
+        mflops, megabits = 1.0, 500.0
+        lp = optimal_iterative_fractions(het_platform, 1, mflops, megabits)
+        dlt = dlt_fractions(het_platform, mflops, megabits)
+        t_lp = iterative_makespan(het_platform, lp, 1, mflops, megabits)
+        t_dlt = iterative_makespan(het_platform, dlt, 1, mflops, megabits)
+        assert t_lp < t_dlt
+
+    def test_bad_inputs_rejected(self, het_platform):
+        with pytest.raises(ConfigurationError):
+            optimal_iterative_fractions(het_platform, 0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            iterative_makespan(
+                het_platform, heterogeneous_fractions(het_platform), 1, -1.0, 0.0
+            )
+
+
+class TestFaultTolerantScheduling:
+    def test_no_failures_matches_plain(self):
+        tasks = list(range(30))
+
+        def program(ctx):
+            return fault_tolerant_master_worker(
+                ctx, tasks if ctx.rank == 0 else None,
+                lambda c, t: t + 100, chunk_size=4,
+            )
+
+        result = run_inproc(4, program)
+        assert result.return_values[0] == [t + 100 for t in tasks]
+
+    def test_single_worker_failure_recovered(self):
+        tasks = list(range(40))
+
+        def process(ctx, task):
+            if ctx.rank == 2 and task >= 8:
+                raise WorkerResigned()
+            return task * 3
+
+        def program(ctx):
+            return fault_tolerant_master_worker(
+                ctx, tasks if ctx.rank == 0 else None, process, chunk_size=4,
+            )
+
+        result = run_inproc(4, program)
+        assert result.return_values[0] == [t * 3 for t in tasks]
+
+    def test_all_workers_fail_master_mops_up(self):
+        tasks = list(range(12))
+
+        def process(ctx, task):
+            if ctx.rank != ctx.master_rank:
+                raise WorkerResigned()
+            return -task
+
+        def program(ctx):
+            return fault_tolerant_master_worker(
+                ctx, tasks if ctx.rank == 0 else None, process, chunk_size=3,
+            )
+
+        result = run_inproc(3, program)
+        assert result.return_values[0] == [-t for t in tasks]
+
+    def test_single_rank(self):
+        def program(ctx):
+            return fault_tolerant_master_worker(ctx, [5], lambda c, t: t)
+
+        assert run_inproc(1, program).return_values[0] == [5]
+
+
+class TestEngineTrace:
+    def _traced_run(self):
+        platform = make_tiny_platform()
+        engine = SimulationEngine(platform, trace=True)
+
+        def program(ctx):
+            if ctx.is_master:
+                ctx.compute(50.0, sequential=True)
+                for dest in range(1, ctx.size):
+                    ctx.send(dest, np.zeros(100))
+            else:
+                ctx.recv(0)
+                ctx.compute(100.0)
+
+        return engine.run(program)
+
+    def test_events_recorded(self):
+        result = self._traced_run()
+        kinds = {e.kind for e in result.events}
+        assert kinds == {"seq", "compute", "transfer"}
+        # Every transfer recorded once per endpoint.
+        transfers = [e for e in result.events if e.kind == "transfer"]
+        assert len(transfers) == 2 * 3
+
+    def test_events_sorted_and_bounded(self):
+        result = self._traced_run()
+        starts = [e.start for e in result.events]
+        assert starts == sorted(starts)
+        assert all(0 <= e.start <= e.end <= result.makespan
+                   for e in result.events)
+
+    def test_untraced_engine_has_no_events(self, tiny_platform):
+        engine = SimulationEngine(tiny_platform)
+        result = engine.run(lambda ctx: ctx.compute(1.0))
+        assert result.events == []
+
+    def test_gantt_rendering(self):
+        result = self._traced_run()
+        chart = gantt_of_run(result, width=60)
+        lines = chart.splitlines()
+        assert len(lines) == 4 + 3  # 4 lanes + axis + scale + legend
+        assert "S" in lines[0]  # master's sequential work
+        assert "#" in lines[1]  # a worker's parallel compute
+        assert "=" in chart
+
+    def test_gantt_validates_input(self):
+        with pytest.raises(ConfigurationError):
+            ascii_gantt([], n_ranks=2)
+
+
+class TestNFindrAndSAM:
+    def test_nfindr_finds_simplex_vertices(self, rng):
+        from repro.core import nfindr_pixels
+
+        # 3 extreme vertices + interior mixtures: N-FINDR must return
+        # the vertices.
+        vertices = np.array(
+            [[5.0, 0.1, 0.1, 0.1], [0.1, 5.0, 0.1, 0.1], [0.1, 0.1, 5.0, 0.1]]
+        )
+        weights = rng.dirichlet(np.ones(3), size=150)
+        interior = weights @ vertices
+        pixels = np.vstack([interior, vertices])
+        result = nfindr_pixels(pixels, 3)
+        assert set(result.flat_indices) == {150, 151, 152}
+        assert result.volume > 0
+
+    def test_nfindr_validation(self, rng):
+        from repro.core import nfindr_pixels
+
+        with pytest.raises(ConfigurationError):
+            nfindr_pixels(rng.random((10, 4)), 1)
+        with pytest.raises(ConfigurationError):
+            nfindr_pixels(rng.random((10, 2)), 5)
+
+    def test_sam_classifies_library_scene(self, small_scene):
+        from repro.core import sam_classify
+
+        result = sam_classify(small_scene.image, small_scene.library)
+        assert result.labels.shape == small_scene.truth.class_map.shape
+        # Pure water pixels must map to the water class.
+        water_idx = small_scene.library.names.index("water")
+        names = small_scene.endmember_names
+        w = names.index("water")
+        pure_water = small_scene.abundances[:, :, w] > 0.99
+        agreement = (result.labels[pure_water] == water_idx).mean()
+        assert agreement > 0.95
+
+    def test_sam_rejection(self, small_scene):
+        from repro.core import sam_classify
+        import numpy as np
+
+        result = sam_classify(
+            small_scene.image, small_scene.library,
+            rejection_threshold=1e-6,
+        )
+        assert result.rejected_fraction > 0.5  # nearly everything noisy

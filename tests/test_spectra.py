@@ -1,0 +1,225 @@
+"""Tests for the synthetic spectral library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DataError
+from repro.hsi.metrics import sad, sad_pairwise
+from repro.hsi.spectra import (
+    AVIRIS_NUM_BANDS,
+    WTC_HOTSPOT_TEMPS_F,
+    Signature,
+    SpectralLibrary,
+    aviris_wavelengths,
+    blackbody_radiance,
+    build_wtc_library,
+    continuum,
+    fahrenheit_to_kelvin,
+    flame_emission_center_um,
+    gaussian_absorption,
+    reflectance_signature,
+    thermal_signature,
+    wtc_material_params,
+)
+
+
+class TestWavelengths:
+    def test_default_grid(self):
+        wl = aviris_wavelengths()
+        assert wl.shape == (AVIRIS_NUM_BANDS,)
+        assert wl[0] == pytest.approx(0.4)
+        assert wl[-1] == pytest.approx(2.5)
+
+    def test_strictly_increasing(self):
+        wl = aviris_wavelengths(64)
+        assert np.all(np.diff(wl) > 0)
+
+    def test_too_few_bands_rejected(self):
+        with pytest.raises(DataError):
+            aviris_wavelengths(1)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(DataError):
+            aviris_wavelengths(10, start_um=2.0, stop_um=1.0)
+
+
+class TestBlackbody:
+    def test_positive(self):
+        wl = aviris_wavelengths(32)
+        assert np.all(blackbody_radiance(wl, 700.0) > 0)
+
+    def test_hotter_is_brighter_everywhere(self):
+        wl = aviris_wavelengths(32)
+        cool = blackbody_radiance(wl, 650.0)
+        hot = blackbody_radiance(wl, 950.0)
+        assert np.all(hot > cool)
+
+    def test_rises_toward_swir_for_fire_temperatures(self):
+        # Peaks beyond 2.5 um for 600-1000 K, so in-band radiance rises.
+        wl = aviris_wavelengths(32)
+        rad = blackbody_radiance(wl, 800.0)
+        assert rad[-1] > rad[0]
+
+    def test_zero_temperature_rejected(self):
+        with pytest.raises(DataError):
+            blackbody_radiance(aviris_wavelengths(8), 0.0)
+
+
+class TestFahrenheit:
+    def test_known_points(self):
+        assert fahrenheit_to_kelvin(32.0) == pytest.approx(273.15)
+        assert fahrenheit_to_kelvin(212.0) == pytest.approx(373.15)
+
+    def test_paper_range(self):
+        assert fahrenheit_to_kelvin(700.0) == pytest.approx(644.26, abs=0.01)
+        assert fahrenheit_to_kelvin(1300.0) == pytest.approx(977.59, abs=0.01)
+
+
+class TestSignatureBuilding:
+    def test_gaussian_absorption_peak_at_center(self):
+        wl = aviris_wavelengths(128)
+        feat = gaussian_absorption(wl, 1.4, 0.05, 0.2)
+        assert wl[np.argmax(feat)] == pytest.approx(1.4, abs=0.02)
+        # The discrete grid need not sample the exact peak.
+        assert feat.max() == pytest.approx(0.2, abs=0.01)
+
+    def test_gaussian_rejects_bad_width(self):
+        with pytest.raises(DataError):
+            gaussian_absorption(aviris_wavelengths(8), 1.0, 0.0, 0.1)
+
+    def test_continuum_base_at_first_band(self):
+        wl = aviris_wavelengths(16)
+        c = continuum(wl, base=0.3, slope=0.1)
+        assert c[0] == pytest.approx(0.3)
+
+    def test_reflectance_clipped_to_unit_interval(self):
+        wl = aviris_wavelengths(64)
+        spec = reflectance_signature(wl, 0.9, 0.5, [(1.0, 0.1, 2.0)])
+        assert spec.min() >= 0.0 and spec.max() <= 1.0
+
+    def test_absorption_reduces_reflectance_at_feature(self):
+        wl = aviris_wavelengths(128)
+        plain = reflectance_signature(wl, 0.5, 0.0)
+        dipped = reflectance_signature(wl, 0.5, 0.0, [(1.4, 0.05, 0.2)])
+        band = np.argmin(np.abs(wl - 1.4))
+        assert dipped[band] < plain[band]
+
+
+class TestThermalSignature:
+    def test_shape_and_positivity(self):
+        wl = aviris_wavelengths(48)
+        sig = thermal_signature(wl, 900.0)
+        assert sig.shape == wl.shape
+        assert np.all(np.isfinite(sig))
+
+    def test_ambient_blend_changes_signature(self):
+        wl = aviris_wavelengths(48)
+        ambient = reflectance_signature(wl, 0.4, 0.05)
+        bare = thermal_signature(wl, 900.0)
+        mixed = thermal_signature(wl, 900.0, ambient=ambient, ambient_weight=0.4)
+        assert sad(bare, mixed) > 0.01
+
+    def test_ambient_shape_mismatch_rejected(self):
+        wl = aviris_wavelengths(48)
+        with pytest.raises(DataError):
+            thermal_signature(wl, 900.0, ambient=np.ones(7))
+
+    def test_emission_center_monotone_in_temperature(self):
+        centers = [flame_emission_center_um(t) for t in (650.0, 750.0, 950.0)]
+        assert centers == sorted(centers)
+
+    def test_explicit_emission_center_honoured(self):
+        wl = aviris_wavelengths(128)
+        a = thermal_signature(wl, 900.0, emission_center_um=0.9)
+        b = thermal_signature(wl, 900.0, emission_center_um=1.5)
+        assert sad(a, b) > 0.02
+
+
+class TestSignatureClass:
+    def test_rejects_2d(self):
+        with pytest.raises(DataError):
+            Signature("x", np.ones((2, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            Signature("x", np.array([1.0, np.nan]))
+
+    def test_n_bands(self):
+        assert Signature("x", np.ones(5)).n_bands == 5
+
+
+class TestSpectralLibrary:
+    def test_build_and_lookup(self):
+        lib = build_wtc_library(48)
+        assert "gypsum_wallboard" in lib
+        assert lib["gypsum_wallboard"].n_bands == 48
+
+    def test_all_materials_and_hotspots_present(self):
+        lib = build_wtc_library(32)
+        assert set(wtc_material_params()) <= set(lib.names)
+        for label in WTC_HOTSPOT_TEMPS_F:
+            assert f"hotspot_{label.lower()}" in lib
+
+    def test_kind_partition(self):
+        lib = build_wtc_library(32)
+        assert len(lib.thermal_names()) == 7
+        assert set(lib.thermal_names()) | set(lib.reflective_names()) == set(lib.names)
+
+    def test_duplicate_name_rejected(self):
+        lib = build_wtc_library(32)
+        with pytest.raises(DataError):
+            lib.add(Signature("water", np.ones(32)))
+
+    def test_wrong_band_count_rejected(self):
+        lib = build_wtc_library(32)
+        with pytest.raises(DataError):
+            lib.add(Signature("odd", np.ones(16)))
+
+    def test_unknown_name_raises_keyerror(self):
+        lib = build_wtc_library(32)
+        with pytest.raises(KeyError):
+            lib["nope"]
+
+    def test_to_matrix_order(self):
+        lib = build_wtc_library(32)
+        mat = lib.to_matrix(["water", "vegetation"])
+        assert mat.shape == (2, 32)
+        assert np.array_equal(mat[0], lib["water"].values)
+
+    def test_subset_preserves_order(self):
+        lib = build_wtc_library(32)
+        sub = lib.subset(["asphalt", "water"])
+        assert sub.names == ["asphalt", "water"]
+
+    def test_wavelengths_read_only(self):
+        lib = build_wtc_library(32)
+        with pytest.raises(ValueError):
+            lib.wavelengths[0] = 99.0
+
+    def test_hotspots_mutually_distinct(self):
+        lib = build_wtc_library(48)
+        mat = lib.to_matrix([f"hotspot_{c}" for c in "abcdefg"])
+        angles = sad_pairwise(mat)
+        off = angles[~np.eye(7, dtype=bool)]
+        assert off.min() > 0.04
+
+    def test_debris_classes_separable(self):
+        lib = build_wtc_library(48)
+        mat = lib.to_matrix(lib.reflective_names()[:7])
+        angles = sad_pairwise(mat)
+        off = angles[~np.eye(7, dtype=bool)]
+        assert off.min() > 0.05
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    temp_f=st.floats(min_value=650.0, max_value=1350.0),
+    bands=st.integers(min_value=16, max_value=128),
+)
+def test_thermal_signature_finite_everywhere(temp_f, bands):
+    wl = aviris_wavelengths(bands)
+    sig = thermal_signature(wl, temp_f)
+    assert np.all(np.isfinite(sig))
+    assert sig.max() > 0
