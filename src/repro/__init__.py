@@ -21,7 +21,17 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
-from repro import cluster, core, hsi, linalg, morphology, mpi, perf, scheduling
+from repro import (
+    cluster,
+    core,
+    hsi,
+    linalg,
+    morphology,
+    mpi,
+    obs,
+    perf,
+    scheduling,
+)
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
@@ -35,6 +45,7 @@ __all__ = [
     "linalg",
     "morphology",
     "mpi",
+    "obs",
     "perf",
     "scheduling",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
 from repro.cluster.mailbox import Router
@@ -25,6 +25,9 @@ from repro.cluster.platform import HeterogeneousPlatform
 from repro.cluster.simtime import Phase, PhaseLedger, VirtualClock
 from repro.errors import ConfigurationError, ReproError
 from repro.types import Megaflops, Seconds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsSession
 
 __all__ = [
     "RankContext",
@@ -73,6 +76,8 @@ class RankContext:
         self.cost_model = engine.cost_model
         self.clock = engine.clocks[rank]
         self.ledger = engine.ledgers[rank]
+        #: Observability session shared by all ranks (``None`` = off).
+        self.obs = engine.obs
 
     @property
     def size(self) -> int:
@@ -113,6 +118,18 @@ class RankContext:
                     detail=f"{mflops:.1f} Mflop",
                 )
             )
+        if self.obs is not None and dt > 0:
+            kind = "seq" if sequential else "compute"
+            self.obs.tracer.add_span(
+                kind, self.rank, start, self.clock.now,
+                category=kind, mflops=float(mflops),
+            )
+            self.obs.metrics.counter(
+                "compute.mflops", rank=self.rank, kind=kind
+            ).inc(float(mflops))
+            self.obs.metrics.counter(
+                "compute.seconds", rank=self.rank, kind=kind
+            ).inc(dt)
         return dt
 
     def charge_seconds(self, seconds: Seconds, phase: Phase = Phase.PAR) -> None:
@@ -126,11 +143,23 @@ class RankContext:
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
         """Synchronous send; virtual transfer time charged at match."""
         megabits = self.cost_model.message_megabits(payload)
+        if self.obs is not None:
+            m = self.obs.metrics
+            m.counter("comm.messages_sent", rank=self.rank, peer=dest).inc()
+            m.counter("comm.megabits_sent", rank=self.rank, peer=dest).inc(megabits)
         self._engine.router.send(self.rank, dest, tag, payload, megabits)
 
     def recv(self, source: int, tag: int = -1) -> Any:
         """Blocking receive from ``source`` (tag -1 = any)."""
-        return self._engine.router.recv(self.rank, source, tag)
+        payload = self._engine.router.recv(self.rank, source, tag)
+        if self.obs is not None:
+            megabits = self.cost_model.message_megabits(payload)
+            m = self.obs.metrics
+            m.counter("comm.messages_received", rank=self.rank, peer=source).inc()
+            m.counter(
+                "comm.megabits_received", rank=self.rank, peer=source
+            ).inc(megabits)
+        return payload
 
 
 @dataclasses.dataclass
@@ -183,10 +212,16 @@ class SimulationEngine:
         cost_model: CostModel | None = None,
         deadlock_grace_s: float = 0.25,
         trace: bool = False,
+        obs: "ObsSession | None" = None,
     ) -> None:
         self.platform = platform
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.trace = trace
+        self.obs = obs
+        if obs is not None:
+            # Dual-clock design: spans read this engine's per-rank
+            # virtual clocks, so exports are deterministic.
+            obs.tracer.set_clock(lambda rank: self.clocks[rank].now)
         self.clocks = [VirtualClock() for _ in range(platform.size)]
         self.ledgers = [PhaseLedger() for _ in range(platform.size)]
         self._link_free: dict[tuple[str, str], Seconds] = {}
@@ -220,10 +255,31 @@ class SimulationEngine:
             wait = start - self.clocks[rank].now
             if wait > 0:
                 self.ledgers[rank].add_idle(wait)
+                if self.obs is not None:
+                    self.obs.metrics.counter(
+                        "sim.idle_seconds", rank=rank
+                    ).inc(wait)
             self.ledgers[rank].add(Phase.COM, duration)
+            if self.obs is not None:
+                self.obs.metrics.counter(
+                    "sim.com_seconds", rank=rank
+                ).inc(duration)
             self.clocks[rank].advance_to(end)
         if link is not None:
             self._link_free[link] = end
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "sim.link_megabits", src=src, dst=dst
+            ).inc(megabits)
+            self.obs.metrics.histogram(
+                "sim.transfer_seconds", src=src, dst=dst
+            ).observe(duration)
+            for rank, peer in ((src, dst), (dst, src)):
+                self.obs.tracer.add_span(
+                    "transfer", rank, start, end, category="transfer",
+                    peer=peer, megabits=float(megabits),
+                    direction="send" if rank == src else "recv",
+                )
         if self.trace:
             for rank, peer in ((src, dst), (dst, src)):
                 self.record_event(
@@ -318,11 +374,13 @@ def run_program(
     program: Callable[..., Any],
     kwargs_per_rank: Sequence[Mapping[str, Any]] | None = None,
     cost_model: CostModel | None = None,
+    obs: "ObsSession | None" = None,
     **common_kwargs: Any,
 ) -> SimulationResult:
     """One-shot convenience: build an engine and run ``program``.
 
-    Extra keyword arguments are forwarded to every rank.
+    Extra keyword arguments are forwarded to every rank; ``obs``
+    attaches an observability session clocked by virtual time.
     """
-    engine = SimulationEngine(platform, cost_model=cost_model)
+    engine = SimulationEngine(platform, cost_model=cost_model, obs=obs)
     return engine.run(program, kwargs_per_rank, common_kwargs)

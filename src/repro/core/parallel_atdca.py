@@ -33,6 +33,7 @@ from repro.errors import ConfigurationError
 from repro.hsi.cube import HyperspectralImage
 from repro.linalg.osp import residual_energy
 from repro.mpi.communicator import Communicator, MessageContext
+from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 
 __all__ = ["parallel_atdca_program"]
@@ -77,6 +78,7 @@ def parallel_atdca_program(
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
+    tracer = tracer_of(ctx)
     master_only(ctx, image, "image")
 
     block = distribute_row_blocks(comm, image, partition)
@@ -85,55 +87,57 @@ def parallel_atdca_program(
     n_local = local.shape[0]
 
     # -- step 2-3: the brightest pixel ----------------------------------------
-    ctx.compute(cost.brightest_search(n_local, bands))
-    if n_local:
-        energies = np.einsum("ij,ij->i", local, local)
-        lidx, score = _local_argmax(energies)
-        candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-    else:  # an empty share still participates in the collectives
-        candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
-    gathered = comm.gather(candidate)
+    with tracer.span("atdca.brightest", rank=ctx.rank):
+        ctx.compute(cost.brightest_search(n_local, bands))
+        if n_local:
+            energies = np.einsum("ij,ij->i", local, local)
+            lidx, score = _local_argmax(energies)
+            candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+        else:  # an empty share still participates in the collectives
+            candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+        gathered = comm.gather(candidate)
 
-    indices: list[int] = []
-    signatures: list[np.ndarray] = []
-    scores: list[float] = []
-    if comm.is_master:
-        charge_sequential(ctx, cost.brightest_search(comm.size, bands))
-        win = _select_candidate(gathered)
-        first = gathered[win]
-        indices.append(first[1])
-        signatures.append(first[2])
-        scores.append(first[0])
-        u_matrix = first[2][None, :]
-    else:
-        u_matrix = None
-    u_matrix = comm.bcast(u_matrix)
+        indices: list[int] = []
+        signatures: list[np.ndarray] = []
+        scores: list[float] = []
+        if comm.is_master:
+            charge_sequential(ctx, cost.brightest_search(comm.size, bands))
+            win = _select_candidate(gathered)
+            first = gathered[win]
+            indices.append(first[1])
+            signatures.append(first[2])
+            scores.append(first[0])
+            u_matrix = first[2][None, :]
+        else:
+            u_matrix = None
+        u_matrix = comm.bcast(u_matrix)
 
     # -- steps 4-6: iterative OSP extraction ------------------------------------
     for k in range(1, n_targets):
-        ctx.compute(cost.osp_scores(n_local, bands, k))
-        if n_local:
-            energies = residual_energy(local, u_matrix)
-            lidx, score = _local_argmax(energies)
-            candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-        else:
-            candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
-        gathered = comm.gather(candidate)
-        if comm.is_master:
-            # The paper's master applies P_U^⊥ to the candidate pixels —
-            # with the explicit N×N projector, a sequential step.
-            charge_sequential(
-                ctx, cost.master_osp_selection(bands, k, comm.size)
-            )
-            win = _select_candidate(gathered)
-            chosen = gathered[win]
-            indices.append(chosen[1])
-            signatures.append(chosen[2])
-            scores.append(chosen[0])
-            new_u = np.vstack([u_matrix, chosen[2][None, :]])
-        else:
-            new_u = None
-        u_matrix = comm.bcast(new_u)
+        with tracer.span("atdca.iteration", rank=ctx.rank, k=k):
+            ctx.compute(cost.osp_scores(n_local, bands, k))
+            if n_local:
+                energies = residual_energy(local, u_matrix)
+                lidx, score = _local_argmax(energies)
+                candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+            else:
+                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            gathered = comm.gather(candidate)
+            if comm.is_master:
+                # The paper's master applies P_U^⊥ to the candidate pixels —
+                # with the explicit N×N projector, a sequential step.
+                charge_sequential(
+                    ctx, cost.master_osp_selection(bands, k, comm.size)
+                )
+                win = _select_candidate(gathered)
+                chosen = gathered[win]
+                indices.append(chosen[1])
+                signatures.append(chosen[2])
+                scores.append(chosen[0])
+                new_u = np.vstack([u_matrix, chosen[2][None, :]])
+            else:
+                new_u = None
+            u_matrix = comm.bcast(new_u)
 
     if not comm.is_master:
         return None

@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError, DataError
 from repro.hsi.cube import HyperspectralImage
 from repro.morphology.halo import HaloBlock, extract_halo_block
 from repro.mpi.communicator import Communicator, MessageContext
+from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 from repro.types import FloatArray
 
@@ -126,37 +127,38 @@ def distribute_row_blocks(
         raise ConfigurationError(
             f"partition has {partition.size} shares for {comm.size} ranks"
         )
-    if comm.is_master:
-        img = master_only(ctx, image, "image")
-        if partition.n_rows != img.rows:
-            raise ConfigurationError(
-                f"partition covers {partition.n_rows} rows, image has "
-                f"{img.rows}"
-            )
-        cost = cost_model_of(ctx)
-        charge_sequential(
-            ctx, cost.scatter_pack(img.n_pixels * img.bands)
-        )
-        payloads = []
-        for rank in range(comm.size):
-            start, stop = partition.bounds(rank)
-            block = extract_halo_block(img.values, start, stop, halo_depth)
-            payloads.append(
-                (
-                    block.data,
-                    int(block.core_start),
-                    int(block.core_stop),
-                    int(block.top),
-                    int(block.bottom),
-                    int(img.cols),
-                    int(img.bands),
-                    int(img.rows),
+    with tracer_of(ctx).span("scatter", rank=comm.rank, halo=halo_depth):
+        if comm.is_master:
+            img = master_only(ctx, image, "image")
+            if partition.n_rows != img.rows:
+                raise ConfigurationError(
+                    f"partition covers {partition.n_rows} rows, image has "
+                    f"{img.rows}"
                 )
+            cost = cost_model_of(ctx)
+            charge_sequential(
+                ctx, cost.scatter_pack(img.n_pixels * img.bands)
             )
-        mine = comm.scatter(payloads)
-    else:
-        master_only(ctx, image, "image")
-        mine = comm.scatter(None)
+            payloads = []
+            for rank in range(comm.size):
+                start, stop = partition.bounds(rank)
+                block = extract_halo_block(img.values, start, stop, halo_depth)
+                payloads.append(
+                    (
+                        block.data,
+                        int(block.core_start),
+                        int(block.core_stop),
+                        int(block.top),
+                        int(block.bottom),
+                        int(img.cols),
+                        int(img.bands),
+                        int(img.rows),
+                    )
+                )
+            mine = comm.scatter(payloads)
+        else:
+            master_only(ctx, image, "image")
+            mine = comm.scatter(None)
     data, core_start, core_stop, top, bottom, cols, bands, total_rows = mine
     return LocalBlock(
         halo=HaloBlock(

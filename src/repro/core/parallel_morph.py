@@ -34,6 +34,7 @@ from repro.hsi.metrics import sad_to_references
 from repro.morphology.halo import halo_depth
 from repro.morphology.structuring import StructuringElement, square
 from repro.mpi.communicator import Communicator, MessageContext
+from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 
 __all__ = [
@@ -92,6 +93,7 @@ def parallel_morph_program(
     se = se or square(3)
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
+    tracer = tracer_of(ctx)
     master_only(ctx, image, "image")
 
     depth = morph_halo_depth(se, iterations, exact=exact_halo)
@@ -101,63 +103,66 @@ def parallel_morph_program(
     n_extended = extended.shape[0] * extended.shape[1]
 
     # -- step 2: the multiscale MEI sweep (redundant halo rows included) -------
-    ctx.compute(cost.morph_iteration(n_extended, bands, se.size) * iterations)
-    mei_extended = mei_map(extended, se, iterations)
-    mei_core = block.halo.core_view(mei_extended)
-    core = block.halo.core_view()
-
-    pool = min(block.n_core_pixels, 8 * n_classes)
-    ctx.compute(cost.sad_pairs(pool * min(n_classes, pool), bands))
-    if block.n_core_pixels:
-        candidates = local_endmember_candidates(
-            core,
-            mei_core,
-            n_classes,
-            row_offset=block.halo.core_start,
-            total_cols=block.cols,
-            dedup_threshold=dedup_threshold,
-        )
-        payload = (candidates.signatures, candidates.indices, candidates.scores)
-    else:
-        payload = None
-    gathered = comm.gather(payload)
+    with tracer.span("morph.mei", rank=ctx.rank, iterations=iterations):
+        ctx.compute(cost.morph_iteration(n_extended, bands, se.size) * iterations)
+        mei_extended = mei_map(extended, se, iterations)
+        mei_core = block.halo.core_view(mei_extended)
+        core = block.halo.core_view()
 
     # -- step 3: master forms the unique endmember set --------------------------
-    if comm.is_master:
-        sets = [
-            UniqueSet(signatures=sig, indices=idx, scores=sc)
-            for item in gathered
-            if item is not None
-            for sig, idx, sc in [item]
-        ]
-        total = sum(s.count for s in sets)
-        charge_sequential(
-            ctx, cost.dedup_unique_set(total, bands, kept=n_classes)
+    with tracer.span("morph.endmembers", rank=ctx.rank):
+        pool = min(block.n_core_pixels, 8 * n_classes)
+        ctx.compute(cost.sad_pairs(pool * min(n_classes, pool), bands))
+        if block.n_core_pixels:
+            candidates = local_endmember_candidates(
+                core,
+                mei_core,
+                n_classes,
+                row_offset=block.halo.core_start,
+                total_cols=block.cols,
+                dedup_threshold=dedup_threshold,
+            )
+            payload = (candidates.signatures, candidates.indices, candidates.scores)
+        else:
+            payload = None
+        gathered = comm.gather(payload)
+
+        if comm.is_master:
+            sets = [
+                UniqueSet(signatures=sig, indices=idx, scores=sc)
+                for item in gathered
+                if item is not None
+                for sig, idx, sc in [item]
+            ]
+            total = sum(s.count for s in sets)
+            charge_sequential(
+                ctx, cost.dedup_unique_set(total, bands, kept=n_classes)
+            )
+            endmembers = merge_unique_sets(sets, dedup_threshold, count=n_classes)
+            em_payload = (
+                endmembers.signatures,
+                endmembers.indices,
+                endmembers.scores,
+            )
+        else:
+            em_payload = None
+        em_payload = comm.bcast(em_payload)
+        endmembers = UniqueSet(
+            signatures=em_payload[0], indices=em_payload[1], scores=em_payload[2]
         )
-        endmembers = merge_unique_sets(sets, dedup_threshold, count=n_classes)
-        em_payload = (
-            endmembers.signatures,
-            endmembers.indices,
-            endmembers.scores,
-        )
-    else:
-        em_payload = None
-    em_payload = comm.bcast(em_payload)
-    endmembers = UniqueSet(
-        signatures=em_payload[0], indices=em_payload[1], scores=em_payload[2]
-    )
 
     # -- step 4: parallel labelling ----------------------------------------------
-    ctx.compute(
-        cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count)
-    )
-    if block.n_core_pixels:
-        angles = sad_to_references(block.core_pixels, endmembers.signatures)
-        labels = np.argmin(angles, axis=1).astype(np.int64)
-    else:
-        labels = np.empty(0, dtype=np.int64)
-    mei_flat = mei_core.reshape(-1)
-    gathered_labels = comm.gather((labels, mei_flat))
+    with tracer.span("morph.classify", rank=ctx.rank):
+        ctx.compute(
+            cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count)
+        )
+        if block.n_core_pixels:
+            angles = sad_to_references(block.core_pixels, endmembers.signatures)
+            labels = np.argmin(angles, axis=1).astype(np.int64)
+        else:
+            labels = np.empty(0, dtype=np.int64)
+        mei_flat = mei_core.reshape(-1)
+        gathered_labels = comm.gather((labels, mei_flat))
 
     # -- step 5: master assembles the classification matrix ------------------------
     if not comm.is_master:
@@ -236,6 +241,7 @@ def parallel_morph_exchange_program(
     se = se or square(3)
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
+    tracer = tracer_of(ctx)
     master_only(ctx, image, "image")
 
     depth = se.radius
@@ -249,72 +255,75 @@ def parallel_morph_exchange_program(
     mei_ext = np.zeros(extended.shape[:2])
     current = extended
     for step in range(iterations):
-        n_ext = current.shape[0] * cols
-        ctx.compute(cost.morph_iteration(n_ext, bands, se.size))
-        extrema = morph_extrema(current, se)
-        scores = mei_scores(extrema)
-        if mei_ext.shape != scores.shape:
-            mei_ext = np.zeros_like(scores)
-        np.maximum(mei_ext, scores, out=mei_ext)
-        if step + 1 < iterations:
-            # Keep the dilated core; refresh halos from the neighbours.
-            core_rows = block.halo.core_rows
-            start = block.halo.top if current.shape[0] > core_rows else 0
-            dilated_core = extrema.dilated[start : start + core_rows]
-            current = _exchange_halos(
-                comm, block, dilated_core, depth, tag_base=200 + 2 * step
-            )
+        with tracer.span("morph.iteration", rank=ctx.rank, k=step):
+            n_ext = current.shape[0] * cols
+            ctx.compute(cost.morph_iteration(n_ext, bands, se.size))
+            extrema = morph_extrema(current, se)
+            scores = mei_scores(extrema)
+            if mei_ext.shape != scores.shape:
+                mei_ext = np.zeros_like(scores)
+            np.maximum(mei_ext, scores, out=mei_ext)
+            if step + 1 < iterations:
+                # Keep the dilated core; refresh halos from the neighbours.
+                core_rows = block.halo.core_rows
+                start = block.halo.top if current.shape[0] > core_rows else 0
+                dilated_core = extrema.dilated[start : start + core_rows]
+                current = _exchange_halos(
+                    comm, block, dilated_core, depth, tag_base=200 + 2 * step
+                )
 
     core_rows = block.halo.core_rows
     start = block.halo.top if mei_ext.shape[0] > core_rows else 0
     mei_core = mei_ext[start : start + core_rows]
     core = block.halo.core_view()
 
-    pool = min(block.n_core_pixels, 8 * n_classes)
-    ctx.compute(cost.sad_pairs(pool * min(n_classes, pool), bands))
-    if block.n_core_pixels:
-        candidates = local_endmember_candidates(
-            core, mei_core, n_classes,
-            row_offset=block.halo.core_start,
-            total_cols=cols,
-            dedup_threshold=dedup_threshold,
-        )
-        payload = (candidates.signatures, candidates.indices, candidates.scores)
-    else:
-        payload = None
-    gathered = comm.gather(payload)
+    with tracer.span("morph.endmembers", rank=ctx.rank):
+        pool = min(block.n_core_pixels, 8 * n_classes)
+        ctx.compute(cost.sad_pairs(pool * min(n_classes, pool), bands))
+        if block.n_core_pixels:
+            candidates = local_endmember_candidates(
+                core, mei_core, n_classes,
+                row_offset=block.halo.core_start,
+                total_cols=cols,
+                dedup_threshold=dedup_threshold,
+            )
+            payload = (candidates.signatures, candidates.indices, candidates.scores)
+        else:
+            payload = None
+        gathered = comm.gather(payload)
 
-    if comm.is_master:
-        sets = [
-            UniqueSet(signatures=sig, indices=idx, scores=sc)
-            for item in gathered
-            if item is not None
-            for sig, idx, sc in [item]
-        ]
-        total = sum(s.count for s in sets)
-        charge_sequential(
-            ctx, cost.dedup_unique_set(total, bands, kept=n_classes)
+        if comm.is_master:
+            sets = [
+                UniqueSet(signatures=sig, indices=idx, scores=sc)
+                for item in gathered
+                if item is not None
+                for sig, idx, sc in [item]
+            ]
+            total = sum(s.count for s in sets)
+            charge_sequential(
+                ctx, cost.dedup_unique_set(total, bands, kept=n_classes)
+            )
+            endmembers = merge_unique_sets(sets, dedup_threshold, count=n_classes)
+            em_payload = (
+                endmembers.signatures, endmembers.indices, endmembers.scores
+            )
+        else:
+            em_payload = None
+        em_payload = comm.bcast(em_payload)
+        endmembers = UniqueSet(
+            signatures=em_payload[0], indices=em_payload[1], scores=em_payload[2]
         )
-        endmembers = merge_unique_sets(sets, dedup_threshold, count=n_classes)
-        em_payload = (
-            endmembers.signatures, endmembers.indices, endmembers.scores
-        )
-    else:
-        em_payload = None
-    em_payload = comm.bcast(em_payload)
-    endmembers = UniqueSet(
-        signatures=em_payload[0], indices=em_payload[1], scores=em_payload[2]
-    )
 
-    ctx.compute(
-        cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count)
-    )
-    if block.n_core_pixels:
-        angles = sad_to_references(block.core_pixels, endmembers.signatures)
-        labels = np.argmin(angles, axis=1).astype(np.int64)
-    else:
-        labels = np.empty(0, dtype=np.int64)
-    gathered_labels = comm.gather((labels, mei_core.reshape(-1)))
+    with tracer.span("morph.classify", rank=ctx.rank):
+        ctx.compute(
+            cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count)
+        )
+        if block.n_core_pixels:
+            angles = sad_to_references(block.core_pixels, endmembers.signatures)
+            labels = np.argmin(angles, axis=1).astype(np.int64)
+        else:
+            labels = np.empty(0, dtype=np.int64)
+        gathered_labels = comm.gather((labels, mei_core.reshape(-1)))
 
     if not comm.is_master:
         return None

@@ -38,6 +38,7 @@ from repro.linalg.pca import (
     pct_transform,
 )
 from repro.mpi.communicator import Communicator, MessageContext
+from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 
 __all__ = ["parallel_pct_program"]
@@ -55,6 +56,7 @@ def parallel_pct_program(
         raise ConfigurationError(f"n_classes must be >= 1, got {n_classes}")
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
+    tracer = tracer_of(ctx)
     master_only(ctx, image, "image")
 
     block = distribute_row_blocks(comm, image, partition)
@@ -62,92 +64,93 @@ def parallel_pct_program(
     bands = block.bands
     n_local = local.shape[0]
 
-    # -- step 2: local unique sets -------------------------------------------
-    ctx.compute(cost.unique_set_scan(n_local, bands, n_classes))
-    if n_local:
-        local_unique = greedy_unique(local, threshold, max_keep=4 * n_classes)
-        offset = block.halo.core_start * block.cols
-        local_unique = UniqueSet(
-            signatures=local_unique.signatures,
-            indices=local_unique.indices + offset,
+    # -- steps 2-3: local unique sets, merged at the master -------------------
+    with tracer.span("pct.unique", rank=ctx.rank):
+        ctx.compute(cost.unique_set_scan(n_local, bands, n_classes))
+        if n_local:
+            local_unique = greedy_unique(local, threshold, max_keep=4 * n_classes)
+            offset = block.halo.core_start * block.cols
+            local_unique = UniqueSet(
+                signatures=local_unique.signatures,
+                indices=local_unique.indices + offset,
+            )
+        else:
+            local_unique = None
+        gathered_sets = comm.gather(
+            None
+            if local_unique is None
+            else (local_unique.signatures, local_unique.indices)
         )
-    else:
-        local_unique = None
-    gathered_sets = comm.gather(
-        None
-        if local_unique is None
-        else (local_unique.signatures, local_unique.indices)
-    )
 
-    # -- step 3: master merges, one pair at a time ---------------------------------
-    if comm.is_master:
-        sets = [
-            UniqueSet(signatures=sig, indices=idx)
-            for payload in gathered_sets
-            if payload is not None
-            for sig, idx in [payload]
-        ]
-        total_candidates = sum(s.count for s in sets)
-        charge_sequential(
-            ctx, cost.dedup_unique_set(total_candidates, bands, kept=n_classes)
-        )
-        unique = merge_unique_sets(sets, threshold, count=n_classes)
-        unique_payload = (unique.signatures, unique.indices)
-    else:
-        unique_payload = None
-    unique_payload = comm.bcast(unique_payload)
-    unique = UniqueSet(signatures=unique_payload[0], indices=unique_payload[1])
+        if comm.is_master:
+            sets = [
+                UniqueSet(signatures=sig, indices=idx)
+                for payload in gathered_sets
+                if payload is not None
+                for sig, idx in [payload]
+            ]
+            total_candidates = sum(s.count for s in sets)
+            charge_sequential(
+                ctx, cost.dedup_unique_set(total_candidates, bands, kept=n_classes)
+            )
+            unique = merge_unique_sets(sets, threshold, count=n_classes)
+            unique_payload = (unique.signatures, unique.indices)
+        else:
+            unique_payload = None
+        unique_payload = comm.bcast(unique_payload)
+        unique = UniqueSet(signatures=unique_payload[0], indices=unique_payload[1])
 
-    # -- steps 4-6: distributed covariance --------------------------------------
-    ctx.compute(cost.covariance_accumulate(n_local, bands))
-    if n_local:
-        sums = partial_covariance_sums(local)
-    else:
-        sums = (np.zeros(bands), np.zeros((bands, bands)), 0)
-    all_sums = comm.gather(sums)
+    # -- steps 4-7: distributed covariance, sequential eigendecomposition ------
+    with tracer.span("pct.covariance", rank=ctx.rank):
+        ctx.compute(cost.covariance_accumulate(n_local, bands))
+        if n_local:
+            sums = partial_covariance_sums(local)
+        else:
+            sums = (np.zeros(bands), np.zeros((bands, bands)), 0)
+        all_sums = comm.gather(sums)
 
-    # -- step 7: sequential eigendecomposition at the master ---------------------
-    if comm.is_master:
-        charge_sequential(
-            ctx,
-            cost.covariance_accumulate(comm.size, bands)
-            + cost.eigendecomposition(bands),
-        )
-        mean, covariance = combine_covariance_sums(all_sums)
-        transform, eigenvalues = pct_transform(
-            covariance, n_components=unique.count
-        )
-        stats_payload = (mean, transform, eigenvalues)
-    else:
-        stats_payload = None
-    mean, transform, eigenvalues = comm.bcast(stats_payload)
+        if comm.is_master:
+            charge_sequential(
+                ctx,
+                cost.covariance_accumulate(comm.size, bands)
+                + cost.eigendecomposition(bands),
+            )
+            mean, covariance = combine_covariance_sums(all_sums)
+            transform, eigenvalues = pct_transform(
+                covariance, n_components=unique.count
+            )
+            stats_payload = (mean, transform, eigenvalues)
+        else:
+            stats_payload = None
+        mean, transform, eigenvalues = comm.bcast(stats_payload)
 
     # -- steps 8-9: parallel projection and labelling ------------------------------
-    ctx.compute(
-        cost.pct_projection(n_local, bands, unique.count)
-        + cost.classify_by_sad(n_local, unique.count, unique.count)
-    )
-    if n_local:
-        reduced = apply_pct(local, mean, transform)
-        reduced_refs = apply_pct(unique.signatures, mean, transform)
-        offset_vec = reduced.min(axis=0)
-        # The SAD-positivity shift must be *global* to match the
-        # sequential path; reduce the per-partition minima first.
-        local_min = offset_vec
-    else:
-        reduced = None
-        reduced_refs = None
-        local_min = np.full(unique.count, np.inf)
-    global_min = comm.allreduce(local_min, op=np.minimum)
+    with tracer.span("pct.project", rank=ctx.rank):
+        ctx.compute(
+            cost.pct_projection(n_local, bands, unique.count)
+            + cost.classify_by_sad(n_local, unique.count, unique.count)
+        )
+        if n_local:
+            reduced = apply_pct(local, mean, transform)
+            reduced_refs = apply_pct(unique.signatures, mean, transform)
+            offset_vec = reduced.min(axis=0)
+            # The SAD-positivity shift must be *global* to match the
+            # sequential path; reduce the per-partition minima first.
+            local_min = offset_vec
+        else:
+            reduced = None
+            reduced_refs = None
+            local_min = np.full(unique.count, np.inf)
+        global_min = comm.allreduce(local_min, op=np.minimum)
 
-    if n_local:
-        shifted = reduced - global_min + 1.0
-        shifted_refs = reduced_refs - global_min + 1.0
-        angles = sad_to_references(shifted, shifted_refs)
-        labels = np.argmin(angles, axis=1).astype(np.int64)
-    else:
-        labels = np.empty(0, dtype=np.int64)
-    gathered_labels = comm.gather(labels)
+        if n_local:
+            shifted = reduced - global_min + 1.0
+            shifted_refs = reduced_refs - global_min + 1.0
+            angles = sad_to_references(shifted, shifted_refs)
+            labels = np.argmin(angles, axis=1).astype(np.int64)
+        else:
+            labels = np.empty(0, dtype=np.int64)
+        gathered_labels = comm.gather(labels)
 
     if not comm.is_master:
         return None

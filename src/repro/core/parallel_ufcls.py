@@ -25,6 +25,7 @@ from repro.core.ufcls import fcls_error_image
 from repro.errors import ConfigurationError
 from repro.hsi.cube import HyperspectralImage
 from repro.mpi.communicator import Communicator, MessageContext
+from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 
 __all__ = ["parallel_ufcls_program"]
@@ -41,6 +42,7 @@ def parallel_ufcls_program(
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
+    tracer = tracer_of(ctx)
     master_only(ctx, image, "image")
 
     block = distribute_row_blocks(comm, image, partition)
@@ -49,53 +51,55 @@ def parallel_ufcls_program(
     n_local = local.shape[0]
 
     # -- step 1: brightest pixel (shared with Hetero-ATDCA) ---------------------
-    ctx.compute(cost.brightest_search(n_local, bands))
-    if n_local:
-        energies = np.einsum("ij,ij->i", local, local)
-        lidx, score = _local_argmax(energies)
-        candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-    else:
-        candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
-    gathered = comm.gather(candidate)
-
-    indices: list[int] = []
-    signatures: list[np.ndarray] = []
-    scores: list[float] = []
-    if comm.is_master:
-        charge_sequential(ctx, cost.brightest_search(comm.size, bands))
-        win = _select_candidate(gathered)
-        first = gathered[win]
-        indices.append(first[1])
-        signatures.append(first[2])
-        scores.append(first[0])
-        targets = first[2][None, :]
-    else:
-        targets = None
-    targets = comm.bcast(targets)
-
-    # -- steps 2-5: iterative error-driven extraction ------------------------------
-    for k in range(1, n_targets):
-        ctx.compute(cost.fcls_scores(n_local, bands, k))
+    with tracer.span("ufcls.brightest", rank=ctx.rank):
+        ctx.compute(cost.brightest_search(n_local, bands))
         if n_local:
-            error = fcls_error_image(local, targets)
-            lidx, score = _local_argmax(error)
+            energies = np.einsum("ij,ij->i", local, local)
+            lidx, score = _local_argmax(energies)
             candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
         else:
             candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
         gathered = comm.gather(candidate)
+
+        indices: list[int] = []
+        signatures: list[np.ndarray] = []
+        scores: list[float] = []
         if comm.is_master:
-            charge_sequential(
-                ctx, cost.master_scls_selection(bands, k, comm.size)
-            )
+            charge_sequential(ctx, cost.brightest_search(comm.size, bands))
             win = _select_candidate(gathered)
-            chosen = gathered[win]
-            indices.append(chosen[1])
-            signatures.append(chosen[2])
-            scores.append(chosen[0])
-            new_targets = np.vstack([targets, chosen[2][None, :]])
+            first = gathered[win]
+            indices.append(first[1])
+            signatures.append(first[2])
+            scores.append(first[0])
+            targets = first[2][None, :]
         else:
-            new_targets = None
-        targets = comm.bcast(new_targets)
+            targets = None
+        targets = comm.bcast(targets)
+
+    # -- steps 2-5: iterative error-driven extraction ------------------------------
+    for k in range(1, n_targets):
+        with tracer.span("ufcls.iteration", rank=ctx.rank, k=k):
+            ctx.compute(cost.fcls_scores(n_local, bands, k))
+            if n_local:
+                error = fcls_error_image(local, targets)
+                lidx, score = _local_argmax(error)
+                candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
+            else:
+                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            gathered = comm.gather(candidate)
+            if comm.is_master:
+                charge_sequential(
+                    ctx, cost.master_scls_selection(bands, k, comm.size)
+                )
+                win = _select_candidate(gathered)
+                chosen = gathered[win]
+                indices.append(chosen[1])
+                signatures.append(chosen[2])
+                scores.append(chosen[0])
+                new_targets = np.vstack([targets, chosen[2][None, :]])
+            else:
+                new_targets = None
+            targets = comm.bcast(new_targets)
 
     if not comm.is_master:
         return None

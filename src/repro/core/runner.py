@@ -25,7 +25,7 @@ Variants:
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
 from repro.cluster.engine import SimulationResult, run_program
@@ -47,6 +47,9 @@ from repro.scheduling.static_part import (
     wea_partition,
 )
 from repro.types import FloatArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsSession
 
 __all__ = [
     "ALGORITHM_NAMES",
@@ -220,6 +223,7 @@ def run_parallel(
     backend: str = "sim",
     cost_model: CostModel | None = None,
     partition: RowPartition | None = None,
+    obs: "ObsSession | None" = None,
 ) -> ParallelRun:
     """Run one algorithm end to end on a platform.
 
@@ -234,6 +238,8 @@ def run_parallel(
         backend: ``"sim"`` (virtual time) or ``"inproc"`` (wall clock).
         cost_model: flop/byte accounting (sim backend).
         partition: override the derived partition (ablations).
+        obs: observability session; spans/metrics are clocked by
+            virtual time on ``"sim"`` and by the wall on ``"inproc"``.
 
     Returns:
         A :class:`ParallelRun` with the master's output and timing.
@@ -275,6 +281,7 @@ def run_parallel(
             program,
             kwargs_per_rank=kwargs_per_rank,
             cost_model=cost_model,
+            obs=obs,
             **program_kwargs,
         )
         return ParallelRun(
@@ -289,6 +296,7 @@ def run_parallel(
         program,
         kwargs_per_rank=kwargs_per_rank,
         master_rank=master,
+        obs=obs,
         **program_kwargs,
     )
     return ParallelRun(

@@ -8,6 +8,7 @@ computed once and shared.
 from __future__ import annotations
 
 import dataclasses
+from pathlib import Path
 from typing import Mapping
 
 from repro.cluster.presets import all_networks
@@ -15,6 +16,7 @@ from repro.core.runner import ALGORITHM_NAMES, ParallelRun, run_parallel
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.hsi.scene import WTCScene, make_wtc_scene
+from repro.obs import ObsSession, write_chrome_trace, write_metrics_json
 from repro.perf.imbalance import ImbalanceScores, imbalance_of_run
 from repro.perf.timers import PhaseBreakdown, breakdown_of_run
 
@@ -81,6 +83,7 @@ def run_network_grid(
     algorithms: tuple[str, ...] = ALGORITHM_NAMES,
     variants: tuple[str, ...] = VARIANTS,
     scene: WTCScene | None = None,
+    trace_dir: Path | str | None = None,
 ) -> NetworkGrid:
     """Execute the full grid on the virtual-time engine.
 
@@ -89,14 +92,20 @@ def run_network_grid(
         algorithms: subset of algorithms to run (all four by default).
         variants: partitioning variants (paper: hetero + homo).
         scene: reuse an existing scene (else built from the config).
+        trace_dir: when given, write per-cell Chrome traces and metrics
+            (``<label>__<network>.trace.json`` / ``.metrics.json``).
     """
     cfg = config or ExperimentConfig()
     scn = scene or make_wtc_scene(cfg.grid_scene)
     cost = cfg.cost_model(cfg.grid_scene)
+    traces = Path(trace_dir) if trace_dir is not None else None
+    if traces is not None:
+        traces.mkdir(parents=True, exist_ok=True)
     cells: dict[tuple[str, str], GridCell] = {}
     for network_name, platform in all_networks().items():
         for algorithm in algorithms:
             for variant in variants:
+                obs = ObsSession.create() if traces is not None else None
                 run = run_parallel(
                     algorithm,
                     scn.image,
@@ -104,9 +113,15 @@ def run_network_grid(
                     params=cfg.params_for(algorithm),
                     variant=variant,
                     cost_model=cost,
+                    obs=obs,
                 )
                 assert run.sim is not None
-                cells[(variant_label(algorithm, variant), network_name)] = GridCell(
+                label = variant_label(algorithm, variant)
+                if traces is not None and obs is not None:
+                    stem = f"{label}__{network_name}".replace(" ", "_")
+                    write_chrome_trace(traces / f"{stem}.trace.json", obs)
+                    write_metrics_json(traces / f"{stem}.metrics.json", obs)
+                cells[(label, network_name)] = GridCell(
                     run=run,
                     breakdown=breakdown_of_run(run.sim),
                     imbalance=imbalance_of_run(run.sim),

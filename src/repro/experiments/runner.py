@@ -26,6 +26,7 @@ from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
 from repro.experiments.table7 import run_table7
 from repro.experiments.table8 import run_table8
+from repro.experiments.traced import run_traced
 from repro.hsi.scene import SceneConfig, make_wtc_scene
 
 __all__ = ["main", "EXPERIMENT_NAMES"]
@@ -52,19 +53,37 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
+    # No argparse ``choices`` here: with ``nargs="*"`` some Python
+    # versions validate the empty list itself against the choices.
     parser.add_argument(
         "experiments",
-        nargs="+",
-        choices=[*EXPERIMENT_NAMES, "all"],
-        help="which tables/figures to run ('all' for everything)",
+        nargs="*",
+        metavar="experiment",
+        help="which tables/figures to run: "
+             f"{', '.join(EXPERIMENT_NAMES)}, or 'all'",
     )
     parser.add_argument("--outdir", default="experiments_output",
                         help="directory for rendered files and transcripts")
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="write Chrome traces + metrics for a demo run "
+                             "on both backends (and per-cell grid traces) "
+                             "into DIR")
     parser.add_argument("--rows", type=int, default=96, help="scene rows")
     parser.add_argument("--cols", type=int, default=64, help="scene cols")
     parser.add_argument("--bands", type=int, default=48, help="scene bands")
     parser.add_argument("--seed", type=int, default=7, help="scene seed")
     args = parser.parse_args(argv)
+    valid = {*EXPERIMENT_NAMES, "all"}
+    for name in args.experiments:
+        if name not in valid:
+            parser.error(
+                f"unknown experiment {name!r} "
+                f"(choose from {', '.join(sorted(valid))})"
+            )
+    if args.trace == "":
+        parser.error("--trace requires a directory name")
+    if not args.experiments and args.trace is None:
+        parser.error("nothing to do: name experiments and/or pass --trace DIR")
 
     wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
         name for name in EXPERIMENT_NAMES if name in args.experiments
@@ -72,12 +91,22 @@ def main(argv: list[str] | None = None) -> int:
     config = _build_config(args)
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
+    trace_dir = None
+    if args.trace is not None:
+        trace_dir = Path(args.trace)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        for backend in ("sim", "inproc"):
+            print(f"tracing a demo atdca run ({backend} backend)...",
+                  flush=True)
+            traced = run_traced(config, trace_dir, backend=backend)
+            print(f"  {traced.n_spans} spans -> "
+                  + ", ".join(p.name for p in traced.files))
 
     scene = make_wtc_scene(config.scene)
     grid = None
     if _GRID_EXPERIMENTS & set(wanted):
         print("building the network grid (32 simulated runs)...", flush=True)
-        grid = run_network_grid(config)  # builds its own timing scene
+        grid = run_network_grid(config, trace_dir=trace_dir)
 
     sections: list[str] = []
     for name in wanted:
@@ -102,9 +131,10 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         print()
 
-    transcript = outdir / "experiments.txt"
-    transcript.write_text("\n\n".join(sections) + "\n", encoding="utf-8")
-    print(f"transcript written to {transcript}")
+    if sections:
+        transcript = outdir / "experiments.txt"
+        transcript.write_text("\n\n".join(sections) + "\n", encoding="utf-8")
+        print(f"transcript written to {transcript}")
     return 0
 
 

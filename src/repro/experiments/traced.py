@@ -1,0 +1,112 @@
+"""Traced demonstration runs for the ``--trace`` CLI flag.
+
+Runs one algorithm end to end with a fresh :class:`ObsSession` on the
+requested backend and dumps every export format next to each other:
+
+* ``<algorithm>_<backend>.trace.json`` — Chrome trace-event JSON
+  (load in Perfetto / ``chrome://tracing``);
+* ``<algorithm>_<backend>.metrics.json`` — the metrics registry;
+* ``<algorithm>_<backend>.jsonl`` — spans + metrics, one object per line;
+* ``<algorithm>_<backend>.summary.txt`` — per-rank category table and
+  the span-derived COM/SEQ/PAR triple.
+
+On the sim backend the span triple is additionally cross-checked
+against the engine's phase ledger (:func:`breakdown_of_run`) — the two
+are computed from independent code paths, so agreement is a strong
+end-to-end test of the instrumentation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.cluster.presets import fully_heterogeneous
+from repro.core.runner import ParallelRun, run_parallel
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.hsi.scene import make_wtc_scene
+from repro.obs import (
+    ObsSession,
+    breakdown_from_spans,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.perf.timers import breakdown_of_run
+
+__all__ = ["TracedRun", "run_traced"]
+
+#: Tolerance for the span-ledger COM/SEQ/PAR cross-check.
+CROSSCHECK_TOL = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class TracedRun:
+    """Outcome of one traced demo run."""
+
+    run: ParallelRun
+    obs: ObsSession
+    files: tuple[Path, ...]
+
+    @property
+    def n_spans(self) -> int:
+        return len(self.obs.tracer)
+
+
+def run_traced(
+    config: ExperimentConfig | None = None,
+    outdir: Path | str = "experiments_output",
+    backend: str = "sim",
+    algorithm: str = "atdca",
+) -> TracedRun:
+    """Run ``algorithm`` traced on ``backend`` and export everything.
+
+    Uses the fully heterogeneous Table 1/2 platform and the accuracy
+    scene (small enough that the wall-clock backend finishes quickly).
+    """
+    cfg = config or ExperimentConfig()
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    scene = make_wtc_scene(cfg.scene)
+    platform = fully_heterogeneous()
+    obs = ObsSession.create()
+    run = run_parallel(
+        algorithm,
+        scene.image,
+        platform,
+        params=cfg.params_for(algorithm),
+        backend=backend,
+        obs=obs,
+    )
+
+    if backend == "sim":
+        assert run.sim is not None
+        ledger = breakdown_of_run(run.sim)
+        spans = breakdown_from_spans(obs)
+        for key, ledger_value in (
+            ("com", ledger.com), ("seq", ledger.seq), ("par", ledger.par)
+        ):
+            if abs(spans[key] - ledger_value) > CROSSCHECK_TOL:
+                raise ExperimentError(
+                    f"span-derived {key.upper()} {spans[key]!r} disagrees "
+                    f"with the phase ledger {ledger_value!r}"
+                )
+
+    stem = f"{algorithm}_{backend}"
+    trace_path = out / f"{stem}.trace.json"
+    metrics_path = out / f"{stem}.metrics.json"
+    jsonl_path = out / f"{stem}.jsonl"
+    summary_path = out / f"{stem}.summary.txt"
+    write_chrome_trace(trace_path, obs)
+    write_metrics_json(metrics_path, obs)
+    write_jsonl(jsonl_path, obs)
+    summary_path.write_text(summary_table(obs) + "\n", encoding="utf-8")
+
+    return TracedRun(
+        run=run,
+        obs=obs,
+        files=(trace_path, metrics_path, jsonl_path, summary_path),
+    )

@@ -6,12 +6,32 @@ root logger; applications opt in via :func:`enable_console_logging`.
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
 
 __all__ = ["get_logger", "enable_console_logging"]
 
 _ROOT_NAME = "repro"
+_FORMATS = ("text", "json")
+
+
+class _JsonFormatter(logging.Formatter):
+    """One JSON object per record (machine-readable console logs)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "time": self.formatTime(record),
+            "logger": record.name,
+            "level": record.levelname,
+            "message": record.getMessage(),
+        }
+        rank = getattr(record, "rank", None)
+        if rank is not None:
+            payload["rank"] = rank
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -25,22 +45,44 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(f"{_ROOT_NAME}.{name}")
 
 
-def enable_console_logging(level: int = logging.INFO) -> logging.Handler:
+def _make_formatter(fmt: str) -> logging.Formatter:
+    if fmt not in _FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; expected one of {_FORMATS}")
+    if fmt == "json":
+        formatter: logging.Formatter = _JsonFormatter()
+    else:
+        formatter = logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s: %(message)s"
+        )
+    formatter._repro_fmt = fmt  # type: ignore[attr-defined]
+    return formatter
+
+
+def enable_console_logging(
+    level: int = logging.INFO, fmt: str = "text"
+) -> logging.Handler:
     """Attach a stderr handler to the ``repro`` logger and return it.
 
     Idempotent: repeated calls reuse the existing handler and only
-    adjust the level.
+    adjust the level (and swap the formatter when ``fmt`` changes).
+
+    Args:
+        level: threshold for the handler and the ``repro`` logger.
+        fmt: ``"text"`` (human-readable, default) or ``"json"`` (one
+            JSON object per record: time, logger, level, message, and
+            ``rank`` when the record carries one via
+            ``extra={"rank": r}``).
     """
     logger = logging.getLogger(_ROOT_NAME)
     for handler in logger.handlers:
         if getattr(handler, "_repro_console", False):
             handler.setLevel(level)
             logger.setLevel(level)
+            if getattr(handler.formatter, "_repro_fmt", None) != fmt:
+                handler.setFormatter(_make_formatter(fmt))
             return handler
     handler = logging.StreamHandler(sys.stderr)
-    handler.setFormatter(
-        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
-    )
+    handler.setFormatter(_make_formatter(fmt))
     handler.setLevel(level)
     handler._repro_console = True  # type: ignore[attr-defined]
     logger.addHandler(handler)

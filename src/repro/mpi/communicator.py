@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import CommunicationError
 from repro.mpi import collectives as _coll
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["MessageContext", "Communicator", "sum_op", "max_op", "min_op", "concat_op"]
 
@@ -84,6 +85,8 @@ class Communicator:
     def __init__(self, ctx: MessageContext) -> None:
         self._ctx = ctx
         self._collective_seq = 0
+        self._obs = getattr(ctx, "obs", None)
+        self._tracer = self._obs.tracer if self._obs is not None else NULL_TRACER
 
     # -- identity -----------------------------------------------------------
     @property
@@ -130,21 +133,42 @@ class Communicator:
         self._collective_seq += 1
         return tag
 
+    def _collective_span(self, kind: str):
+        """Count the collective and bracket it with an ``"mpi"`` span.
+
+        Composite collectives nest: an ``allreduce`` also counts (and
+        spans) its inner ``reduce`` and ``bcast``.
+        """
+        if self._obs is not None:
+            self._obs.metrics.counter(
+                "mpi.collectives", rank=self.rank, kind=kind
+            ).inc()
+        return self._tracer.span(f"mpi.{kind}", rank=self.rank, category="mpi")
+
     # -- collectives ---------------------------------------------------------------
     def bcast(self, obj: Any = None, root: int | None = None) -> Any:
         """Broadcast from ``root`` (default: master) via binomial tree."""
         root = self.master_rank if root is None else root
-        return _coll.binomial_bcast(self._ctx, obj, root, self._next_collective_tag())
+        with self._collective_span("bcast"):
+            return _coll.binomial_bcast(
+                self._ctx, obj, root, self._next_collective_tag()
+            )
 
     def scatter(self, items: Sequence[Any] | None = None, root: int | None = None) -> Any:
         """Distribute ``items[i]`` to rank ``i`` (root supplies the list)."""
         root = self.master_rank if root is None else root
-        return _coll.flat_scatter(self._ctx, items, root, self._next_collective_tag())
+        with self._collective_span("scatter"):
+            return _coll.flat_scatter(
+                self._ctx, items, root, self._next_collective_tag()
+            )
 
     def gather(self, obj: Any, root: int | None = None) -> list[Any] | None:
         """Collect one object per rank at ``root`` (rank order)."""
         root = self.master_rank if root is None else root
-        return _coll.flat_gather(self._ctx, obj, root, self._next_collective_tag())
+        with self._collective_span("gather"):
+            return _coll.flat_gather(
+                self._ctx, obj, root, self._next_collective_tag()
+            )
 
     def reduce(
         self,
@@ -154,25 +178,29 @@ class Communicator:
     ) -> Any:
         """Tree-reduce ``value`` with commutative ``op``; result at root."""
         root = self.master_rank if root is None else root
-        return _coll.binomial_reduce(
-            self._ctx, value, op, root, self._next_collective_tag()
-        )
+        with self._collective_span("reduce"):
+            return _coll.binomial_reduce(
+                self._ctx, value, op, root, self._next_collective_tag()
+            )
 
     def allreduce(self, value: Any, op: Callable[[Any, Any], Any] = sum_op) -> Any:
         """Reduce then broadcast: every rank gets the combined value."""
         root = self.master_rank
-        reduced = self.reduce(value, op, root)
-        return self.bcast(reduced, root)
+        with self._collective_span("allreduce"):
+            reduced = self.reduce(value, op, root)
+            return self.bcast(reduced, root)
 
     def allgather(self, obj: Any) -> list[Any]:
         """Everyone gets the rank-ordered list of contributions."""
         root = self.master_rank
-        gathered = self.gather(obj, root)
-        return self.bcast(gathered, root)
+        with self._collective_span("allgather"):
+            gathered = self.gather(obj, root)
+            return self.bcast(gathered, root)
 
     def barrier(self) -> None:
         """Synchronize all ranks (reduce + broadcast of a token)."""
-        self.allreduce(0, sum_op)
+        with self._collective_span("barrier"):
+            self.allreduce(0, sum_op)
 
     def __repr__(self) -> str:
         return f"Communicator(rank={self.rank}, size={self.size})"

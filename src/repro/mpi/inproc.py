@@ -14,10 +14,13 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.cluster.mailbox import Router, payload_wire_megabits
 from repro.errors import ConfigurationError, ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsSession
 
 __all__ = ["InprocContext", "InprocResult", "run_inproc"]
 
@@ -30,7 +33,14 @@ class InprocContext:
     run unchanged.
     """
 
-    def __init__(self, rank: int, size: int, router: Router, master_rank: int = 0):
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        router: Router,
+        master_rank: int = 0,
+        obs: "ObsSession | None" = None,
+    ):
         if not 0 <= rank < size:
             raise ConfigurationError(f"rank {rank} outside [0, {size})")
         self.rank = rank
@@ -39,6 +49,8 @@ class InprocContext:
         self._master = master_rank
         #: Communication volume actually shipped by this rank (megabits).
         self.sent_megabits = 0.0
+        #: Observability session shared by all ranks (``None`` = off).
+        self.obs = obs
 
     @property
     def size(self) -> int:
@@ -53,7 +65,15 @@ class InprocContext:
         return self.rank == self._master
 
     def compute(self, mflops: float, sequential: bool = False) -> float:
-        """No-op: real computation takes real time here."""
+        """No time charged (real computation takes real time here), but
+        the nominal mflops are still metered when observability is on,
+        so both backends report comparable work counters."""
+        if self.obs is not None and mflops:
+            self.obs.metrics.counter(
+                "compute.mflops",
+                rank=self.rank,
+                kind="seq" if sequential else "compute",
+            ).inc(float(mflops))
         return 0.0
 
     def charge_seconds(self, seconds: float, phase: Any = None) -> None:
@@ -62,10 +82,39 @@ class InprocContext:
     def send(self, dest: int, payload: Any, tag: int = 0) -> None:
         megabits = payload_wire_megabits(payload)
         self.sent_megabits += megabits
+        if self.obs is None:
+            self._router.send(self.rank, dest, tag, payload, megabits)
+            return
+        m = self.obs.metrics
+        m.counter("comm.messages_sent", rank=self.rank, peer=dest).inc()
+        m.counter("comm.megabits_sent", rank=self.rank, peer=dest).inc(megabits)
+        tracer = self.obs.tracer
+        start = tracer.now(self.rank)
         self._router.send(self.rank, dest, tag, payload, megabits)
+        tracer.add_span(
+            "transfer", self.rank, start, tracer.now(self.rank),
+            category="transfer", peer=dest, megabits=megabits,
+            direction="send",
+        )
 
     def recv(self, source: int, tag: int = -1) -> Any:
-        return self._router.recv(self.rank, source, tag)
+        if self.obs is None:
+            return self._router.recv(self.rank, source, tag)
+        tracer = self.obs.tracer
+        start = tracer.now(self.rank)
+        payload = self._router.recv(self.rank, source, tag)
+        megabits = payload_wire_megabits(payload)
+        m = self.obs.metrics
+        m.counter("comm.messages_received", rank=self.rank, peer=source).inc()
+        m.counter(
+            "comm.megabits_received", rank=self.rank, peer=source
+        ).inc(megabits)
+        tracer.add_span(
+            "transfer", self.rank, start, tracer.now(self.rank),
+            category="transfer", peer=source, megabits=megabits,
+            direction="recv",
+        )
+        return payload
 
 
 @dataclasses.dataclass
@@ -86,6 +135,7 @@ def run_inproc(
     kwargs_per_rank: Sequence[Mapping[str, Any]] | None = None,
     master_rank: int = 0,
     deadlock_grace_s: float = 0.25,
+    obs: "ObsSession | None" = None,
     **common_kwargs: Any,
 ) -> InprocResult:
     """Run ``program(ctx, **kwargs)`` on ``n_ranks`` real threads.
@@ -95,6 +145,7 @@ def run_inproc(
         program: SPMD body taking an :class:`InprocContext`.
         kwargs_per_rank: optional per-rank keyword arguments.
         master_rank: which rank plays master.
+        obs: observability session (spans clocked by the wall).
         common_kwargs: forwarded to every rank.
 
     Raises:
@@ -113,7 +164,7 @@ def run_inproc(
     lock = threading.Lock()
 
     def body(rank: int) -> None:
-        ctx = InprocContext(rank, n_ranks, router, master_rank)
+        ctx = InprocContext(rank, n_ranks, router, master_rank, obs=obs)
         kwargs = dict(common_kwargs)
         if kwargs_per_rank is not None:
             kwargs.update(kwargs_per_rank[rank])

@@ -1,0 +1,92 @@
+"""Unified observability: tracing + metrics over both MPI backends.
+
+One :class:`ObsSession` bundles a span :class:`~repro.obs.trace.Tracer`
+and a :class:`~repro.obs.metrics.MetricsRegistry`.  Pass it to
+:func:`repro.core.run_parallel` (or directly to
+:class:`~repro.cluster.engine.SimulationEngine` /
+:func:`repro.mpi.inproc.run_inproc`) and every communicator call,
+collective, charged computation, and algorithm phase is recorded —
+clocked by virtual time on the simulation engine and by
+``time.perf_counter`` on the wall-clock backend, so both produce
+structurally identical telemetry.
+
+Quickstart::
+
+    from repro.obs import ObsSession, write_chrome_trace
+    from repro.core import run_parallel
+
+    obs = ObsSession.create()
+    run = run_parallel("atdca", image, platform, obs=obs)
+    write_chrome_trace("atdca.trace.json", obs)   # open in Perfetto
+    print(obs.metrics.value("comm.megabits_sent", rank=0, peer=1))
+
+Observability is opt-in: with no session attached, instrumented code
+sees :data:`~repro.obs.trace.NULL_TRACER` and pays only an attribute
+check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.obs.export import (
+    breakdown_from_spans,
+    chrome_trace,
+    jsonl_lines,
+    metrics_records,
+    spans_of,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_json,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
+
+__all__ = [
+    "ObsSession",
+    "obs_of",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "tracer_of",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "breakdown_from_spans",
+    "chrome_trace",
+    "jsonl_lines",
+    "metrics_records",
+    "spans_of",
+    "summary_table",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_json",
+]
+
+
+@dataclasses.dataclass
+class ObsSession:
+    """A tracer + metrics pair shared by every rank of one run.
+
+    Attributes:
+        tracer: span collector (clock rebound by the chosen backend).
+        metrics: labelled counter/gauge/histogram registry.
+    """
+
+    tracer: Tracer
+    metrics: MetricsRegistry
+
+    @classmethod
+    def create(cls) -> "ObsSession":
+        """A fresh session with a wall-clock tracer (the virtual-time
+        engine rebinds the clock when the session is attached)."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+
+def obs_of(ctx: Any) -> ObsSession | None:
+    """The session attached to a backend context, if any."""
+    return getattr(ctx, "obs", None)

@@ -1,0 +1,217 @@
+"""Exporters: JSONL, Chrome trace-event JSON, and text summaries.
+
+Three views of one :class:`~repro.obs.ObsSession`:
+
+* :func:`write_jsonl` — one JSON object per line (spans first, then
+  metrics), joinable with JSON-formatted logs;
+* :func:`write_chrome_trace` — the Chrome trace-event format (complete
+  ``"X"`` events, one ``tid`` per rank), loadable in ``ui.perfetto.dev``
+  or ``chrome://tracing``;
+* :func:`summary_table` — a per-rank text table plus the Table 6
+  COM/SEQ/PAR triple re-derived *from spans alone*
+  (:func:`breakdown_from_spans`), a cross-check against the ledger-based
+  :func:`repro.perf.timers.breakdown_of_run`.
+
+All exports are deterministic: spans are ordered by
+``(start, rank, seq)``, metrics by ``(name, labels)``, and JSON is
+dumped with sorted keys and fixed separators — on the virtual-time
+backend two identical runs produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.obs.trace import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import ObsSession
+
+__all__ = [
+    "spans_of",
+    "chrome_trace",
+    "write_chrome_trace",
+    "jsonl_lines",
+    "write_jsonl",
+    "metrics_records",
+    "write_metrics_json",
+    "breakdown_from_spans",
+    "summary_table",
+]
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+def spans_of(source: Any) -> list[Span]:
+    """Normalize a session / tracer / span sequence to a sorted span list."""
+    tracer = getattr(source, "tracer", source)
+    if isinstance(tracer, Tracer) or hasattr(tracer, "spans"):
+        return list(tracer.spans())
+    return sorted(source, key=lambda s: (s.start, s.rank, s.seq))
+
+
+def metrics_records(source: Any) -> list[dict[str, Any]]:
+    """Normalize a session / registry to its deterministic record list."""
+    registry = getattr(source, "metrics", source)
+    return registry.records()
+
+
+# -- Chrome trace-event format ------------------------------------------------
+
+def chrome_trace(source: Any, process_name: str = "repro") -> dict[str, Any]:
+    """Build a Chrome trace-event document (one thread lane per rank).
+
+    Span times are seconds; Chrome wants microseconds, so every ``ts``
+    and ``dur`` is scaled by 1e6.  Complete (``"X"``) events carry the
+    span category in ``cat`` and its attributes in ``args``.
+    """
+    spans = spans_of(source)
+    ranks = sorted({s.rank for s in spans})
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for rank in ranks:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 0,
+                "tid": span.rank,
+                "args": {str(k): _jsonable(v) for k, v in sorted(span.attrs.items())},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str | Path, source: Any,
+                       process_name: str = "repro") -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(chrome_trace(source, process_name), **_JSON_KW) + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# -- JSONL --------------------------------------------------------------------
+
+def jsonl_lines(source: Any) -> Iterable[str]:
+    """One JSON object per span, then one per metric record."""
+    for span in spans_of(source):
+        yield json.dumps(
+            {
+                "type": "span",
+                "name": span.name,
+                "category": span.category,
+                "rank": span.rank,
+                "seq": span.seq,
+                "parent": list(span.parent) if span.parent else None,
+                "start": span.start,
+                "end": span.end,
+                "attrs": {str(k): _jsonable(v) for k, v in sorted(span.attrs.items())},
+            },
+            **_JSON_KW,
+        )
+    for record in metrics_records(source):
+        yield json.dumps({"type": "metric", **record}, **_JSON_KW)
+
+
+def write_jsonl(path: str | Path, source: Any) -> Path:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("\n".join(jsonl_lines(source)) + "\n", encoding="utf-8")
+    return out
+
+
+def write_metrics_json(path: str | Path, source: Any) -> Path:
+    """Metrics records as one pretty-stable JSON document."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps({"metrics": metrics_records(source)}, **_JSON_KW) + "\n",
+        encoding="utf-8",
+    )
+    return out
+
+
+# -- COM/SEQ/PAR from spans ---------------------------------------------------
+
+def breakdown_from_spans(
+    source: Any, master_rank: int = 0
+) -> dict[str, float]:
+    """Re-derive the Table 6 triple from spans alone.
+
+    COM is the summed duration of the master's ``"transfer"`` spans, SEQ
+    the summed duration of its ``"seq"`` spans, the makespan the latest
+    span end over all ranks, and PAR the remainder — the same
+    construction as :func:`repro.perf.timers.breakdown_of_run`, but read
+    from the tracer instead of the engine ledgers.  On the virtual-time
+    backend the two agree to float round-off (the summation orders
+    coincide); the cross-check test pins this.
+    """
+    spans = spans_of(source)
+    com = sum(
+        s.duration for s in spans
+        if s.rank == master_rank and s.category == "transfer"
+    )
+    seq = sum(
+        s.duration for s in spans
+        if s.rank == master_rank and s.category == "seq"
+    )
+    makespan = max((s.end for s in spans), default=0.0)
+    par = max(makespan - com - seq, 0.0)
+    return {"com": com, "seq": seq, "par": par, "total": makespan}
+
+
+# -- text summary -------------------------------------------------------------
+
+def summary_table(source: Any, master_rank: int = 0) -> str:
+    """Human-readable per-rank summary plus the span-derived triple."""
+    spans = spans_of(source)
+    ranks = sorted({s.rank for s in spans})
+    categories = ("phase", "compute", "seq", "transfer", "mpi")
+    header = f"{'rank':>5} " + " ".join(f"{c:>12}" for c in categories) + f" {'spans':>7}"
+    lines = ["span time by category (s)", header, "-" * len(header)]
+    for rank in ranks:
+        mine = [s for s in spans if s.rank == rank]
+        cells = []
+        for cat in categories:
+            cells.append(f"{sum(s.duration for s in mine if s.category == cat):12.6f}")
+        lines.append(f"{rank:>5} " + " ".join(cells) + f" {len(mine):>7}")
+    triple = breakdown_from_spans(spans, master_rank)
+    lines.append("")
+    lines.append(
+        "span-derived COM/SEQ/PAR (master rank "
+        f"{master_rank}): COM={triple['com']:.6f}  SEQ={triple['seq']:.6f}  "
+        f"PAR={triple['par']:.6f}  total={triple['total']:.6f}"
+    )
+    return "\n".join(lines)

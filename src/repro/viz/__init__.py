@@ -10,11 +10,12 @@ from repro.viz.composite import (
     stretch,
 )
 from repro.viz.ppm import write_pgm, write_ppm
-from repro.viz.timeline import ascii_gantt, gantt_of_run
+from repro.viz.timeline import ascii_gantt, gantt_of_run, gantt_of_trace
 
 __all__ = [
     "ascii_gantt",
     "gantt_of_run",
+    "gantt_of_trace",
     "DEFAULT_CLASS_PALETTE",
     "PAPER_COMPOSITE_BANDS_UM",
     "classification_to_rgb",

@@ -1,26 +1,43 @@
-"""ASCII Gantt rendering of engine traces.
+"""ASCII Gantt rendering of engine traces and tracer spans.
 
-Turns a traced :class:`~repro.cluster.engine.SimulationResult` into a
+Turns a traced :class:`~repro.cluster.engine.SimulationResult` (or an
+observability session's spans — see :func:`gantt_of_trace`) into a
 per-rank timeline — one lane per processor, `#` for parallel compute,
-`S` for sequential compute, `=` for transfers, spaces for idle — the
-quickest way to *see* where a schedule loses time (a master serializing
-its scatter, a slow worker pinning the barrier, a serial link queueing
-transfers).
+`S` for sequential compute, `=` for transfers, `.` for enclosing
+phases, spaces for idle — the quickest way to *see* where a schedule
+loses time (a master serializing its scatter, a slow worker pinning
+the barrier, a serial link queueing transfers).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+from typing import Any, Sequence
 
 from repro.cluster.engine import SimulationResult, TraceEvent
 from repro.errors import ConfigurationError
 
-__all__ = ["ascii_gantt", "gantt_of_run"]
+__all__ = ["ascii_gantt", "gantt_of_run", "gantt_of_trace"]
 
-_GLYPHS = {"compute": "#", "seq": "S", "transfer": "="}
-#: Painting priority: compute over transfer (overlaps happen when a
-#: transfer interval abuts a compute interval at cell resolution).
-_PRIORITY = {"transfer": 0, "=": 0, "compute": 1, "#": 1, "seq": 2, "S": 2}
+_GLYPHS = {"compute": "#", "seq": "S", "transfer": "=", "phase": "."}
+#: Painting priority: compute over transfer over phase background
+#: (overlaps happen when a transfer interval abuts a compute interval
+#: at cell resolution, and phase spans always enclose their children).
+_PRIORITY = {
+    "phase": -1, ".": -1,
+    "transfer": 0, "=": 0,
+    "compute": 1, "#": 1,
+    "seq": 2, "S": 2,
+}
+
+#: Span category → gantt event kind (mpi waits render as transfers).
+_SPAN_KINDS = {
+    "compute": "compute",
+    "seq": "seq",
+    "transfer": "transfer",
+    "mpi": "transfer",
+    "phase": "phase",
+}
 
 
 def ascii_gantt(
@@ -46,8 +63,6 @@ def ascii_gantt(
     if not events:
         raise ConfigurationError("no events to render (trace the engine)")
     horizon = makespan if makespan is not None else max(e.end for e in events)
-    if horizon <= 0:
-        raise ConfigurationError("makespan must be positive")
     names = list(labels) if labels is not None else [f"r{i}" for i in range(n_ranks)]
     if len(names) != n_ranks:
         raise ConfigurationError(f"need {n_ranks} labels, got {len(names)}")
@@ -60,13 +75,15 @@ def ascii_gantt(
                 f"event rank {event.rank} outside [0, {n_ranks})"
             )
         glyph = _GLYPHS.get(event.kind)
-        if glyph is None:
+        if glyph is None or horizon <= 0:
+            # A zero-extent trace (every event instantaneous) still
+            # renders — as an empty axis — rather than dividing by it.
             continue
         first = int(event.start / horizon * (width - 1))
         last = max(first, int(min(event.end, horizon) / horizon * (width - 1)))
         for col in range(first, last + 1):
             cell = lanes[event.rank][col]
-            if cell == " " or _PRIORITY[glyph] >= _PRIORITY.get(cell, -1):
+            if cell == " " or _PRIORITY[glyph] >= _PRIORITY.get(cell, -2):
                 lanes[event.rank][col] = glyph
 
     lines = [
@@ -79,7 +96,7 @@ def ascii_gantt(
         + " " * (width - 6 - len(f"{horizon:.2f}"))
         + f"{horizon:.2f} s"
     )
-    legend = " " * pad + "  #=parallel compute  S=sequential  ==transfer"
+    legend = " " * pad + "  #=parallel compute  S=sequential  ==transfer  .=phase"
     return "\n".join(lines + [axis, scale, legend])
 
 
@@ -90,4 +107,59 @@ def gantt_of_run(result: SimulationResult, width: int = 80) -> str:
         n_ranks=len(result.finish_times),
         makespan=result.makespan,
         width=width,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class _SpanEvent:
+    """Adapter: a tracer span viewed through the TraceEvent interface."""
+
+    kind: str
+    rank: int
+    start: float
+    end: float
+
+
+def gantt_of_trace(
+    source: Any,
+    n_ranks: int | None = None,
+    width: int = 80,
+    labels: Sequence[str] | None = None,
+) -> str:
+    """Gantt chart from tracer spans — works for wall-clock runs too.
+
+    The engine only records :class:`TraceEvent` streams under the sim
+    backend; this renders the same picture from an
+    :class:`~repro.obs.ObsSession` (or tracer, or span sequence), which
+    both backends populate.  Wall-clock spans are shifted so the chart
+    starts at the earliest span.
+
+    Args:
+        source: session / tracer / span sequence (see ``spans_of``).
+        n_ranks: lane count (default: highest span rank + 1).
+        width: characters across the time axis.
+        labels: optional lane labels.
+    """
+    from repro.obs.export import spans_of
+
+    spans = spans_of(source)
+    if not spans:
+        raise ConfigurationError("no spans to render (trace a run first)")
+    ranks = n_ranks if n_ranks is not None else max(s.rank for s in spans) + 1
+    t0 = min(s.start for s in spans)
+    events = [
+        _SpanEvent(
+            kind=_SPAN_KINDS.get(s.category, "phase"),
+            rank=s.rank,
+            start=s.start - t0,
+            end=s.end - t0,
+        )
+        for s in spans
+    ]
+    return ascii_gantt(
+        events,
+        n_ranks=ranks,
+        makespan=max(e.end for e in events),
+        width=width,
+        labels=labels,
     )
