@@ -32,10 +32,48 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "RankContext",
     "TraceEvent",
+    "TransferRecord",
     "SimulationResult",
     "SimulationEngine",
     "run_program",
 ]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransferRecord:
+    """One matched message transfer with its scheduling context.
+
+    These are the happens-before *edges* of a run: the analyzer
+    (:mod:`repro.obs.analyze`) consumes them to build the critical-path
+    DAG and the per-link utilization timelines without re-deriving
+    link membership from the platform.
+
+    Attributes:
+        src, dst: sender and receiver ranks.
+        start, end: the transfer interval in virtual seconds (both
+            endpoint clocks advance to ``end``).
+        megabits: message volume.
+        link: canonical serial-link key (``"s1|s4"``) for
+            inter-segment traffic, or ``"intra:<segment>"`` for
+            switched intra-segment traffic.
+        src_wait, dst_wait: idle seconds each endpoint spent between
+            becoming ready and the transfer actually starting (the
+            receiver waiting on a slow sender, or either side waiting
+            on a busy serial link).
+    """
+
+    src: int
+    dst: int
+    start: Seconds
+    end: Seconds
+    megabits: float
+    link: str
+    src_wait: Seconds = 0.0
+    dst_wait: Seconds = 0.0
+
+    @property
+    def duration(self) -> Seconds:
+        return self.end - self.start
 
 
 @dataclasses.dataclass(frozen=True)
@@ -174,6 +212,9 @@ class SimulationResult:
         master_rank: which rank was master.
         events: activity trace (engines built with ``trace=True``),
             sorted by start time.
+        transfers: matched-transfer records with link and wait
+            attribution (engines built with ``trace=True`` or an
+            observability session), sorted by start time.
     """
 
     platform_name: str
@@ -182,6 +223,7 @@ class SimulationResult:
     ledgers: list[PhaseLedger]
     master_rank: int
     events: list[TraceEvent] = dataclasses.field(default_factory=list)
+    transfers: list[TransferRecord] = dataclasses.field(default_factory=list)
 
     @property
     def makespan(self) -> Seconds:
@@ -226,6 +268,7 @@ class SimulationEngine:
         self.ledgers = [PhaseLedger() for _ in range(platform.size)]
         self._link_free: dict[tuple[str, str], Seconds] = {}
         self._events: list[TraceEvent] = []
+        self._transfers: list[TransferRecord] = []
         self._events_lock = threading.Lock()
         self.router = Router(
             platform.size, self._on_match, deadlock_grace_s=deadlock_grace_s
@@ -250,9 +293,15 @@ class SimulationEngine:
         link = network.link_resource(src, dst)
         if link is not None:
             start = max(start, self._link_free.get(link, 0.0))
+        link_label = (
+            "|".join(link) if link is not None
+            else f"intra:{network.segment_of(src)}"
+        )
         end = start + duration
+        waits = {}
         for rank in (src, dst):
             wait = start - self.clocks[rank].now
+            waits[rank] = max(wait, 0.0)
             if wait > 0:
                 self.ledgers[rank].add_idle(wait)
                 if self.obs is not None:
@@ -267,6 +316,14 @@ class SimulationEngine:
             self.clocks[rank].advance_to(end)
         if link is not None:
             self._link_free[link] = end
+        if self.trace or self.obs is not None:
+            record = TransferRecord(
+                src=src, dst=dst, start=start, end=end,
+                megabits=float(megabits), link=link_label,
+                src_wait=waits[src], dst_wait=waits[dst],
+            )
+            with self._events_lock:
+                self._transfers.append(record)
         if self.obs is not None:
             self.obs.metrics.counter(
                 "sim.link_megabits", src=src, dst=dst
@@ -279,6 +336,7 @@ class SimulationEngine:
                     "transfer", rank, start, end, category="transfer",
                     peer=peer, megabits=float(megabits),
                     direction="send" if rank == src else "recv",
+                    link=link_label, wait=waits[rank],
                 )
         if self.trace:
             for rank, peer in ((src, dst), (dst, src)):
@@ -359,6 +417,9 @@ class SimulationEngine:
 
         with self._events_lock:
             events = sorted(self._events, key=lambda e: (e.start, e.rank))
+            transfers = sorted(
+                self._transfers, key=lambda t: (t.start, t.src, t.dst)
+            )
         return SimulationResult(
             platform_name=self.platform.name,
             return_values=results,
@@ -366,6 +427,7 @@ class SimulationEngine:
             ledgers=self.ledgers,
             master_rank=self.platform.master_rank,
             events=events,
+            transfers=transfers,
         )
 
 

@@ -26,7 +26,7 @@ from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
 from repro.experiments.table7 import run_table7
 from repro.experiments.table8 import run_table8
-from repro.experiments.traced import run_traced
+from repro.experiments.traced import export_metrics, run_metrics, run_traced
 from repro.hsi.scene import SceneConfig, make_wtc_scene
 
 __all__ = ["main", "EXPERIMENT_NAMES"]
@@ -65,9 +65,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--outdir", default="experiments_output",
                         help="directory for rendered files and transcripts")
     parser.add_argument("--trace", metavar="DIR", default=None,
-                        help="write Chrome traces + metrics for a demo run "
-                             "on both backends (and per-cell grid traces) "
-                             "into DIR")
+                        help="write Chrome traces + metrics + trace analysis "
+                             "for a demo run on both backends (and per-cell "
+                             "grid traces) into DIR")
+    parser.add_argument("--metrics", metavar="DIR", default=None,
+                        help="export the metric registry of a demo run as "
+                             "JSON + OpenMetrics text into DIR (standalone; "
+                             "reuses the --trace runs when both are given)")
     parser.add_argument("--rows", type=int, default=96, help="scene rows")
     parser.add_argument("--cols", type=int, default=64, help="scene cols")
     parser.add_argument("--bands", type=int, default=48, help="scene bands")
@@ -82,8 +86,11 @@ def main(argv: list[str] | None = None) -> int:
             )
     if args.trace == "":
         parser.error("--trace requires a directory name")
-    if not args.experiments and args.trace is None:
-        parser.error("nothing to do: name experiments and/or pass --trace DIR")
+    if args.metrics == "":
+        parser.error("--metrics requires a directory name")
+    if not args.experiments and args.trace is None and args.metrics is None:
+        parser.error("nothing to do: name experiments and/or pass "
+                     "--trace DIR / --metrics DIR")
 
     wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
         name for name in EXPERIMENT_NAMES if name in args.experiments
@@ -92,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     trace_dir = None
+    metrics_dir = Path(args.metrics) if args.metrics is not None else None
     if args.trace is not None:
         trace_dir = Path(args.trace)
         trace_dir.mkdir(parents=True, exist_ok=True)
@@ -101,6 +109,24 @@ def main(argv: list[str] | None = None) -> int:
             traced = run_traced(config, trace_dir, backend=backend)
             print(f"  {traced.n_spans} spans -> "
                   + ", ".join(p.name for p in traced.files))
+            cp = traced.analysis.critical_path
+            print(f"  critical path: {cp.length_s:.3f}s of "
+                  f"{cp.makespan:.3f}s makespan "
+                  f"(compute {cp.compute_s:.3f}s, comm {cp.comm_s:.3f}s, "
+                  f"dominant rank {cp.dominant_rank})")
+            blocked = traced.analysis.blocked
+            print(f"  blocked time: {blocked.total_blocked_s:.3f}s total "
+                  f"across {len(blocked.ranks)} ranks")
+            if metrics_dir is not None:
+                files = export_metrics(
+                    traced.obs, metrics_dir, f"atdca_{backend}"
+                )
+                print("  metrics -> " + ", ".join(p.name for p in files))
+    elif metrics_dir is not None:
+        print("exporting metrics for a demo atdca run (sim backend)...",
+              flush=True)
+        files = run_metrics(config, metrics_dir, backend="sim")
+        print("  metrics -> " + ", ".join(p.name for p in files))
 
     scene = make_wtc_scene(config.scene)
     grid = None

@@ -8,7 +8,11 @@ requested backend and dumps every export format next to each other:
 * ``<algorithm>_<backend>.metrics.json`` — the metrics registry;
 * ``<algorithm>_<backend>.jsonl`` — spans + metrics, one object per line;
 * ``<algorithm>_<backend>.summary.txt`` — per-rank category table and
-  the span-derived COM/SEQ/PAR triple.
+  the span-derived COM/SEQ/PAR triple;
+* ``<algorithm>_<backend>.analysis.json`` / ``.analysis.txt`` — the
+  :func:`repro.obs.analyze_trace` report (critical path, blocked-time
+  attribution, link utilization, and — on the sim backend — WEA
+  imbalance attribution).
 
 On the sim backend the span triple is additionally cross-checked
 against the engine's phase ledger (:func:`breakdown_of_run`) — the two
@@ -28,15 +32,18 @@ from repro.experiments.config import ExperimentConfig
 from repro.hsi.scene import make_wtc_scene
 from repro.obs import (
     ObsSession,
+    TraceAnalysis,
+    analyze_trace,
     breakdown_from_spans,
     summary_table,
     write_chrome_trace,
     write_jsonl,
     write_metrics_json,
+    write_openmetrics,
 )
 from repro.perf.timers import breakdown_of_run
 
-__all__ = ["TracedRun", "run_traced"]
+__all__ = ["TracedRun", "run_traced", "export_metrics", "run_metrics"]
 
 #: Tolerance for the span-ledger COM/SEQ/PAR cross-check.
 CROSSCHECK_TOL = 1e-9
@@ -49,6 +56,7 @@ class TracedRun:
     run: ParallelRun
     obs: ObsSession
     files: tuple[Path, ...]
+    analysis: TraceAnalysis
 
     @property
     def n_spans(self) -> int:
@@ -95,18 +103,77 @@ def run_traced(
                     f"with the phase ledger {ledger_value!r}"
                 )
 
+    analysis = analyze_trace(
+        obs,
+        result=run.sim,
+        partition=run.partition if run.sim is not None else None,
+        platform=platform,
+    )
+
     stem = f"{algorithm}_{backend}"
     trace_path = out / f"{stem}.trace.json"
     metrics_path = out / f"{stem}.metrics.json"
     jsonl_path = out / f"{stem}.jsonl"
     summary_path = out / f"{stem}.summary.txt"
+    analysis_json = out / f"{stem}.analysis.json"
+    analysis_txt = out / f"{stem}.analysis.txt"
     write_chrome_trace(trace_path, obs)
     write_metrics_json(metrics_path, obs)
     write_jsonl(jsonl_path, obs)
     summary_path.write_text(summary_table(obs) + "\n", encoding="utf-8")
+    analysis.write_json(analysis_json)
+    analysis.write_text(analysis_txt)
 
     return TracedRun(
         run=run,
         obs=obs,
-        files=(trace_path, metrics_path, jsonl_path, summary_path),
+        files=(
+            trace_path, metrics_path, jsonl_path, summary_path,
+            analysis_json, analysis_txt,
+        ),
+        analysis=analysis,
     )
+
+
+def export_metrics(
+    obs: ObsSession, outdir: Path | str, stem: str
+) -> tuple[Path, Path]:
+    """Dump a session's metric registry as JSON + OpenMetrics text.
+
+    Returns the ``(json_path, prom_path)`` pair; the ``.prom`` file is
+    the Prometheus text exposition of the same registry, ready for a
+    node-exporter textfile collector or ``promtool check metrics``.
+    """
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / f"{stem}.metrics.json"
+    prom_path = out / f"{stem}.prom"
+    write_metrics_json(json_path, obs)
+    write_openmetrics(prom_path, obs)
+    return json_path, prom_path
+
+
+def run_metrics(
+    config: ExperimentConfig | None = None,
+    outdir: Path | str = "experiments_output",
+    backend: str = "sim",
+    algorithm: str = "atdca",
+) -> tuple[Path, Path]:
+    """Standalone metrics export: one demo run, registry files only.
+
+    Backs the CLI's ``--metrics DIR`` flag when ``--trace`` is absent —
+    the run is identical to :func:`run_traced` but skips the span
+    exports and analysis.
+    """
+    cfg = config or ExperimentConfig()
+    scene = make_wtc_scene(cfg.scene)
+    obs = ObsSession.create()
+    run_parallel(
+        algorithm,
+        scene.image,
+        fully_heterogeneous(),
+        params=cfg.params_for(algorithm),
+        backend=backend,
+        obs=obs,
+    )
+    return export_metrics(obs, outdir, f"{algorithm}_{backend}")

@@ -30,18 +30,40 @@ from __future__ import annotations
 import dataclasses
 from typing import Any
 
+from repro.obs.analyze import (
+    BlockedTimeReport,
+    CriticalPathReport,
+    LinkUtilizationReport,
+    TraceAnalysis,
+    WeaAttributionReport,
+    analyze_trace,
+    blocked_time,
+    critical_path,
+    link_utilization,
+    wea_attribution,
+)
 from repro.obs.export import (
+    LoadedTrace,
     breakdown_from_spans,
     chrome_trace,
     jsonl_lines,
     metrics_records,
+    openmetrics_text,
+    read_jsonl,
     spans_of,
     summary_table,
     write_chrome_trace,
     write_jsonl,
     write_metrics_json,
+    write_openmetrics,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
 
 __all__ = [
@@ -56,15 +78,30 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_BUCKET_BOUNDS",
+    "BlockedTimeReport",
+    "CriticalPathReport",
+    "LinkUtilizationReport",
+    "TraceAnalysis",
+    "WeaAttributionReport",
+    "analyze_trace",
+    "blocked_time",
+    "critical_path",
+    "link_utilization",
+    "wea_attribution",
+    "LoadedTrace",
     "breakdown_from_spans",
     "chrome_trace",
     "jsonl_lines",
     "metrics_records",
+    "openmetrics_text",
+    "read_jsonl",
     "spans_of",
     "summary_table",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics_json",
+    "write_openmetrics",
 ]
 
 

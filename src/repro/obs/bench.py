@@ -1,0 +1,441 @@
+"""Continuous benchmarking with regression gating.
+
+``python -m repro.obs.bench`` runs a *pinned* subset of the Table 5–8
+experiment grid and persists the timings as a schema-versioned
+``BENCH_<iso-date>.json`` artifact; ``compare`` diffs two artifacts
+with noise-aware thresholds and exits nonzero on regression — the gate
+every performance PR is judged by.
+
+Two measurement regimes, mirroring the repo's two backends:
+
+* **sim** — virtual-time makespans plus the Table 6 COM/SEQ/PAR triple
+  and the Table 7 ``D_all``/``D_minus`` scores.  Virtual seconds are
+  *exact*: two runs of the same code produce byte-identical artifacts,
+  so ``compare`` uses an effectively-zero tolerance and any drift is a
+  genuine behaviour change.
+* **inproc** — wall-clock seconds of the thread backend, measured with
+  ``--repeats`` repetitions and compared by median within a tolerance
+  band (wall time is noisy; the band absorbs scheduler jitter).
+
+Usage::
+
+    python -m repro.obs.bench run                      # BENCH_<date>.json
+    python -m repro.obs.bench run --out bench.json --backends sim,inproc
+    python -m repro.obs.bench compare BENCH_a.json BENCH_b.json
+    python -m repro.obs.bench report BENCH_a.json
+
+See README "Benchmarking & regression workflow" and EXPERIMENTS.md for
+how these artifacts relate to the paper's Tables 5–8.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.cluster.costs import CostModel
+from repro.core.runner import run_parallel
+from repro.errors import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.grid import variant_label
+from repro.hsi.scene import SceneConfig, make_wtc_scene
+from repro.perf.imbalance import imbalance_of_run
+from repro.perf.report import format_table
+from repro.perf.timers import breakdown_of_run
+
+__all__ = [
+    "SCHEMA",
+    "BenchConfig",
+    "run_bench",
+    "compare_artifacts",
+    "report_text",
+    "main",
+]
+
+SCHEMA = "repro.obs.bench/1"
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+#: Exact-virtual-time tolerance: only genuine behaviour changes exceed it.
+SIM_RTOL = 1e-9
+#: Wall-clock tolerance band: absorbs thread-scheduler jitter.
+WALL_RTOL = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchConfig:
+    """The pinned benchmark grid.
+
+    Defaults pin a representative 8-cell subset of the paper's grid —
+    one detector (ATDCA) and one classifier (PCT), both variants, on
+    the most and least favourable 16-node networks — small enough for
+    CI, sensitive enough that compute, per-link communication, and
+    partitioning regressions all move at least one cell.
+    """
+
+    algorithms: tuple[str, ...] = ("atdca", "pct")
+    variants: tuple[str, ...] = ("hetero", "homo")
+    networks: tuple[str, ...] = (
+        "fully heterogeneous", "partially homogeneous",
+    )
+    backends: tuple[str, ...] = ("sim",)
+    rows: int = 384
+    cols: int = 8
+    bands: int = 32
+    seed: int = 7
+    n_targets: int = 18
+    n_classes: int = 24
+    repeats: int = 3
+    comm_factor: float = 1.0
+
+    def scene_config(self) -> SceneConfig:
+        return SceneConfig(
+            rows=self.rows, cols=self.cols, bands=self.bands, seed=self.seed
+        )
+
+    def params_for(self, algorithm: str) -> dict[str, Any]:
+        if algorithm in ("atdca", "ufcls"):
+            return {"n_targets": self.n_targets}
+        return {"n_classes": self.n_classes}
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def _cell_id(algorithm: str, variant: str, network: str, backend: str) -> str:
+    return f"{algorithm}/{variant}/{network}/{backend}"
+
+
+def run_bench(config: BenchConfig, date: str) -> dict[str, Any]:
+    """Execute the pinned grid and return the artifact document."""
+    from repro.cluster.presets import all_networks
+
+    exp = ExperimentConfig()
+    scene_cfg = config.scene_config()
+    scene = make_wtc_scene(scene_cfg)
+    base_cost = exp.cost_model(scene_cfg)
+    cost = CostModel(
+        compute_scale=base_cost.compute_scale,
+        comm_scale=base_cost.comm_scale * config.comm_factor,
+        efficiency=base_cost.efficiency,
+        bytes_per_value=base_cost.bytes_per_value,
+    )
+    platforms = all_networks()
+    unknown = set(config.networks) - set(platforms)
+    if unknown:
+        raise ReproError(
+            f"unknown network(s) {sorted(unknown)}; "
+            f"choose from {sorted(platforms)}"
+        )
+
+    cells: dict[str, dict[str, Any]] = {}
+    for network in config.networks:
+        platform = platforms[network]
+        for algorithm in config.algorithms:
+            for variant in config.variants:
+                params = config.params_for(algorithm)
+                for backend in config.backends:
+                    cid = _cell_id(algorithm, variant, network, backend)
+                    if backend == "sim":
+                        run = run_parallel(
+                            algorithm, scene.image, platform,
+                            params=params, variant=variant,
+                            backend="sim", cost_model=cost,
+                        )
+                        assert run.sim is not None
+                        breakdown = breakdown_of_run(run.sim)
+                        scores = imbalance_of_run(run.sim)
+                        cells[cid] = {
+                            "backend": "sim",
+                            "label": variant_label(algorithm, variant),
+                            "network": network,
+                            "virtual": {
+                                "makespan": run.sim.makespan,
+                                "com": breakdown.com,
+                                "seq": breakdown.seq,
+                                "par": breakdown.par,
+                                "d_all": scores.d_all,
+                                "d_minus": scores.d_minus,
+                            },
+                        }
+                    else:  # inproc: wall time, repeat + median
+                        samples = []
+                        for _ in range(config.repeats):
+                            t0 = time.perf_counter()
+                            run_parallel(
+                                algorithm, scene.image, platform,
+                                params=params, variant=variant,
+                                backend="inproc",
+                            )
+                            samples.append(time.perf_counter() - t0)
+                        samples.sort()
+                        cells[cid] = {
+                            "backend": "inproc",
+                            "label": variant_label(algorithm, variant),
+                            "network": network,
+                            "wall": {
+                                "median": samples[len(samples) // 2],
+                                "repeats": config.repeats,
+                                "samples": samples,
+                            },
+                        }
+    return {
+        "schema": SCHEMA,
+        "date": date,
+        "config": config.to_dict(),
+        "cells": cells,
+    }
+
+
+def write_artifact(artifact: Mapping[str, Any], path: Path) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, **_JSON_KW) + "\n", encoding="utf-8")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported benchmark schema {schema!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    return doc
+
+
+@dataclasses.dataclass(frozen=True)
+class CellDiff:
+    """Comparison outcome for one benchmark cell."""
+
+    cell_id: str
+    status: str  # "ok" | "regression" | "improvement" | "missing" | "new"
+    metric: str = ""
+    baseline: float | None = None
+    candidate: float | None = None
+
+    @property
+    def delta_pct(self) -> float:
+        if not self.baseline or self.candidate is None:
+            return 0.0
+        return 100.0 * (self.candidate - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        if self.status in ("missing", "new"):
+            return f"{self.status:<12} {self.cell_id}"
+        return (
+            f"{self.status:<12} {self.cell_id} [{self.metric}] "
+            f"{self.baseline:.6f} -> {self.candidate:.6f} "
+            f"({self.delta_pct:+.2f}%)"
+        )
+
+
+def compare_artifacts(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    sim_rtol: float = SIM_RTOL,
+    wall_rtol: float = WALL_RTOL,
+) -> list[CellDiff]:
+    """Diff two artifacts cell by cell.
+
+    The gating metric is the sim makespan (exact, ``sim_rtol``) or the
+    wall-clock median (noisy, ``wall_rtol``).  Slower-than-tolerance is
+    a ``regression``, faster an ``improvement``; cells present on only
+    one side are reported as ``missing``/``new`` but do not gate.
+    """
+    base_cells = baseline.get("cells", {})
+    cand_cells = candidate.get("cells", {})
+    diffs: list[CellDiff] = []
+    for cid in sorted(set(base_cells) | set(cand_cells)):
+        if cid not in cand_cells:
+            diffs.append(CellDiff(cell_id=cid, status="missing"))
+            continue
+        if cid not in base_cells:
+            diffs.append(CellDiff(cell_id=cid, status="new"))
+            continue
+        base, cand = base_cells[cid], cand_cells[cid]
+        if base.get("backend") != cand.get("backend"):
+            diffs.append(
+                CellDiff(cell_id=cid, status="regression", metric="backend")
+            )
+            continue
+        if base["backend"] == "sim":
+            metric, rtol = "virtual.makespan", sim_rtol
+            b = base["virtual"]["makespan"]
+            c = cand["virtual"]["makespan"]
+        else:
+            metric, rtol = "wall.median", wall_rtol
+            b = base["wall"]["median"]
+            c = cand["wall"]["median"]
+        if c > b * (1.0 + rtol):
+            status = "regression"
+        elif c < b * (1.0 - rtol):
+            status = "improvement"
+        else:
+            status = "ok"
+        diffs.append(
+            CellDiff(
+                cell_id=cid, status=status, metric=metric,
+                baseline=b, candidate=c,
+            )
+        )
+    return diffs
+
+
+def report_text(artifact: Mapping[str, Any]) -> str:
+    """Render one artifact as a monospace table."""
+    rows = []
+    for cid in sorted(artifact.get("cells", {})):
+        cell = artifact["cells"][cid]
+        if cell["backend"] == "sim":
+            v = cell["virtual"]
+            rows.append([
+                cid, v["makespan"], v["com"], v["seq"], v["par"],
+                v["d_all"], v["d_minus"],
+            ])
+        else:
+            w = cell["wall"]
+            rows.append([
+                cid, w["median"], None, None, None, None, None,
+            ])
+    headers = ["cell", "time (s)", "COM", "SEQ", "PAR", "D_all", "D_minus"]
+    return format_table(
+        headers, rows,
+        title=(
+            f"benchmark artifact {artifact.get('date', '?')} "
+            f"({artifact.get('schema')})"
+        ),
+        precision=3,
+    )
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def _csv(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _add_run_parser(sub: Any) -> None:
+    p = sub.add_parser("run", help="execute the pinned grid, write BENCH_*.json")
+    p.add_argument("--out", default=None,
+                   help="artifact path (default <outdir>/BENCH_<date>.json)")
+    p.add_argument("--outdir", default=".",
+                   help="directory for the default artifact name")
+    p.add_argument("--date", default=None,
+                   help="ISO date stamped into the artifact "
+                        "(default: today; pin for reproducible names)")
+    p.add_argument("--algorithms", type=_csv, default=None,
+                   help="comma-separated algorithm subset")
+    p.add_argument("--variants", type=_csv, default=None,
+                   help="comma-separated variant subset")
+    p.add_argument("--networks", type=_csv, default=None,
+                   help="comma-separated network subset")
+    p.add_argument("--backends", type=_csv, default=None,
+                   help="comma-separated backends: sim,inproc")
+    p.add_argument("--repeats", type=int, default=None,
+                   help="wall-clock repetitions per inproc cell")
+    p.add_argument("--rows", type=int, default=None)
+    p.add_argument("--cols", type=int, default=None)
+    p.add_argument("--bands", type=int, default=None)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--n-targets", type=int, default=None)
+    p.add_argument("--n-classes", type=int, default=None)
+    p.add_argument("--comm-factor", type=float, default=None,
+                   help="scale all message volumes (ablation / regression "
+                        "injection; 2.0 doubles every link cost)")
+
+
+def _build_config(args: argparse.Namespace) -> BenchConfig:
+    overrides = {
+        name: getattr(args, name)
+        for name in (
+            "algorithms", "variants", "networks", "backends", "repeats",
+            "rows", "cols", "bands", "seed", "n_targets", "n_classes",
+            "comm_factor",
+        )
+        if getattr(args, name) is not None
+    }
+    return dataclasses.replace(BenchConfig(), **overrides)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="Continuous benchmarking with regression gating.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(sub)
+    p_cmp = sub.add_parser("compare", help="diff two artifacts, exit 1 on "
+                                           "regression")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("candidate")
+    p_cmp.add_argument("--sim-rtol", type=float, default=SIM_RTOL)
+    p_cmp.add_argument("--wall-rtol", type=float, default=WALL_RTOL)
+    p_cmp.add_argument("--fail-on-missing", action="store_true",
+                       help="treat cells missing from the candidate as "
+                            "regressions")
+    p_rep = sub.add_parser("report", help="print one artifact as a table")
+    p_rep.add_argument("artifact")
+    args = parser.parse_args(argv)
+
+    if args.command == "run":
+        config = _build_config(args)
+        date = args.date or datetime.date.today().isoformat()
+        artifact = run_bench(config, date=date)
+        out = (
+            Path(args.out) if args.out
+            else Path(args.outdir) / f"BENCH_{date}.json"
+        )
+        write_artifact(artifact, out)
+        print(f"{len(artifact['cells'])} cells -> {out}")
+        return 0
+
+    if args.command == "compare":
+        try:
+            baseline = load_artifact(args.baseline)
+            candidate = load_artifact(args.candidate)
+        except (OSError, json.JSONDecodeError, ReproError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if baseline.get("config") != candidate.get("config"):
+            print("warning: artifacts were produced with different "
+                  "benchmark configs; cell-by-cell comparison may not be "
+                  "meaningful", file=sys.stderr)
+        diffs = compare_artifacts(
+            baseline, candidate,
+            sim_rtol=args.sim_rtol, wall_rtol=args.wall_rtol,
+        )
+        failing = [d for d in diffs if d.status == "regression"]
+        if args.fail_on_missing:
+            failing += [d for d in diffs if d.status == "missing"]
+        for diff in diffs:
+            if diff.status != "ok":
+                print(diff.describe())
+        ok = sum(1 for d in diffs if d.status == "ok")
+        print(f"{len(diffs)} cells compared: {ok} ok, "
+              f"{sum(1 for d in diffs if d.status == 'improvement')} "
+              f"improved, {len(failing)} failing")
+        if failing:
+            print("REGRESSION: "
+                  + "; ".join(d.cell_id for d in failing), file=sys.stderr)
+            return 1
+        return 0
+
+    # report
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, json.JSONDecodeError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report_text(artifact))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,7 @@ backend two identical runs produce byte-identical files.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
@@ -37,6 +38,10 @@ __all__ = [
     "write_jsonl",
     "metrics_records",
     "write_metrics_json",
+    "openmetrics_text",
+    "write_openmetrics",
+    "LoadedTrace",
+    "read_jsonl",
     "breakdown_from_spans",
     "summary_table",
 ]
@@ -45,10 +50,14 @@ _JSON_KW = {"sort_keys": True, "separators": (",", ":")}
 
 
 def spans_of(source: Any) -> list[Span]:
-    """Normalize a session / tracer / span sequence to a sorted span list."""
+    """Normalize a session / tracer / loaded trace / span sequence to a
+    sorted span list."""
     tracer = getattr(source, "tracer", source)
-    if isinstance(tracer, Tracer) or hasattr(tracer, "spans"):
+    spans = getattr(tracer, "spans", None)
+    if isinstance(tracer, Tracer) or callable(spans):
         return list(tracer.spans())
+    if spans is not None:  # LoadedTrace: spans is a stored sequence
+        source = spans
     return sorted(source, key=lambda s: (s.start, s.rank, s.seq))
 
 
@@ -161,6 +170,158 @@ def write_metrics_json(path: str | Path, source: Any) -> Path:
         encoding="utf-8",
     )
     return out
+
+
+# -- OpenMetrics / Prometheus text exposition ---------------------------------
+
+def _om_name(name: str) -> str:
+    """Sanitize a dotted metric name to an OpenMetrics identifier."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _om_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _om_labels(labels: dict[str, str], extra: tuple[tuple[str, str], ...] = ()
+               ) -> str:
+    items = [*sorted(labels.items()), *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_om_label_value(str(v))}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _om_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def openmetrics_text(source: Any) -> str:
+    """The registry in OpenMetrics text exposition format.
+
+    Counters become ``<name>_total`` samples, gauges plain samples, and
+    histograms the standard ``_bucket``/``_sum``/``_count`` triple with
+    cumulative *le*-labelled buckets.  Families are emitted sorted by
+    name and samples sorted by labels, so the exposition is
+    deterministic and diffable; the document ends with the mandated
+    ``# EOF`` marker and is scrapeable by standard Prometheus tooling.
+    """
+    records = metrics_records(source)
+    by_family: dict[str, list[dict[str, Any]]] = {}
+    for record in records:
+        by_family.setdefault(record["name"], []).append(record)
+    lines: list[str] = []
+    for name in sorted(by_family):
+        family = by_family[name]
+        kinds = {r["kind"] for r in family}
+        if len(kinds) != 1:
+            raise ValueError(
+                f"metric family {name!r} mixes kinds {sorted(kinds)}"
+            )
+        kind = kinds.pop()
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} {kind}")
+        for record in family:
+            labels = record["labels"]
+            if kind == "counter":
+                lines.append(
+                    f"{om}_total{_om_labels(labels)} "
+                    f"{_om_float(record['value'])}"
+                )
+            elif kind == "gauge":
+                lines.append(
+                    f"{om}{_om_labels(labels)} {_om_float(record['value'])}"
+                )
+            else:  # histogram
+                for bound, cumulative in record["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _om_float(bound)
+                    lines.append(
+                        f"{om}_bucket{_om_labels(labels, (('le', le),))} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{om}_sum{_om_labels(labels)} "
+                    f"{_om_float(record['total'])}"
+                )
+                lines.append(
+                    f"{om}_count{_om_labels(labels)} {record['count']}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path: str | Path, source: Any) -> Path:
+    """Serialize :func:`openmetrics_text` to ``path``; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(openmetrics_text(source), encoding="utf-8")
+    return out
+
+
+# -- reading traces back ------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class LoadedTrace:
+    """A trace read back from a JSONL export.
+
+    Quacks enough like an :class:`~repro.obs.ObsSession` for the
+    exporters and :mod:`repro.obs.analyze`: ``spans_of`` accepts the
+    span list and ``records()`` mirrors
+    :meth:`~repro.obs.metrics.MetricsRegistry.records`.
+    """
+
+    spans: tuple[Span, ...]
+    metric_records: tuple[dict[str, Any], ...]
+
+    def records(self) -> list[dict[str, Any]]:
+        return [dict(r) for r in self.metric_records]
+
+
+def read_jsonl(path: str | Path) -> LoadedTrace:
+    """Load spans + metric records from a :func:`write_jsonl` export."""
+    spans: list[Span] = []
+    records: list[dict[str, Any]] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "span":
+            spans.append(
+                Span(
+                    name=obj["name"],
+                    rank=int(obj["rank"]),
+                    start=float(obj["start"]),
+                    end=float(obj["end"]),
+                    category=obj.get("category", "phase"),
+                    seq=int(obj.get("seq", 0)),
+                    parent=tuple(obj["parent"]) if obj.get("parent") else None,
+                    attrs=obj.get("attrs") or {},
+                )
+            )
+        elif kind == "metric":
+            record = dict(obj)
+            record.pop("type")
+            records.append(record)
+        else:
+            raise ValueError(
+                f"{path}:{lineno}: unknown record type {kind!r}"
+            )
+    spans.sort(key=lambda s: (s.start, s.rank, s.seq))
+    return LoadedTrace(spans=tuple(spans), metric_records=tuple(records))
 
 
 # -- COM/SEQ/PAR from spans ---------------------------------------------------
