@@ -20,13 +20,19 @@ import threading
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
-from repro.cluster.mailbox import Router
+from repro.cluster.mailbox import OpDeadline, Router
 from repro.cluster.platform import HeterogeneousPlatform
 from repro.cluster.simtime import Phase, PhaseLedger, VirtualClock
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import (
+    CommunicationTimeout,
+    ConfigurationError,
+    RankFailedError,
+    raise_root_cause,
+)
 from repro.types import Megaflops, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.obs import ObsSession
 
 __all__ = [
@@ -116,10 +122,17 @@ class RankContext:
         self.ledger = engine.ledgers[rank]
         #: Observability session shared by all ranks (``None`` = off).
         self.obs = engine.obs
+        #: Fault injector interpreting the run's plan (``None`` = off).
+        self.faults = engine.faults
 
     @property
     def size(self) -> int:
         return self.platform.size
+
+    @property
+    def router(self) -> Router:
+        """The engine's message router (liveness/detection queries)."""
+        return self._engine.router
 
     @property
     def is_master(self) -> bool:
@@ -142,8 +155,12 @@ class RankContext:
         Returns:
             The charged duration in virtual seconds.
         """
+        if self.faults is not None:
+            self.faults.before_op(self.rank, "compute", self.clock.now)
         dt = self.platform.processor(self.rank).compute_seconds(mflops)
         start = self.clock.now
+        if self.faults is not None:
+            dt *= self.faults.compute_factor(self.rank, start)
         self.clock.advance(dt)
         self.ledger.add(Phase.SEQ if sequential else Phase.PAR, dt)
         if self._engine.trace and dt > 0:
@@ -178,18 +195,78 @@ class RankContext:
         self.ledger.add(phase, seconds)
 
     # -- messaging (raw; prefer repro.mpi communicators) -------------------------
-    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
-        """Synchronous send; virtual transfer time charged at match."""
+    def _deadline(self, timeout_s: Seconds | None) -> OpDeadline | None:
+        """Virtual per-op deadline ``timeout_s`` from now (None = none).
+
+        The waiter's clock cannot advance while it is blocked, so the
+        deadline fires at quiescence and ``on_fire`` advances the clock
+        to the deadline *exactly* — timeout timing is deterministic.
+        """
+        if timeout_s is None:
+            return None
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        at = self.clock.now + timeout_s
+        return OpDeadline(
+            at=at,
+            clock=lambda: self.clock.now,
+            wall=False,
+            on_fire=lambda: self.clock.advance_to(at),
+        )
+
+    def _count_timeout(self, exc: CommunicationTimeout) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter("comm.timeouts", rank=self.rank).inc()
+
+    def send(
+        self,
+        dest: int,
+        payload: Any,
+        tag: int = 0,
+        timeout_s: Seconds | None = None,
+    ) -> None:
+        """Synchronous send; virtual transfer time charged at match.
+
+        ``timeout_s`` bounds the rendezvous wait in virtual seconds
+        (:class:`~repro.errors.CommunicationTimeout` on expiry).
+        """
+        if self.faults is not None:
+            self.faults.before_op(self.rank, "send", self.clock.now)
+            delay = self.faults.on_send(self.rank, dest, tag, self.clock.now)
+            if delay > 0:
+                self.charge_seconds(delay)
         megabits = self.cost_model.message_megabits(payload)
         if self.obs is not None:
             m = self.obs.metrics
             m.counter("comm.messages_sent", rank=self.rank, peer=dest).inc()
             m.counter("comm.megabits_sent", rank=self.rank, peer=dest).inc(megabits)
-        self._engine.router.send(self.rank, dest, tag, payload, megabits)
+        try:
+            self._engine.router.send(
+                self.rank, dest, tag, payload, megabits,
+                deadline=self._deadline(timeout_s),
+            )
+        except CommunicationTimeout as exc:
+            self._count_timeout(exc)
+            raise
 
-    def recv(self, source: int, tag: int = -1) -> Any:
-        """Blocking receive from ``source`` (tag -1 = any)."""
-        payload = self._engine.router.recv(self.rank, source, tag)
+    def recv(
+        self, source: int, tag: int = -1, timeout_s: Seconds | None = None
+    ) -> Any:
+        """Blocking receive from ``source`` (tag -1 = any).
+
+        ``timeout_s`` bounds the wait in virtual seconds
+        (:class:`~repro.errors.CommunicationTimeout` on expiry, with
+        this rank's clock advanced to the deadline exactly).
+        """
+        if self.faults is not None:
+            self.faults.before_op(self.rank, "recv", self.clock.now)
+        try:
+            payload = self._engine.router.recv(
+                self.rank, source, tag, deadline=self._deadline(timeout_s)
+            )
+        except CommunicationTimeout as exc:
+            self._count_timeout(exc)
+            raise
         if self.obs is not None:
             megabits = self.cost_model.message_megabits(payload)
             m = self.obs.metrics
@@ -255,16 +332,23 @@ class SimulationEngine:
         deadlock_grace_s: float = 0.25,
         trace: bool = False,
         obs: "ObsSession | None" = None,
+        faults: "FaultInjector | None" = None,
+        clock_start: Seconds = 0.0,
     ) -> None:
         self.platform = platform
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.trace = trace
         self.obs = obs
+        #: Fault injector for this run (already attached to ``platform``
+        #: by the caller); duck-typed to avoid importing repro.faults.
+        self.faults = faults
         if obs is not None:
             # Dual-clock design: spans read this engine's per-rank
             # virtual clocks, so exports are deterministic.
             obs.tracer.set_clock(lambda rank: self.clocks[rank].now)
-        self.clocks = [VirtualClock() for _ in range(platform.size)]
+        # clock_start > 0 resumes virtual time after a recovery
+        # repartition, so post-recovery spans extend the same timeline.
+        self.clocks = [VirtualClock(clock_start) for _ in range(platform.size)]
         self.ledgers = [PhaseLedger() for _ in range(platform.size)]
         self._link_free: dict[tuple[str, str], Seconds] = {}
         self._events: list[TraceEvent] = []
@@ -288,11 +372,19 @@ class SimulationEngine:
         transfer itself is COM for both endpoints.
         """
         network = self.platform.network
-        duration = network.transfer_seconds(src, dst, megabits)
         start = max(self.clocks[src].now, self.clocks[dst].now)
         link = network.link_resource(src, dst)
         if link is not None:
             start = max(start, self._link_free.get(link, 0.0))
+        duration = network.transfer_seconds(src, dst, megabits)
+        if self.faults is not None:
+            # LinkDegrade scales the capacity term only; the fixed
+            # per-message latency is unaffected.
+            factor = self.faults.transfer_factor(src, dst, start)
+            if factor != 1.0:
+                duration = network.latency_s + factor * (
+                    duration - network.latency_s
+                )
         link_label = (
             "|".join(link) if link is not None
             else f"intra:{network.segment_of(src)}"
@@ -384,6 +476,16 @@ class SimulationEngine:
                 kwargs.update(kwargs_per_rank[rank])
             try:
                 results[rank] = program(ctx, **kwargs)
+            except RankFailedError as exc:
+                with failure_lock:
+                    failures.append((rank, exc))
+                if exc.injected and exc.rank == rank:
+                    # This rank crashed: mark it dead surgically so the
+                    # survivors keep running and discover the failure in
+                    # their own program order (deterministic cascade).
+                    self.router.fail(rank)
+                else:
+                    self.router.abort()
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with failure_lock:
                     failures.append((rank, exc))
@@ -403,17 +505,9 @@ class SimulationEngine:
 
         if failures:
             # A crashing rank makes its peers fail with secondary
-            # DeadlockErrors (the abort wakes them); report the root
-            # cause, not the fallout.
-            from repro.errors import DeadlockError
-
-            failures.sort(
-                key=lambda item: (isinstance(item[1], DeadlockError), item[0])
-            )
-            rank, exc = failures[0]
-            if isinstance(exc, ReproError):
-                raise exc
-            raise ReproError(f"rank {rank} failed: {exc!r}") from exc
+            # RankFailedError/DeadlockError fallout; report the root
+            # cause and chain the rest as __context__.
+            raise_root_cause(failures)
 
         with self._events_lock:
             events = sorted(self._events, key=lambda e: (e.start, e.rank))
@@ -437,12 +531,17 @@ def run_program(
     kwargs_per_rank: Sequence[Mapping[str, Any]] | None = None,
     cost_model: CostModel | None = None,
     obs: "ObsSession | None" = None,
+    faults: "FaultInjector | None" = None,
     **common_kwargs: Any,
 ) -> SimulationResult:
     """One-shot convenience: build an engine and run ``program``.
 
     Extra keyword arguments are forwarded to every rank; ``obs``
-    attaches an observability session clocked by virtual time.
+    attaches an observability session clocked by virtual time;
+    ``faults`` injects a fault plan (the injector must already be
+    attached to ``platform``).
     """
-    engine = SimulationEngine(platform, cost_model=cost_model, obs=obs)
+    engine = SimulationEngine(
+        platform, cost_model=cost_model, obs=obs, faults=faults
+    )
     return engine.run(program, kwargs_per_rank, common_kwargs)

@@ -24,11 +24,16 @@ import copy
 import pickle
 import threading
 from collections import deque
-from typing import Any, Callable
+from typing import Any, Callable, NoReturn
 
 import numpy as np
 
-from repro.errors import CommunicationError, DeadlockError
+from repro.errors import (
+    CommunicationError,
+    CommunicationTimeout,
+    DeadlockError,
+    RankFailedError,
+)
 from repro.types import Megabits
 
 __all__ = [
@@ -36,6 +41,7 @@ __all__ = [
     "ANY_SOURCE",
     "payload_wire_megabits",
     "copy_payload",
+    "OpDeadline",
     "Router",
 ]
 
@@ -106,6 +112,37 @@ def copy_payload(payload: Any) -> Any:
     return copy.deepcopy(payload)
 
 
+class OpDeadline:
+    """An absolute per-operation deadline for a blocking send/recv.
+
+    Two firing modes share one mechanism:
+
+    * **wall deadlines** (``wall=True``, inproc backend): fire when
+      ``clock()`` — typically ``time.monotonic`` — passes ``at``;
+    * **virtual deadlines** (``wall=False``, sim engine): the waiter's
+      virtual clock never advances while blocked, so the deadline fires
+      at *quiescence* (all ranks blocked, no progress) — the logical
+      point at which the message provably cannot arrive.  ``on_fire``
+      advances the waiter's virtual clock to ``at`` exactly before
+      :class:`~repro.errors.CommunicationTimeout` is raised, making
+      timeout timing deterministic.
+    """
+
+    __slots__ = ("at", "clock", "wall", "on_fire")
+
+    def __init__(
+        self,
+        at: float,
+        clock: Callable[[], float],
+        wall: bool = False,
+        on_fire: Callable[[], None] | None = None,
+    ) -> None:
+        self.at = float(at)
+        self.clock = clock
+        self.wall = wall
+        self.on_fire = on_fire
+
+
 class _Offer:
     """A pending send awaiting its matching receive."""
 
@@ -146,7 +183,9 @@ class Router:
         self._offers: dict[int, deque[_Offer]] = {i: deque() for i in range(n_ranks)}
         self._pending_recvs: dict[int, tuple[int, int]] = {}  # dst -> (src, tag)
         self._blocked = 0
-        self._retired = 0
+        self._retired: set[int] = set()
+        self._failed: set[int] = set()
+        self._deadlines: dict[int, OpDeadline] = {}
         self._version = 0
         self._dead = False
 
@@ -154,7 +193,21 @@ class Router:
     def retire(self, rank: int) -> None:
         """Mark a rank's program as finished (for deadlock accounting)."""
         with self._cond:
-            self._retired += 1
+            self._retired.add(rank)
+            self._version += 1
+            self._cond.notify_all()
+
+    def fail(self, rank: int) -> None:
+        """Mark a rank as crashed; peers talking to it get
+        :class:`~repro.errors.RankFailedError` instead of hanging.
+
+        Unlike :meth:`abort` this is surgical: only operations that
+        involve the failed rank error out, so surviving ranks keep
+        running (and discover the failure in their own program order —
+        a deterministic cascade on the virtual-time engine).
+        """
+        with self._cond:
+            self._failed.add(rank)
             self._version += 1
             self._cond.notify_all()
 
@@ -164,9 +217,34 @@ class Router:
             self._dead = True
             self._cond.notify_all()
 
+    # -- liveness ---------------------------------------------------------------
+    def failed_ranks(self) -> frozenset[int]:
+        """Snapshot of ranks marked crashed via :meth:`fail`."""
+        with self._cond:
+            return frozenset(self._failed)
+
+    def retired_ranks(self) -> frozenset[int]:
+        """Snapshot of ranks whose programs have finished."""
+        with self._cond:
+            return frozenset(self._retired)
+
     # -- point-to-point -----------------------------------------------------------
-    def send(self, src: int, dst: int, tag: int, payload: Any, megabits: float) -> None:
-        """Post a message and block until the matching receive consumes it."""
+    def send(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        payload: Any,
+        megabits: float,
+        deadline: OpDeadline | None = None,
+    ) -> None:
+        """Post a message and block until the matching receive consumes it.
+
+        A ``deadline`` bounds the wait: on expiry the undelivered offer
+        is withdrawn and :class:`~repro.errors.CommunicationTimeout` is
+        raised.  Sending to a rank marked failed raises
+        :class:`~repro.errors.RankFailedError`.
+        """
         self._check_rank(src, "source")
         self._check_rank(dst, "destination")
         if src == dst:
@@ -176,13 +254,34 @@ class Router:
             self._offers[dst].append(offer)
             self._version += 1
             self._cond.notify_all()
-            self._wait(lambda: offer.done, rank=src)
+            try:
+                self._wait(
+                    lambda: offer.done, rank=src, peer=dst, deadline=deadline
+                )
+            except BaseException:
+                if not offer.done:
+                    try:
+                        self._offers[dst].remove(offer)
+                    except ValueError:  # pragma: no cover - already consumed
+                        pass
+                    self._version += 1
+                    self._cond.notify_all()
+                raise
 
-    def recv(self, dst: int, src: int, tag: int = ANY_TAG) -> Any:
+    def recv(
+        self,
+        dst: int,
+        src: int,
+        tag: int = ANY_TAG,
+        deadline: OpDeadline | None = None,
+    ) -> Any:
         """Block until a message from ``src`` (with ``tag``) arrives; return it.
 
         Matching is FIFO among ``src``'s offers to ``dst`` that satisfy
-        the tag filter.
+        the tag filter.  A ``deadline`` bounds the wait; receiving from
+        a rank marked failed raises
+        :class:`~repro.errors.RankFailedError` (messages it sent
+        *before* failing are still delivered first).
         """
         self._check_rank(dst, "destination")
         if src != ANY_SOURCE:
@@ -196,10 +295,11 @@ class Router:
                     return offer
             return None
 
+        peer = src if src != ANY_SOURCE else None
         with self._cond:
             self._pending_recvs[dst] = (src, tag)
             try:
-                offer = self._wait(find, rank=dst)
+                offer = self._wait(find, rank=dst, peer=peer, deadline=deadline)
             finally:
                 self._pending_recvs.pop(dst, None)
             self._offers[dst].remove(offer)
@@ -216,10 +316,46 @@ class Router:
         if not 0 <= rank < self._n:
             raise CommunicationError(f"{role} rank {rank} outside [0, {self._n})")
 
-    def _wait(self, predicate: Callable[[], Any], rank: int) -> Any:
-        """Block until ``predicate()`` is truthy; detect global deadlock."""
+    def _fire_timeout(self, rank: int, deadline: OpDeadline) -> NoReturn:
+        """Raise a timeout for ``rank`` (lock held); virtual clocks are
+        advanced to the deadline exactly via ``on_fire``."""
+        self._deadlines.pop(rank, None)
+        self._version += 1
+        self._cond.notify_all()
+        if deadline.on_fire is not None:
+            deadline.on_fire()
+        raise CommunicationTimeout(
+            f"rank {rank}: no matching message within the deadline "
+            f"(t={deadline.at:.6f})",
+            rank=rank,
+            deadline_s=deadline.at,
+        )
+
+    def _wait_timeout(self, deadline: OpDeadline | None) -> float:
+        if deadline is not None and deadline.wall:
+            return max(0.0, min(self._grace, deadline.at - deadline.clock()))
+        return self._grace
+
+    def _wait(
+        self,
+        predicate: Callable[[], Any],
+        rank: int,
+        peer: int | None = None,
+        deadline: OpDeadline | None = None,
+    ) -> Any:
+        """Block until ``predicate()`` is truthy; detect global deadlock.
+
+        Quiescence (all ranks blocked/retired with no progress over the
+        grace period) normally raises :class:`DeadlockError` — but when
+        any waiter holds a deadline, the earliest deadline fires a
+        :class:`CommunicationTimeout` on its owner instead, giving
+        timeout-aware code (e.g. the fault-tolerant scheduler) a chance
+        to recover before the run is declared dead.
+        """
         value = predicate()
         self._blocked += 1
+        if deadline is not None:
+            self._deadlines[rank] = deadline
         try:
             while not value:
                 if self._dead:
@@ -227,16 +363,38 @@ class Router:
                         f"rank {rank}: communication aborted (deadlock or "
                         "peer failure)"
                     )
-                everyone_stuck = self._blocked + self._retired >= self._n
+                if peer is not None and peer in self._failed:
+                    raise RankFailedError(
+                        peer,
+                        f"rank {rank}: peer rank {peer} failed",
+                        secondary=True,
+                    )
+                if (
+                    deadline is not None
+                    and deadline.wall
+                    and deadline.clock() >= deadline.at
+                ):
+                    self._fire_timeout(rank, deadline)
+                everyone_stuck = self._blocked + len(self._retired) >= self._n
                 if everyone_stuck:
                     version = self._version
-                    self._cond.wait(timeout=self._grace)
+                    self._cond.wait(timeout=self._wait_timeout(deadline))
                     if (
                         not self._dead
                         and self._version == version
-                        and self._blocked + self._retired >= self._n
+                        and self._blocked + len(self._retired) >= self._n
                         and not predicate()
                     ):
+                        if self._deadlines:
+                            earliest = min(
+                                self._deadlines,
+                                key=lambda r: (self._deadlines[r].at, r),
+                            )
+                            if earliest == rank:
+                                self._fire_timeout(rank, deadline)
+                            # Another waiter's deadline is earlier: let
+                            # it fire first; keep waiting.
+                            continue
                         self._dead = True
                         self._cond.notify_all()
                         raise DeadlockError(
@@ -244,8 +402,10 @@ class Router:
                             "matching messages — communication deadlock"
                         )
                 else:
-                    self._cond.wait(timeout=self._grace)
+                    self._cond.wait(timeout=self._wait_timeout(deadline))
                 value = predicate()
         finally:
             self._blocked -= 1
+            if deadline is not None:
+                self._deadlines.pop(rank, None)
         return value

@@ -22,12 +22,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.atdca import TargetDetectionResult
 from repro.core.parallel_common import (
     charge_sequential,
     cost_model_of,
     distribute_row_blocks,
     master_only,
+    save_detection_checkpoint as _save_checkpoint,
 )
 from repro.errors import ConfigurationError
 from repro.hsi.cube import HyperspectralImage
@@ -35,6 +38,9 @@ from repro.linalg.osp import residual_energy
 from repro.mpi.communicator import Communicator, MessageContext
 from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.recovery import CheckpointStore
 
 __all__ = ["parallel_atdca_program"]
 
@@ -65,6 +71,7 @@ def parallel_atdca_program(
     partition: RowPartition,
     n_targets: int,
     image: HyperspectralImage | None = None,
+    checkpoint: "CheckpointStore | None" = None,
 ) -> TargetDetectionResult | None:
     """SPMD body of Hetero-ATDCA; returns the result at the master.
 
@@ -73,6 +80,11 @@ def parallel_atdca_program(
         partition: WEA row partition (same object on all ranks).
         n_targets: ``t``, the number of targets to extract.
         image: the scene — master rank only.
+        checkpoint: optional in-memory master checkpoint store
+            (fault-tolerant runs).  The master saves its selection
+            state after every completed iteration; on restart the
+            saved step is broadcast and extraction resumes mid-loop
+            instead of from scratch.
     """
     if n_targets < 1:
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
@@ -86,34 +98,55 @@ def parallel_atdca_program(
     bands = block.bands
     n_local = local.shape[0]
 
-    # -- step 2-3: the brightest pixel ----------------------------------------
-    with tracer.span("atdca.brightest", rank=ctx.rank):
-        ctx.compute(cost.brightest_search(n_local, bands))
-        if n_local:
-            energies = np.einsum("ij,ij->i", local, local)
-            lidx, score = _local_argmax(energies)
-            candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-        else:  # an empty share still participates in the collectives
-            candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
-        gathered = comm.gather(candidate)
-
-        indices: list[int] = []
-        signatures: list[np.ndarray] = []
-        scores: list[float] = []
+    indices: list[int] = []
+    signatures: list[np.ndarray] = []
+    scores: list[float] = []
+    start_k = 0
+    u_matrix = None
+    if checkpoint is not None:
+        resume = None
         if comm.is_master:
-            charge_sequential(ctx, cost.brightest_search(comm.size, bands))
-            win = _select_candidate(gathered)
-            first = gathered[win]
-            indices.append(first[1])
-            signatures.append(first[2])
-            scores.append(first[0])
-            u_matrix = first[2][None, :]
-        else:
-            u_matrix = None
-        u_matrix = comm.bcast(u_matrix)
+            saved = checkpoint.load()
+            if saved is not None:
+                step, state = saved
+                indices = list(state["indices"])
+                signatures = list(state["signatures"])
+                scores = list(state["scores"])
+                resume = (step, state["u"])
+        resume = comm.bcast(resume)
+        if resume is not None:
+            start_k, u_matrix = resume
+
+    # -- step 2-3: the brightest pixel ----------------------------------------
+    if start_k == 0:
+        with tracer.span("atdca.brightest", rank=ctx.rank):
+            ctx.compute(cost.brightest_search(n_local, bands))
+            if n_local:
+                energies = np.einsum("ij,ij->i", local, local)
+                lidx, score = _local_argmax(energies)
+                candidate = (
+                    score, block.global_flat_index(lidx), local[lidx].copy()
+                )
+            else:  # an empty share still participates in the collectives
+                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            gathered = comm.gather(candidate)
+
+            if comm.is_master:
+                charge_sequential(ctx, cost.brightest_search(comm.size, bands))
+                win = _select_candidate(gathered)
+                first = gathered[win]
+                indices.append(first[1])
+                signatures.append(first[2])
+                scores.append(first[0])
+                u_matrix = first[2][None, :]
+            else:
+                u_matrix = None
+            u_matrix = comm.bcast(u_matrix)
+        _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
+        start_k = 1
 
     # -- steps 4-6: iterative OSP extraction ------------------------------------
-    for k in range(1, n_targets):
+    for k in range(start_k, n_targets):
         with tracer.span("atdca.iteration", rank=ctx.rank, k=k):
             ctx.compute(cost.osp_scores(n_local, bands, k))
             if n_local:
@@ -138,6 +171,7 @@ def parallel_atdca_program(
             else:
                 new_u = None
             u_matrix = comm.bcast(new_u)
+        _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
 
     if not comm.is_master:
         return None

@@ -36,6 +36,7 @@ __all__ = [
     "LocalBlock",
     "distribute_row_blocks",
     "master_only",
+    "save_detection_checkpoint",
 ]
 
 
@@ -47,6 +48,33 @@ def cost_model_of(ctx: MessageContext) -> CostModel:
 def charge_sequential(ctx: MessageContext, mflops: float) -> None:
     """Charge master-side sequential work (no-op on wall-clock backends)."""
     ctx.compute(mflops, sequential=True)
+
+
+def save_detection_checkpoint(
+    checkpoint: Any,
+    comm: Communicator,
+    indices: list[int],
+    signatures: list[np.ndarray],
+    scores: list[float],
+    u_matrix: np.ndarray,
+) -> None:
+    """Master-side per-iteration checkpoint for the target detectors.
+
+    Saved only *after* the iteration's closing broadcast completed, so
+    a restart from step ``len(indices)`` is consistent on all ranks.
+    No-op for workers or when checkpointing is off.
+    """
+    if checkpoint is None or not comm.is_master:
+        return
+    checkpoint.save(
+        len(indices),
+        {
+            "indices": list(indices),
+            "signatures": list(signatures),
+            "scores": list(scores),
+            "u": u_matrix,
+        },
+    )
 
 
 def master_only(ctx: MessageContext, value: Any, name: str) -> Any:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.core.atdca import TargetDetectionResult
 from repro.core.parallel_atdca import _local_argmax, _select_candidate
 from repro.core.parallel_common import (
@@ -20,6 +22,7 @@ from repro.core.parallel_common import (
     cost_model_of,
     distribute_row_blocks,
     master_only,
+    save_detection_checkpoint as _save_checkpoint,
 )
 from repro.core.ufcls import fcls_error_image
 from repro.errors import ConfigurationError
@@ -27,6 +30,9 @@ from repro.hsi.cube import HyperspectralImage
 from repro.mpi.communicator import Communicator, MessageContext
 from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.recovery import CheckpointStore
 
 __all__ = ["parallel_ufcls_program"]
 
@@ -36,8 +42,13 @@ def parallel_ufcls_program(
     partition: RowPartition,
     n_targets: int,
     image: HyperspectralImage | None = None,
+    checkpoint: "CheckpointStore | None" = None,
 ) -> TargetDetectionResult | None:
-    """SPMD body of Hetero-UFCLS; returns the result at the master."""
+    """SPMD body of Hetero-UFCLS; returns the result at the master.
+
+    ``checkpoint`` enables master-side per-iteration checkpoints for
+    fault-tolerant restarts (see :func:`parallel_atdca_program`).
+    """
     if n_targets < 1:
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
     comm = Communicator(ctx)
@@ -50,34 +61,55 @@ def parallel_ufcls_program(
     bands = block.bands
     n_local = local.shape[0]
 
-    # -- step 1: brightest pixel (shared with Hetero-ATDCA) ---------------------
-    with tracer.span("ufcls.brightest", rank=ctx.rank):
-        ctx.compute(cost.brightest_search(n_local, bands))
-        if n_local:
-            energies = np.einsum("ij,ij->i", local, local)
-            lidx, score = _local_argmax(energies)
-            candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-        else:
-            candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
-        gathered = comm.gather(candidate)
-
-        indices: list[int] = []
-        signatures: list[np.ndarray] = []
-        scores: list[float] = []
+    indices: list[int] = []
+    signatures: list[np.ndarray] = []
+    scores: list[float] = []
+    start_k = 0
+    targets = None
+    if checkpoint is not None:
+        resume = None
         if comm.is_master:
-            charge_sequential(ctx, cost.brightest_search(comm.size, bands))
-            win = _select_candidate(gathered)
-            first = gathered[win]
-            indices.append(first[1])
-            signatures.append(first[2])
-            scores.append(first[0])
-            targets = first[2][None, :]
-        else:
-            targets = None
-        targets = comm.bcast(targets)
+            saved = checkpoint.load()
+            if saved is not None:
+                step, state = saved
+                indices = list(state["indices"])
+                signatures = list(state["signatures"])
+                scores = list(state["scores"])
+                resume = (step, state["u"])
+        resume = comm.bcast(resume)
+        if resume is not None:
+            start_k, targets = resume
+
+    # -- step 1: brightest pixel (shared with Hetero-ATDCA) ---------------------
+    if start_k == 0:
+        with tracer.span("ufcls.brightest", rank=ctx.rank):
+            ctx.compute(cost.brightest_search(n_local, bands))
+            if n_local:
+                energies = np.einsum("ij,ij->i", local, local)
+                lidx, score = _local_argmax(energies)
+                candidate = (
+                    score, block.global_flat_index(lidx), local[lidx].copy()
+                )
+            else:
+                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            gathered = comm.gather(candidate)
+
+            if comm.is_master:
+                charge_sequential(ctx, cost.brightest_search(comm.size, bands))
+                win = _select_candidate(gathered)
+                first = gathered[win]
+                indices.append(first[1])
+                signatures.append(first[2])
+                scores.append(first[0])
+                targets = first[2][None, :]
+            else:
+                targets = None
+            targets = comm.bcast(targets)
+        _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
+        start_k = 1
 
     # -- steps 2-5: iterative error-driven extraction ------------------------------
-    for k in range(1, n_targets):
+    for k in range(start_k, n_targets):
         with tracer.span("ufcls.iteration", rank=ctx.rank, k=k):
             ctx.compute(cost.fcls_scores(n_local, bands, k))
             if n_local:
@@ -100,6 +132,7 @@ def parallel_ufcls_program(
             else:
                 new_targets = None
             targets = comm.bcast(new_targets)
+        _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
 
     if not comm.is_master:
         return None

@@ -49,6 +49,8 @@ from repro.scheduling.static_part import (
 from repro.types import FloatArray
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
+    from repro.faults.recovery import CheckpointStore
     from repro.obs import ObsSession
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "estimate_row_workload",
     "make_fractions",
     "make_row_partition",
+    "build_program_kwargs",
     "ParallelRun",
     "run_parallel",
 ]
@@ -187,6 +190,36 @@ def make_row_partition(
     )
 
 
+def build_program_kwargs(
+    algorithm: str,
+    params: Mapping[str, Any],
+    partition: RowPartition,
+) -> dict[str, Any]:
+    """Translate user ``params`` into the program's keyword arguments.
+
+    Shared by :func:`run_parallel` and the fault-tolerant driver
+    (:func:`repro.faults.recovery.run_with_recovery`), which re-invokes
+    programs on survivor subsets with a fresh partition.
+    """
+    _check_algorithm(algorithm)
+    program_kwargs: dict[str, Any] = {"partition": partition}
+    if algorithm in ("atdca", "ufcls"):
+        program_kwargs["n_targets"] = int(params.get("n_targets", 18))
+    else:
+        program_kwargs["n_classes"] = int(params.get("n_classes", 24))
+        if algorithm == "morph":
+            program_kwargs["iterations"] = int(params.get("iterations", 5))
+            if params.get("se") is not None:
+                program_kwargs["se"] = params["se"]
+            if params.get("dedup_threshold") is not None:
+                program_kwargs["dedup_threshold"] = params["dedup_threshold"]
+            if params.get("exact_halo") is not None:
+                program_kwargs["exact_halo"] = bool(params["exact_halo"])
+        elif params.get("threshold") is not None:
+            program_kwargs["threshold"] = params["threshold"]
+    return program_kwargs
+
+
 @dataclasses.dataclass
 class ParallelRun:
     """Outcome of one parallel execution.
@@ -224,6 +257,8 @@ def run_parallel(
     cost_model: CostModel | None = None,
     partition: RowPartition | None = None,
     obs: "ObsSession | None" = None,
+    faults: "FaultInjector | None" = None,
+    checkpoint: "CheckpointStore | None" = None,
 ) -> ParallelRun:
     """Run one algorithm end to end on a platform.
 
@@ -240,6 +275,12 @@ def run_parallel(
         partition: override the derived partition (ablations).
         obs: observability session; spans/metrics are clocked by
             virtual time on ``"sim"`` and by the wall on ``"inproc"``.
+        faults: fault injector interpreting a fault plan on either
+            backend; must already be attached to ``platform``.  For
+            crash *recovery* (not just injection) use
+            :func:`repro.faults.recovery.run_with_recovery`.
+        checkpoint: master checkpoint store for the iterative target
+            detectors (ignored by pct/morph).
 
     Returns:
         A :class:`ParallelRun` with the master's output and timing.
@@ -253,21 +294,9 @@ def run_parallel(
     )
 
     program = _PROGRAMS[algorithm]
-    program_kwargs: dict[str, Any] = {"partition": part}
-    if algorithm in ("atdca", "ufcls"):
-        program_kwargs["n_targets"] = int(params.get("n_targets", 18))
-    else:
-        program_kwargs["n_classes"] = int(params.get("n_classes", 24))
-        if algorithm == "morph":
-            program_kwargs["iterations"] = int(params.get("iterations", 5))
-            if params.get("se") is not None:
-                program_kwargs["se"] = params["se"]
-            if params.get("dedup_threshold") is not None:
-                program_kwargs["dedup_threshold"] = params["dedup_threshold"]
-            if params.get("exact_halo") is not None:
-                program_kwargs["exact_halo"] = bool(params["exact_halo"])
-        elif params.get("threshold") is not None:
-            program_kwargs["threshold"] = params["threshold"]
+    program_kwargs = build_program_kwargs(algorithm, params, part)
+    if checkpoint is not None and algorithm in ("atdca", "ufcls"):
+        program_kwargs["checkpoint"] = checkpoint
 
     master = platform.master_rank
     kwargs_per_rank = [
@@ -282,6 +311,7 @@ def run_parallel(
             kwargs_per_rank=kwargs_per_rank,
             cost_model=cost_model,
             obs=obs,
+            faults=faults,
             **program_kwargs,
         )
         return ParallelRun(
@@ -297,6 +327,7 @@ def run_parallel(
         kwargs_per_rank=kwargs_per_rank,
         master_rank=master,
         obs=obs,
+        faults=faults,
         **program_kwargs,
     )
     return ParallelRun(

@@ -8,6 +8,8 @@ subclass that applies; constructors accept a human-readable message and
 
 from __future__ import annotations
 
+from typing import NoReturn, Sequence
+
 __all__ = [
     "ReproError",
     "ConfigurationError",
@@ -17,11 +19,16 @@ __all__ = [
     "TagMismatchError",
     "TruncationError",
     "DeadlockError",
+    "RankFailedError",
+    "CommunicationTimeout",
+    "TransientNetworkError",
+    "FaultPlanError",
     "DataError",
     "ShapeError",
     "ConvergenceError",
     "ExperimentError",
     "EnviFormatError",
+    "raise_root_cause",
 ]
 
 
@@ -68,6 +75,68 @@ class DeadlockError(CommunicationError):
     in flight — the program can never make progress."""
 
 
+class RankFailedError(CommunicationError):
+    """A rank stopped executing (crashed) and can no longer communicate.
+
+    Raised on the failing rank itself by the fault injector
+    (``injected=True``) and on its peers when they try to talk to it
+    (``secondary=True``).  The failure-sorting logic in both backends
+    prefers injected over secondary errors, so the reported root cause
+    is always the crash, not the fallout.
+
+    Attributes:
+        rank: the rank that failed (in the *current* run's numbering).
+        injected: True when raised by a fault plan on the failing rank.
+        secondary: True when raised on a peer that observed the failure.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        message: str | None = None,
+        injected: bool = False,
+        secondary: bool = False,
+    ) -> None:
+        self.rank = int(rank)
+        self.injected = bool(injected)
+        self.secondary = bool(secondary)
+        super().__init__(message or f"rank {rank} failed")
+
+
+class CommunicationTimeout(CommunicationError):
+    """A send/recv deadline expired before the operation could match.
+
+    On the virtual-time engine the waiting rank's clock is advanced to
+    the deadline *exactly* before this is raised, so timeout behaviour
+    is deterministic and observable in traces.
+
+    Attributes:
+        rank: the rank whose operation timed out.
+        deadline_s: the absolute deadline on that rank's clock.
+    """
+
+    def __init__(
+        self, message: str, rank: int | None = None,
+        deadline_s: float | None = None,
+    ) -> None:
+        self.rank = rank
+        self.deadline_s = deadline_s
+        super().__init__(message)
+
+
+class TransientNetworkError(CommunicationError):
+    """A message was lost in transit (retriable).
+
+    Raised at the *sender* by the fault injector for ``MessageDrop``
+    faults; :func:`repro.faults.send_with_retry` resends with
+    exponential backoff.
+    """
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault plan is malformed or inconsistent with the platform."""
+
+
 class DataError(ReproError, ValueError):
     """Input data (image cube, spectra, ground truth) is invalid."""
 
@@ -86,3 +155,37 @@ class ExperimentError(ReproError):
 
 class EnviFormatError(ReproError, IOError):
     """An ENVI header/binary pair could not be parsed or round-tripped."""
+
+
+def _is_secondary(exc: BaseException) -> bool:
+    return isinstance(exc, DeadlockError) or bool(getattr(exc, "secondary", False))
+
+
+def raise_root_cause(failures: Sequence[tuple[int, BaseException]]) -> NoReturn:
+    """Raise the root cause of a multi-rank failure, chaining the rest.
+
+    When one rank crashes, its peers typically surface secondary
+    :class:`DeadlockError`/:class:`RankFailedError` fallout.  Failures
+    are ordered injected-first, secondaries last (ties broken by rank),
+    the remaining exceptions are linked onto the winner's
+    ``__context__`` chain, and the winner is raised (wrapped in a
+    :class:`ReproError` if it is a foreign exception).
+    """
+    ordered = sorted(
+        failures,
+        key=lambda item: (
+            _is_secondary(item[1]),
+            not bool(getattr(item[1], "injected", False)),
+            item[0],
+        ),
+    )
+    rank, root = ordered[0]
+    tail: BaseException = root
+    for _, exc in ordered[1:]:
+        if exc is root or exc is tail:
+            continue
+        tail.__context__ = exc
+        tail = exc
+    if isinstance(root, ReproError):
+        raise root
+    raise ReproError(f"rank {rank} failed: {root!r}") from root

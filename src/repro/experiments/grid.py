@@ -9,10 +9,14 @@ from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.cluster.presets import all_networks
 from repro.core.runner import ALGORITHM_NAMES, ParallelRun, run_parallel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.faults.recovery import RecoveredRun
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.hsi.scene import WTCScene, make_wtc_scene
@@ -34,9 +38,15 @@ def variant_label(algorithm: str, variant: str) -> str:
 
 @dataclasses.dataclass(frozen=True)
 class GridCell:
-    """One (algorithm, variant, network) measurement."""
+    """One (algorithm, variant, network) measurement.
 
-    run: ParallelRun
+    Under a fault plan ``run`` is the fault-tolerant driver's
+    :class:`~repro.faults.recovery.RecoveredRun` (same ``makespan`` /
+    ``sim`` surface), and ``imbalance`` reflects the final
+    post-recovery partition.
+    """
+
+    run: "ParallelRun | RecoveredRun"
     breakdown: PhaseBreakdown
     imbalance: ImbalanceScores
 
@@ -84,6 +94,7 @@ def run_network_grid(
     variants: tuple[str, ...] = VARIANTS,
     scene: WTCScene | None = None,
     trace_dir: Path | str | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> NetworkGrid:
     """Execute the full grid on the virtual-time engine.
 
@@ -94,6 +105,10 @@ def run_network_grid(
         scene: reuse an existing scene (else built from the config).
         trace_dir: when given, write per-cell Chrome traces and metrics
             (``<label>__<network>.trace.json`` / ``.metrics.json``).
+        fault_plan: when given, every cell runs under the fault-
+            tolerant driver with this plan injected (fresh fault state
+            per cell, so each cell sees the same fault sequence); cell
+            timings then measure the *degraded* platform.
     """
     cfg = config or ExperimentConfig()
     scn = scene or make_wtc_scene(cfg.grid_scene)
@@ -106,15 +121,29 @@ def run_network_grid(
         for algorithm in algorithms:
             for variant in variants:
                 obs = ObsSession.create() if traces is not None else None
-                run = run_parallel(
-                    algorithm,
-                    scn.image,
-                    platform,
-                    params=cfg.params_for(algorithm),
-                    variant=variant,
-                    cost_model=cost,
-                    obs=obs,
-                )
+                if fault_plan is not None:
+                    from repro.faults.recovery import run_with_recovery
+
+                    run = run_with_recovery(
+                        algorithm,
+                        scn.image,
+                        platform,
+                        params=cfg.params_for(algorithm),
+                        variant=variant,
+                        cost_model=cost,
+                        plan=fault_plan,
+                        obs=obs,
+                    )
+                else:
+                    run = run_parallel(
+                        algorithm,
+                        scn.image,
+                        platform,
+                        params=cfg.params_for(algorithm),
+                        variant=variant,
+                        cost_model=cost,
+                        obs=obs,
+                    )
                 assert run.sim is not None
                 label = variant_label(algorithm, variant)
                 if traces is not None and obs is not None:

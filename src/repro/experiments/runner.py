@@ -72,6 +72,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="export the metric registry of a demo run as "
                              "JSON + OpenMetrics text into DIR (standalone; "
                              "reuses the --trace runs when both are given)")
+    parser.add_argument("--fault-plan", metavar="FILE", default=None,
+                        help="inject the JSON fault plan into the traced "
+                             "demo runs and the table5-7 grid cells; runs "
+                             "go through the fault-tolerant driver, so "
+                             "planned crashes recover onto the survivors")
     parser.add_argument("--rows", type=int, default=96, help="scene rows")
     parser.add_argument("--cols", type=int, default=64, help="scene cols")
     parser.add_argument("--bands", type=int, default=48, help="scene bands")
@@ -96,6 +101,13 @@ def main(argv: list[str] | None = None) -> int:
         name for name in EXPERIMENT_NAMES if name in args.experiments
     ]
     config = _build_config(args)
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.faults.plan import load_fault_plan
+
+        fault_plan = load_fault_plan(args.fault_plan)
+        print(f"fault plan {fault_plan.name!r}: "
+              f"{len(fault_plan)} faults loaded", flush=True)
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     trace_dir = None
@@ -106,9 +118,15 @@ def main(argv: list[str] | None = None) -> int:
         for backend in ("sim", "inproc"):
             print(f"tracing a demo atdca run ({backend} backend)...",
                   flush=True)
-            traced = run_traced(config, trace_dir, backend=backend)
+            traced = run_traced(
+                config, trace_dir, backend=backend, fault_plan=fault_plan
+            )
             print(f"  {traced.n_spans} spans -> "
                   + ", ".join(p.name for p in traced.files))
+            if getattr(traced.run, "recovered", False):
+                print(f"  recovered from rank loss "
+                      f"{traced.run.crashed_ranks} in "
+                      f"{len(traced.run.attempts)} attempts")
             cp = traced.analysis.critical_path
             print(f"  critical path: {cp.length_s:.3f}s of "
                   f"{cp.makespan:.3f}s makespan "
@@ -132,7 +150,9 @@ def main(argv: list[str] | None = None) -> int:
     grid = None
     if _GRID_EXPERIMENTS & set(wanted):
         print("building the network grid (32 simulated runs)...", flush=True)
-        grid = run_network_grid(config, trace_dir=trace_dir)
+        grid = run_network_grid(
+            config, trace_dir=trace_dir, fault_plan=fault_plan
+        )
 
     sections: list[str] = []
     for name in wanted:

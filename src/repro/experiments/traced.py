@@ -24,12 +24,17 @@ from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
+from typing import TYPE_CHECKING, Union
 
 from repro.cluster.presets import fully_heterogeneous
 from repro.core.runner import ParallelRun, run_parallel
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.hsi.scene import make_wtc_scene
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.faults.recovery import RecoveredRun
 from repro.obs import (
     ObsSession,
     TraceAnalysis,
@@ -53,7 +58,7 @@ CROSSCHECK_TOL = 1e-9
 class TracedRun:
     """Outcome of one traced demo run."""
 
-    run: ParallelRun
+    run: Union[ParallelRun, "RecoveredRun"]
     obs: ObsSession
     files: tuple[Path, ...]
     analysis: TraceAnalysis
@@ -68,11 +73,21 @@ def run_traced(
     outdir: Path | str = "experiments_output",
     backend: str = "sim",
     algorithm: str = "atdca",
+    fault_plan: "FaultPlan | None" = None,
 ) -> TracedRun:
     """Run ``algorithm`` traced on ``backend`` and export everything.
 
     Uses the fully heterogeneous Table 1/2 platform and the accuracy
     scene (small enough that the wall-clock backend finishes quickly).
+
+    With ``fault_plan`` the run goes through the fault-tolerant driver
+    (:func:`repro.faults.recovery.run_with_recovery`): the plan's
+    faults are injected, planned crashes recover onto survivor
+    subsets, and the exported trace carries the ``fault``-category
+    spans that :func:`repro.obs.fault_windows` reads.  The COM/SEQ/PAR
+    ledger cross-check is skipped for such runs — the trace spans
+    cover every attempt while the engine ledger covers only the final
+    one, so they legitimately disagree.
     """
     cfg = config or ExperimentConfig()
     out = Path(outdir)
@@ -81,16 +96,30 @@ def run_traced(
     scene = make_wtc_scene(cfg.scene)
     platform = fully_heterogeneous()
     obs = ObsSession.create()
-    run = run_parallel(
-        algorithm,
-        scene.image,
-        platform,
-        params=cfg.params_for(algorithm),
-        backend=backend,
-        obs=obs,
-    )
+    run: ParallelRun | RecoveredRun
+    if fault_plan is not None:
+        from repro.faults.recovery import run_with_recovery
 
-    if backend == "sim":
+        run = run_with_recovery(
+            algorithm,
+            scene.image,
+            platform,
+            params=cfg.params_for(algorithm),
+            backend=backend,
+            plan=fault_plan,
+            obs=obs,
+        )
+    else:
+        run = run_parallel(
+            algorithm,
+            scene.image,
+            platform,
+            params=cfg.params_for(algorithm),
+            backend=backend,
+            obs=obs,
+        )
+
+    if backend == "sim" and fault_plan is None:
         assert run.sim is not None
         ledger = breakdown_of_run(run.sim)
         spans = breakdown_from_spans(obs)
@@ -107,7 +136,7 @@ def run_traced(
         obs,
         result=run.sim,
         partition=run.partition if run.sim is not None else None,
-        platform=platform,
+        platform=getattr(run, "platform", platform),
     )
 
     stem = f"{algorithm}_{backend}"

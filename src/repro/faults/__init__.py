@@ -1,0 +1,73 @@
+"""Deterministic fault injection + fault tolerance (``repro.faults``).
+
+Three layers, shared by both MPI backends:
+
+1. **Plans** (:mod:`repro.faults.plan`) — declarative, seed-free fault
+   schedules (:class:`RankCrash`, :class:`RankSlowdown`,
+   :class:`LinkDegrade`, :class:`MessageDelay`, :class:`MessageDrop`)
+   that serialize to JSON; the same plan file produces the same fault
+   sequence on the virtual-time engine and the wall-clock backend.
+2. **Detection** (:mod:`repro.faults.detect`) — per-operation
+   deadlines, :func:`send_with_retry` with exponential backoff for
+   transient losses, and a router-derived :class:`LivenessView`.
+3. **Recovery** (:mod:`repro.faults.recovery`) —
+   :func:`run_with_recovery` re-runs WEA over the survivors after a
+   confirmed rank loss and resumes iterative algorithms from in-memory
+   master checkpoints (:class:`CheckpointStore`).
+
+The interpreter tying plans to execution is
+:class:`~repro.faults.injector.FaultInjector`; the wall-clock backend
+interposes it via :class:`~repro.faults.injector.FaultyCommunicator`.
+"""
+
+from repro.faults.detect import (
+    DEFAULT_RETRY_POLICY,
+    LivenessView,
+    RetryPolicy,
+    liveness_of,
+    recv_with_timeout,
+    send_with_retry,
+)
+from repro.faults.injector import FaultInjector, FaultyCommunicator, injector_for
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDegrade,
+    MessageDelay,
+    MessageDrop,
+    RankCrash,
+    RankSlowdown,
+    load_fault_plan,
+)
+from repro.faults.recovery import (
+    CheckpointStore,
+    RecoveredRun,
+    RecoveryAttempt,
+    run_with_recovery,
+)
+
+__all__ = [
+    # plans
+    "FaultPlan",
+    "RankCrash",
+    "RankSlowdown",
+    "LinkDegrade",
+    "MessageDelay",
+    "MessageDrop",
+    "load_fault_plan",
+    # injection
+    "FaultInjector",
+    "FaultyCommunicator",
+    "injector_for",
+    # detection
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "send_with_retry",
+    "recv_with_timeout",
+    "LivenessView",
+    "liveness_of",
+    # recovery
+    "CheckpointStore",
+    "RecoveryAttempt",
+    "RecoveredRun",
+    "run_with_recovery",
+]

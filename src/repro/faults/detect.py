@@ -1,0 +1,163 @@
+"""Failure detection primitives: deadlines, retry, liveness.
+
+Detection is *bounded*: every helper here either succeeds within a
+configured budget or raises a specific :mod:`repro.errors` exception —
+no operation silently hangs.  On the virtual-time engine, deadlines and
+backoff are charged in virtual seconds, so detection behaviour is fully
+deterministic and shows up in exported traces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import (
+    CommunicationTimeout,
+    ConfigurationError,
+    TransientNetworkError,
+)
+
+__all__ = [
+    "RetryPolicy",
+    "send_with_retry",
+    "recv_with_timeout",
+    "LivenessView",
+    "liveness_of",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for transient faults.
+
+    Attributes:
+        max_attempts: total tries (first attempt included).
+        backoff_s: wait charged before the first retry.
+        backoff_factor: multiplier applied to the wait per retry.
+    """
+
+    max_attempts: int = 4
+    backoff_s: float = 0.01
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0 or self.backoff_factor <= 0:
+            raise ConfigurationError(
+                f"invalid backoff ({self.backoff_s}s × {self.backoff_factor})"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff charged after failed attempt ``attempt`` (1-based)."""
+        return self.backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def send_with_retry(
+    ctx: Any,
+    dest: int,
+    payload: Any,
+    tag: int = 0,
+    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    timeout_s: float | None = None,
+) -> int:
+    """Send, resending on :class:`TransientNetworkError` (lost message).
+
+    The backoff between attempts is charged to the sender's clock via
+    ``ctx.charge_seconds`` — virtual time on the engine (deterministic),
+    a modelled no-op on the wall-clock backend.  Returns the number of
+    attempts used; re-raises the last error when the budget is spent.
+    Non-transient errors (peer failed, timeout) propagate immediately.
+    """
+    kwargs: dict[str, Any] = {}
+    if timeout_s is not None:
+        kwargs["timeout_s"] = timeout_s
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            ctx.send(dest, payload, tag, **kwargs)
+            return attempt
+        except TransientNetworkError:
+            obs = getattr(ctx, "obs", None)
+            if obs is not None:
+                obs.metrics.counter(
+                    "fault.retries", rank=ctx.rank, peer=dest
+                ).inc()
+            if attempt == policy.max_attempts:
+                raise
+            ctx.charge_seconds(policy.backoff_for(attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def recv_with_timeout(
+    ctx: Any, source: int, tag: int = -1, timeout_s: float | None = None
+) -> Any:
+    """Receive with a per-operation deadline.
+
+    Thin wrapper over ``ctx.recv(..., timeout_s=...)`` for contexts
+    that support deadlines; raises
+    :class:`~repro.errors.CommunicationTimeout` on expiry.
+    """
+    if timeout_s is None:
+        return ctx.recv(source, tag)
+    return ctx.recv(source, tag, timeout_s=timeout_s)
+
+
+class LivenessView:
+    """Heartbeat-style liveness snapshot derived from the router.
+
+    The rendezvous router already observes every rank's lifecycle
+    (explicit :meth:`~repro.cluster.mailbox.Router.fail` marks and
+    program retirement), so no extra heartbeat messages are needed —
+    this view just exposes that ground truth to recovery code.
+    """
+
+    def __init__(self, router: Any) -> None:
+        self._router = router
+
+    def failed(self) -> frozenset[int]:
+        """Ranks confirmed crashed."""
+        return self._router.failed_ranks()
+
+    def retired(self) -> frozenset[int]:
+        """Ranks whose programs finished (cleanly or not)."""
+        return self._router.retired_ranks()
+
+    def is_alive(self, rank: int) -> bool:
+        """True while ``rank`` has neither crashed nor finished."""
+        return rank not in self.failed() and rank not in self.retired()
+
+    def suspects(self, ranks: Any) -> frozenset[int]:
+        """Subset of ``ranks`` that are confirmed failed."""
+        failed = self.failed()
+        return frozenset(r for r in ranks if r in failed)
+
+
+def liveness_of(ctx: Any) -> LivenessView:
+    """Build a :class:`LivenessView` from any backend's rank context.
+
+    Works with the engine's ``RankContext``, the inproc context, a
+    :class:`~repro.faults.injector.FaultyCommunicator`, and the
+    high-level ``Communicator`` wrapper (unwraps ``.context`` /
+    ``._ctx`` as needed).
+    """
+    seen = set()
+    obj = ctx
+    while id(obj) not in seen:
+        seen.add(id(obj))
+        router = getattr(obj, "router", None)
+        if router is not None:
+            return LivenessView(router)
+        inner = getattr(obj, "context", None) or getattr(obj, "_ctx", None)
+        if inner is None:
+            break
+        obj = inner
+    raise ConfigurationError(
+        f"cannot derive a liveness view from {type(ctx).__name__}: "
+        "no router is reachable"
+    )

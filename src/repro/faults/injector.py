@@ -1,0 +1,335 @@
+"""Fault-plan interpreter shared by both MPI backends.
+
+The :class:`FaultInjector` is the single stateful object that turns a
+declarative :class:`~repro.faults.plan.FaultPlan` into concrete
+failures.  The virtual-time engine calls its hooks natively from
+``RankContext.compute/send/recv`` and ``SimulationEngine._on_match``;
+the wall-clock backend interposes the same hooks via
+:class:`FaultyCommunicator`, which wraps each rank's
+``InprocContext``.  Both paths share the per-rank *operation counters*
+(compute/send/recv, counted in program order), so ``at_op_index``
+crash triggers fire at exactly the same operation on both clocks.
+
+Fault state is keyed by **original** rank ids.  When
+checkpoint–restart recovery re-runs a program on a survivor subset,
+:meth:`FaultInjector.attach` is called again with a ``rank_map``
+translating the new (dense) rank numbering back to the original one —
+so already-fired crashes stay fired, drop/delay budgets keep their
+remaining counts, and windows keep their absolute times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import FaultPlanError, RankFailedError, TransientNetworkError
+from repro.faults.plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.platform import HeterogeneousPlatform
+    from repro.obs import ObsSession
+
+__all__ = ["FaultInjector", "FaultyCommunicator"]
+
+#: Cap on how long the wall-clock backend actually sleeps for an
+#: injected MessageDelay — delays are *modelled* (the nominal clock
+#: advances by the full delay) but the test suite shouldn't stall.
+_MAX_REAL_SLEEP_S = 0.05
+
+
+class FaultInjector:
+    """Deterministic interpreter for one :class:`FaultPlan`.
+
+    One injector instance spans a whole (possibly multi-attempt)
+    fault-tolerant run; call :meth:`attach` before each attempt to
+    bind the current platform/rank numbering and observability
+    session.  All hooks are thread-safe and take times on the caller's
+    clock (virtual seconds on the engine, nominal compute seconds on
+    the wall-clock backend).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        # All persistent state below is keyed by ORIGINAL rank ids.
+        self._op_counts: dict[int, int] = {}
+        self._fired_crashes: set[int] = set()
+        # Remaining drop/delay budget per plan index (None = unlimited).
+        self._remaining: dict[int, int | None] = {}
+        for i, fault in enumerate(plan):
+            if fault.kind in ("message_drop", "message_delay"):
+                self._remaining[i] = fault.count
+        self._platform: "HeterogeneousPlatform | None" = None
+        self._obs: "ObsSession | None" = None
+        self._rank_map: tuple[int, ...] | None = None
+        self._windows_emitted = False
+
+    # -- binding -------------------------------------------------------------
+    def attach(
+        self,
+        platform: "HeterogeneousPlatform | None" = None,
+        obs: "ObsSession | None" = None,
+        rank_map: Sequence[int] | None = None,
+    ) -> "FaultInjector":
+        """Bind the injector to the platform/rank numbering of the next
+        attempt.
+
+        Args:
+            platform: platform of the upcoming run (segment names are
+                used to resolve :class:`LinkDegrade` faults).
+            obs: observability session for fault spans/counters.
+            rank_map: ``rank_map[current_rank] == original_rank``; omit
+                for the identity mapping of a first attempt.
+        """
+        with self._lock:
+            self._platform = platform
+            self._obs = obs
+            self._rank_map = tuple(rank_map) if rank_map is not None else None
+            if platform is not None and self._rank_map is None:
+                # The plan speaks original rank ids; validate it against
+                # the full platform on the first (identity) attach only.
+                self.plan.check_platform(
+                    platform.size, master_rank=platform.master_rank
+                )
+            if obs is not None and not self._windows_emitted:
+                self._emit_windows(obs)
+                self._windows_emitted = True
+        return self
+
+    def _original(self, rank: int) -> int:
+        if self._rank_map is None:
+            return rank
+        return self._rank_map[rank]
+
+    def _emit_windows(self, obs: "ObsSession") -> None:
+        """Record window faults as spans once, so traces show when the
+        plan degrades which resource (category ``fault``)."""
+        for fault in self.plan:
+            if fault.kind == "rank_slowdown":
+                obs.tracer.add_span(
+                    "fault.slowdown", fault.rank, fault.start_s, fault.end_s,
+                    category="fault", factor=float(fault.factor),
+                )
+            elif fault.kind == "link_degrade":
+                obs.tracer.add_span(
+                    "fault.link_degrade", 0, fault.start_s, fault.end_s,
+                    category="fault", factor=float(fault.factor),
+                    link="|".join(fault.pair),
+                )
+
+    # -- hooks (engine + FaultyCommunicator) ---------------------------------
+    def before_op(self, rank: int, op: str, now: float) -> None:
+        """Count one operation of ``rank`` and fire a due crash.
+
+        Called before every compute/send/recv with the rank's current
+        clock.  Raises :class:`~repro.errors.RankFailedError` with
+        ``injected=True`` when a :class:`RankCrash` trigger is met.
+        """
+        with self._lock:
+            orig = self._original(rank)
+            count = self._op_counts.get(orig, 0) + 1
+            self._op_counts[orig] = count
+            for crash in self.plan.of_kind("rank_crash"):
+                if crash.rank != orig or crash.rank in self._fired_crashes:
+                    continue
+                due = (
+                    crash.at_op_index is not None and count >= crash.at_op_index
+                ) or (
+                    crash.at_virtual_s is not None and now >= crash.at_virtual_s
+                )
+                if not due:
+                    continue
+                self._fired_crashes.add(crash.rank)
+                if self._obs is not None:
+                    self._obs.metrics.counter(
+                        "fault.injected", kind="rank_crash", rank=rank
+                    ).inc()
+                    self._obs.tracer.add_span(
+                        "fault.crash", rank, now, now, category="fault",
+                        op=op, original_rank=orig,
+                    )
+                raise RankFailedError(
+                    rank,
+                    f"rank {rank} (original rank {orig}) crashed by fault "
+                    f"plan {self.plan.name!r} at op #{count} ({op}, "
+                    f"t={now:.6f})",
+                    injected=True,
+                )
+
+    def compute_factor(self, rank: int, start_s: float) -> float:
+        """Dilation factor for computation starting at ``start_s``."""
+        factor = 1.0
+        with self._lock:
+            orig = self._original(rank)
+            for slow in self.plan.of_kind("rank_slowdown"):
+                if slow.rank == orig and slow.start_s <= start_s < slow.end_s:
+                    factor *= slow.factor
+        return factor
+
+    def transfer_factor(self, src: int, dst: int, start_s: float) -> float:
+        """Capacity dilation for a transfer starting at ``start_s``.
+
+        Resolved against the *current* platform's segment names (they
+        are preserved across survivor subsets); scales only the
+        capacity term — latency is unaffected.
+        """
+        platform = self._platform
+        if platform is None:
+            return 1.0
+        network = platform.network
+        a, b = network.segment_of(src), network.segment_of(dst)
+        pair = (a, b) if a <= b else (b, a)
+        factor = 1.0
+        with self._lock:
+            for deg in self.plan.of_kind("link_degrade"):
+                if deg.pair == pair and deg.start_s <= start_s < deg.end_s:
+                    factor *= deg.factor
+        return factor
+
+    def on_send(self, rank: int, dest: int, tag: int, now: float) -> float:
+        """Apply drop/delay faults to one send attempt.
+
+        Returns the injected delay in seconds (0.0 when none applies);
+        raises :class:`~repro.errors.TransientNetworkError` when a
+        :class:`MessageDrop` budget consumes this message.  Budgets are
+        consumed under the injector lock in the caller's arrival order,
+        so pin ``src`` in the plan for deterministic runs.
+        """
+        with self._lock:
+            src = self._original(rank)
+            dst = self._original(dest)
+            for i, fault in enumerate(self.plan):
+                if fault.kind != "message_drop":
+                    continue
+                remaining = self._remaining.get(i, 0)
+                if not remaining or not fault.matches(src, dst, tag):
+                    continue
+                self._remaining[i] = remaining - 1
+                if self._obs is not None:
+                    self._obs.metrics.counter(
+                        "fault.injected", kind="message_drop", rank=rank
+                    ).inc()
+                    self._obs.tracer.add_span(
+                        "fault.drop", rank, now, now, category="fault",
+                        peer=dest, tag=tag,
+                    )
+                raise TransientNetworkError(
+                    f"rank {rank}: message to rank {dest} (tag {tag}) lost "
+                    f"in transit (fault plan {self.plan.name!r})"
+                )
+            delay = 0.0
+            for i, fault in enumerate(self.plan):
+                if fault.kind != "message_delay":
+                    continue
+                remaining = self._remaining.get(i)
+                if remaining == 0 or not fault.matches(src, dst, tag):
+                    continue
+                if remaining is not None:
+                    self._remaining[i] = remaining - 1
+                delay += fault.delay_s
+            if delay > 0 and self._obs is not None:
+                self._obs.metrics.counter(
+                    "fault.injected", kind="message_delay", rank=rank
+                ).inc()
+                self._obs.tracer.add_span(
+                    "fault.delay", rank, now, now + delay, category="fault",
+                    peer=dest, tag=tag,
+                )
+        return delay
+
+    # -- introspection --------------------------------------------------------
+    def fired_crashes(self) -> frozenset[int]:
+        """Original ranks whose planned crashes have fired so far."""
+        with self._lock:
+            return frozenset(self._fired_crashes)
+
+
+class FaultyCommunicator:
+    """Interposing wrapper applying a fault plan on the inproc backend.
+
+    Wraps an :class:`repro.mpi.inproc.InprocContext` (or any
+    ``MessageContext``) and drives the shared :class:`FaultInjector`
+    hooks so the *same plan file* produces the same fault sequence as
+    the virtual-time engine: op counting is identical, and time-based
+    triggers/windows are evaluated against a **nominal clock** that
+    accumulates the analytic compute cost (mflops × the rank's
+    cycle-time from the attached platform) — wall time is never
+    consulted, keeping injection deterministic.
+    """
+
+    def __init__(self, ctx: Any, injector: FaultInjector) -> None:
+        self.context = ctx
+        self.injector = injector
+        self._nominal_s = 0.0
+
+    # Delegate the MessageContext surface --------------------------------
+    @property
+    def rank(self) -> int:
+        return self.context.rank
+
+    @property
+    def size(self) -> int:
+        return self.context.size
+
+    @property
+    def master_rank(self) -> int:
+        return self.context.master_rank
+
+    @property
+    def is_master(self) -> bool:
+        return self.context.rank == self.context.master_rank
+
+    @property
+    def nominal_now(self) -> float:
+        """Accumulated nominal compute seconds (the trigger clock)."""
+        return self._nominal_s
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.context, name)
+
+    # Hooked operations ---------------------------------------------------
+    def _nominal_seconds(self, mflops: float) -> float:
+        platform = self.injector._platform
+        if platform is None:
+            return 0.0
+        return platform.processor(self.rank).compute_seconds(mflops)
+
+    def compute(self, mflops: float, sequential: bool = False) -> float:
+        self.injector.before_op(self.rank, "compute", self._nominal_s)
+        dt = self._nominal_seconds(mflops)
+        dt *= self.injector.compute_factor(self.rank, self._nominal_s)
+        self._nominal_s += dt
+        return self.context.compute(mflops, sequential=sequential)
+
+    def charge_seconds(self, seconds: float, phase: Any = None) -> None:
+        self._nominal_s += max(0.0, float(seconds))
+        self.context.charge_seconds(seconds, phase)
+
+    def send(
+        self, dest: int, payload: Any, tag: int = 0, **kwargs: Any
+    ) -> None:
+        self.injector.before_op(self.rank, "send", self._nominal_s)
+        delay = self.injector.on_send(self.rank, dest, tag, self._nominal_s)
+        if delay > 0:
+            self._nominal_s += delay
+            time.sleep(min(delay, _MAX_REAL_SLEEP_S))
+        self.context.send(dest, payload, tag, **kwargs)
+
+    def recv(self, source: int, tag: int = -1, **kwargs: Any) -> Any:
+        self.injector.before_op(self.rank, "recv", self._nominal_s)
+        return self.context.recv(source, tag, **kwargs)
+
+
+def injector_for(plan: FaultPlan | FaultInjector | None) -> FaultInjector | None:
+    """Accept either a plan or a ready injector (or None)."""
+    if plan is None:
+        return None
+    if isinstance(plan, FaultInjector):
+        return plan
+    if isinstance(plan, FaultPlan):
+        return FaultInjector(plan)
+    raise FaultPlanError(
+        f"expected FaultPlan or FaultInjector, got {type(plan).__name__}"
+    )

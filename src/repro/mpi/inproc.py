@@ -16,10 +16,11 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
-from repro.cluster.mailbox import Router, payload_wire_megabits
-from repro.errors import ConfigurationError, ReproError
+from repro.cluster.mailbox import OpDeadline, Router, payload_wire_megabits
+from repro.errors import ConfigurationError, RankFailedError, raise_root_cause
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.obs import ObsSession
 
 __all__ = ["InprocContext", "InprocResult", "run_inproc"]
@@ -64,6 +65,22 @@ class InprocContext:
     def is_master(self) -> bool:
         return self.rank == self._master
 
+    @property
+    def router(self) -> Router:
+        """The backend's message router (liveness/detection queries)."""
+        return self._router
+
+    @staticmethod
+    def _deadline(timeout_s: float | None) -> OpDeadline | None:
+        """Wall-clock per-op deadline ``timeout_s`` from now."""
+        if timeout_s is None:
+            return None
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        return OpDeadline(
+            at=time.monotonic() + timeout_s, clock=time.monotonic, wall=True
+        )
+
     def compute(self, mflops: float, sequential: bool = False) -> float:
         """No time charged (real computation takes real time here), but
         the nominal mflops are still metered when observability is on,
@@ -79,30 +96,41 @@ class InprocContext:
     def charge_seconds(self, seconds: float, phase: Any = None) -> None:
         """No-op for wall-clock execution."""
 
-    def send(self, dest: int, payload: Any, tag: int = 0) -> None:
+    def send(
+        self, dest: int, payload: Any, tag: int = 0,
+        timeout_s: float | None = None,
+    ) -> None:
         megabits = payload_wire_megabits(payload)
         self.sent_megabits += megabits
+        deadline = self._deadline(timeout_s)
         if self.obs is None:
-            self._router.send(self.rank, dest, tag, payload, megabits)
+            self._router.send(
+                self.rank, dest, tag, payload, megabits, deadline=deadline
+            )
             return
         m = self.obs.metrics
         m.counter("comm.messages_sent", rank=self.rank, peer=dest).inc()
         m.counter("comm.megabits_sent", rank=self.rank, peer=dest).inc(megabits)
         tracer = self.obs.tracer
         start = tracer.now(self.rank)
-        self._router.send(self.rank, dest, tag, payload, megabits)
+        self._router.send(
+            self.rank, dest, tag, payload, megabits, deadline=deadline
+        )
         tracer.add_span(
             "transfer", self.rank, start, tracer.now(self.rank),
             category="transfer", peer=dest, megabits=megabits,
             direction="send",
         )
 
-    def recv(self, source: int, tag: int = -1) -> Any:
+    def recv(
+        self, source: int, tag: int = -1, timeout_s: float | None = None
+    ) -> Any:
+        deadline = self._deadline(timeout_s)
         if self.obs is None:
-            return self._router.recv(self.rank, source, tag)
+            return self._router.recv(self.rank, source, tag, deadline=deadline)
         tracer = self.obs.tracer
         start = tracer.now(self.rank)
-        payload = self._router.recv(self.rank, source, tag)
+        payload = self._router.recv(self.rank, source, tag, deadline=deadline)
         megabits = payload_wire_megabits(payload)
         m = self.obs.metrics
         m.counter("comm.messages_received", rank=self.rank, peer=source).inc()
@@ -136,6 +164,7 @@ def run_inproc(
     master_rank: int = 0,
     deadlock_grace_s: float = 0.25,
     obs: "ObsSession | None" = None,
+    faults: "FaultInjector | None" = None,
     **common_kwargs: Any,
 ) -> InprocResult:
     """Run ``program(ctx, **kwargs)`` on ``n_ranks`` real threads.
@@ -146,6 +175,10 @@ def run_inproc(
         kwargs_per_rank: optional per-rank keyword arguments.
         master_rank: which rank plays master.
         obs: observability session (spans clocked by the wall).
+        faults: fault injector; each rank's context is wrapped in a
+            :class:`~repro.faults.injector.FaultyCommunicator` so the
+            same plan file produces the same fault sequence as on the
+            virtual-time engine.
         common_kwargs: forwarded to every rank.
 
     Raises:
@@ -164,12 +197,27 @@ def run_inproc(
     lock = threading.Lock()
 
     def body(rank: int) -> None:
-        ctx = InprocContext(rank, n_ranks, router, master_rank, obs=obs)
+        ctx: Any = InprocContext(rank, n_ranks, router, master_rank, obs=obs)
+        if faults is not None:
+            # Imported lazily: repro.faults depends on repro.mpi.
+            from repro.faults.injector import FaultyCommunicator
+
+            ctx = FaultyCommunicator(ctx, faults)
         kwargs = dict(common_kwargs)
         if kwargs_per_rank is not None:
             kwargs.update(kwargs_per_rank[rank])
         try:
             results[rank] = program(ctx, **kwargs)
+        except RankFailedError as exc:
+            with lock:
+                failures.append((rank, exc))
+            if exc.injected and exc.rank == rank:
+                # This rank crashed: mark it dead surgically so the
+                # survivors keep running and observe the failure on
+                # their next interaction with it.
+                router.fail(rank)
+            else:
+                router.abort()
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with lock:
                 failures.append((rank, exc))
@@ -189,14 +237,6 @@ def run_inproc(
     elapsed = time.perf_counter() - start
 
     if failures:
-        # Prefer the root cause over secondary deadlock fallout.
-        from repro.errors import DeadlockError
-
-        failures.sort(
-            key=lambda item: (isinstance(item[1], DeadlockError), item[0])
-        )
-        rank, exc = failures[0]
-        if isinstance(exc, ReproError):
-            raise exc
-        raise ReproError(f"rank {rank} failed: {exc!r}") from exc
+        # Prefer the root cause over secondary fallout; chain the rest.
+        raise_root_cause(failures)
     return InprocResult(return_values=results, wall_seconds=elapsed)

@@ -33,12 +33,14 @@ from typing import Any
 from repro.obs.analyze import (
     BlockedTimeReport,
     CriticalPathReport,
+    FaultWindow,
     LinkUtilizationReport,
     TraceAnalysis,
     WeaAttributionReport,
     analyze_trace,
     blocked_time,
     critical_path,
+    fault_windows,
     link_utilization,
     wea_attribution,
 )
@@ -81,12 +83,14 @@ __all__ = [
     "DEFAULT_BUCKET_BOUNDS",
     "BlockedTimeReport",
     "CriticalPathReport",
+    "FaultWindow",
     "LinkUtilizationReport",
     "TraceAnalysis",
     "WeaAttributionReport",
     "analyze_trace",
     "blocked_time",
     "critical_path",
+    "fault_windows",
     "link_utilization",
     "wea_attribution",
     "LoadedTrace",

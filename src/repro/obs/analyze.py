@@ -41,9 +41,11 @@ __all__ = [
     "BlockedTimeReport",
     "LinkUtilizationReport",
     "WeaAttributionReport",
+    "FaultWindow",
     "TraceAnalysis",
     "critical_path",
     "blocked_time",
+    "fault_windows",
     "link_utilization",
     "wea_attribution",
     "analyze_trace",
@@ -58,6 +60,79 @@ def _round(value: float, digits: int = 9) -> float:
     return 0.0 if out == 0.0 else out
 
 
+# -- fault windows ------------------------------------------------------------
+
+#: Fault-category spans that scope to the rank they were recorded on;
+#: everything else (link degradation, recovery seams) applies globally.
+_RANK_SCOPED_FAULTS = ("slowdown", "crash", "drop", "delay")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultWindow:
+    """One injected-fault (or recovery) interval from the trace.
+
+    Attributes:
+        kind: ``"slowdown"``, ``"crash"``, ``"drop"``, ``"delay"``,
+            ``"link_degrade"``, or ``"repartition"``.
+        rank: the affected rank, or ``None`` for whole-run faults
+            (link degradation, recovery repartitions).
+        start, end: the degraded interval (equal for point faults).
+    """
+
+    kind: str
+    rank: int | None
+    start: float
+    end: float
+
+    def overlaps(self, start: float, end: float, rank: int | None = None) -> bool:
+        """True when ``[start, end]`` on ``rank`` intersects this window."""
+        if rank is not None and self.rank is not None and rank != self.rank:
+            return False
+        if self.start == self.end:
+            return start <= self.start <= end
+        return self.start < end and start < self.end
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "rank": self.rank,
+            "start": _round(self.start),
+            "end": _round(self.end),
+        }
+
+
+def fault_windows(source: Any) -> tuple[FaultWindow, ...]:
+    """Extract injected-fault intervals from ``source``'s trace.
+
+    Reads the ``category="fault"`` spans that the fault injector and
+    the recovery driver record (``fault.slowdown``, ``fault.crash``,
+    ``fault.drop``, ``fault.delay``, ``fault.link_degrade``,
+    ``recovery.repartition``); empty for fault-free traces.
+    """
+    windows = []
+    for span in spans_of(source):
+        if span.category != "fault":
+            continue
+        kind = span.name.split(".", 1)[-1]
+        rank = span.rank if kind in _RANK_SCOPED_FAULTS else None
+        windows.append(
+            FaultWindow(kind=kind, rank=rank, start=span.start, end=span.end)
+        )
+    windows.sort(key=lambda w: (w.start, w.end, w.kind, w.rank or -1))
+    return tuple(windows)
+
+
+def _is_degraded(
+    windows: Sequence[FaultWindow], start: float, end: float,
+    ranks: Sequence[int],
+) -> bool:
+    return any(
+        w.overlaps(start, end, rank=None) if w.rank is None
+        else any(w.overlaps(start, end, rank=r) for r in ranks)
+        for w in windows
+    )
+
+
 # -- critical path ------------------------------------------------------------
 
 @dataclasses.dataclass(frozen=True)
@@ -70,6 +145,7 @@ class PathStep:
     end: float
     megabits: float = 0.0
     link: str | None = None
+    degraded: bool = False
 
     @property
     def duration(self) -> float:
@@ -86,6 +162,8 @@ class PathStep:
         if self.kind == "transfer":
             out["megabits"] = _round(self.megabits)
             out["link"] = self.link
+        if self.degraded:
+            out["degraded"] = True
         return out
 
 
@@ -101,6 +179,10 @@ class CriticalPathReport:
             engine).
         rank_share_s: per-rank seconds on the path (transfers
             attributed to the receiver).
+        fault_windows: injected-fault intervals found in the trace
+            (empty for fault-free runs).
+        degraded_s: path seconds spent in steps overlapping a fault
+            window.
     """
 
     makespan: float
@@ -109,6 +191,8 @@ class CriticalPathReport:
     comm_s: float
     untracked_s: float
     rank_share_s: dict[int, float]
+    fault_windows: tuple[FaultWindow, ...] = ()
+    degraded_s: float = 0.0
 
     @property
     def length_s(self) -> float:
@@ -123,7 +207,7 @@ class CriticalPathReport:
         return max(self.rank_share_s, key=lambda r: (self.rank_share_s[r], -r))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "makespan": _round(self.makespan),
             "length_s": _round(self.length_s),
             "compute_s": _round(self.compute_s),
@@ -135,6 +219,10 @@ class CriticalPathReport:
             },
             "steps": [s.to_dict() for s in self.steps],
         }
+        if self.fault_windows:
+            out["fault_windows"] = [w.to_dict() for w in self.fault_windows]
+            out["degraded_s"] = _round(self.degraded_s)
+        return out
 
     def to_text(self) -> str:
         lines = [
@@ -145,6 +233,13 @@ class CriticalPathReport:
             f"  compute {self.compute_s:.6f} s | comm {self.comm_s:.6f} s"
             f" | untracked {self.untracked_s:.6f} s",
         ]
+        if self.fault_windows:
+            degraded = sum(1 for s in self.steps if s.degraded)
+            lines.append(
+                f"  faults: {len(self.fault_windows)} injected windows; "
+                f"{degraded} path steps degraded "
+                f"({self.degraded_s:.6f} s on the path)"
+            )
         if self.dominant_rank is not None:
             share = self.rank_share_s[self.dominant_rank]
             lines.append(
@@ -167,8 +262,15 @@ def _pct(part: float, whole: float) -> float:
 
 
 def critical_path(source: Any) -> CriticalPathReport:
-    """Critical path through the happens-before DAG of ``source``."""
+    """Critical path through the happens-before DAG of ``source``.
+
+    When the trace carries injected-fault spans (a fault-plan run),
+    every path step overlapping a fault window is labeled ``degraded``
+    so the report shows which part of the binding chain ran under
+    degraded conditions.
+    """
     dag = build_dag(source)
+    windows = fault_windows(source)
     path, untracked = critical_path_nodes(dag)
     increments = path_increments(path)
     compute_s = sum(
@@ -179,8 +281,12 @@ def critical_path(source: Any) -> CriticalPathReport:
         PathStep(
             kind=n.kind, ranks=n.ranks, start=n.start, end=n.end,
             megabits=n.megabits, link=n.link if n.is_transfer else None,
+            degraded=_is_degraded(windows, n.start, n.end, n.ranks),
         )
         for n in path
+    )
+    degraded_s = sum(
+        inc for step, inc in zip(steps, increments) if step.degraded
     )
     return CriticalPathReport(
         makespan=dag.makespan,
@@ -189,6 +295,8 @@ def critical_path(source: Any) -> CriticalPathReport:
         comm_s=comm_s,
         untracked_s=untracked,
         rank_share_s=dict(path_rank_attribution(path)),
+        fault_windows=windows,
+        degraded_s=degraded_s,
     )
 
 
@@ -208,6 +316,8 @@ class RankBlockedTime:
         by_peer_s: blocked seconds keyed by the peer rank waited on.
         by_op_s: blocked seconds keyed by the enclosing operation
             (``"mpi.bcast"``, ``"scatter"``, ... or ``"<unattributed>"``).
+        degraded_blocked_s: the part of ``blocked_s`` spent inside an
+            injected fault window (0 for fault-free runs).
     """
 
     rank: int
@@ -217,6 +327,7 @@ class RankBlockedTime:
     trailing_idle_s: float
     by_peer_s: dict[int, float]
     by_op_s: dict[str, float]
+    degraded_blocked_s: float = 0.0
 
     @property
     def total_s(self) -> float:
@@ -224,7 +335,7 @@ class RankBlockedTime:
         return self.busy_compute_s + self.busy_comm_s + self.blocked_s
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "rank": self.rank,
             "busy_compute_s": _round(self.busy_compute_s),
             "busy_comm_s": _round(self.busy_comm_s),
@@ -238,6 +349,9 @@ class RankBlockedTime:
                 k: _round(v) for k, v in sorted(self.by_op_s.items())
             },
         }
+        if self.degraded_blocked_s > 0:
+            out["degraded_blocked_s"] = _round(self.degraded_blocked_s)
+        return out
 
 
 @dataclasses.dataclass(frozen=True)
@@ -246,6 +360,7 @@ class BlockedTimeReport:
 
     makespan: float
     ranks: tuple[RankBlockedTime, ...]
+    fault_windows: tuple[FaultWindow, ...] = ()
 
     def of_rank(self, rank: int) -> RankBlockedTime:
         for entry in self.ranks:
@@ -257,18 +372,34 @@ class BlockedTimeReport:
     def total_blocked_s(self) -> float:
         return sum(r.blocked_s for r in self.ranks)
 
+    @property
+    def total_degraded_blocked_s(self) -> float:
+        return sum(r.degraded_blocked_s for r in self.ranks)
+
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "makespan": _round(self.makespan),
             "total_blocked_s": _round(self.total_blocked_s),
             "ranks": [r.to_dict() for r in self.ranks],
         }
+        if self.fault_windows:
+            out["fault_windows"] = [w.to_dict() for w in self.fault_windows]
+            out["total_degraded_blocked_s"] = _round(
+                self.total_degraded_blocked_s
+            )
+        return out
 
     def to_text(self) -> str:
         lines = [
             f"blocked time: {self.total_blocked_s:.6f} s total across "
             f"{len(self.ranks)} ranks"
         ]
+        if self.fault_windows:
+            lines.append(
+                f"  degraded by faults: {self.total_degraded_blocked_s:.6f} s "
+                f"of blocked time inside {len(self.fault_windows)} injected "
+                "windows"
+            )
         worst = sorted(self.ranks, key=lambda r: (-r.blocked_s, r.rank))[:5]
         for entry in worst:
             if entry.blocked_s <= 0:
@@ -321,10 +452,12 @@ def blocked_time(source: Any) -> BlockedTimeReport:
     ``mpi.bcast``".
     """
     spans = spans_of(source)
+    windows = fault_windows(spans)
     activities = [s for s in spans if s.category in ACTIVITY_CATEGORIES]
     wrappers = [s for s in spans if s.category in ("phase", "mpi")]
-    makespan = max((s.end for s in spans), default=0.0)
-    all_ranks = sorted({s.rank for s in spans})
+    timed = [s for s in spans if s.category != "fault"]
+    makespan = max((s.end for s in timed), default=0.0)
+    all_ranks = sorted({s.rank for s in timed})
     entries: list[RankBlockedTime] = []
     for rank in all_ranks:
         mine = sorted(
@@ -333,6 +466,7 @@ def blocked_time(source: Any) -> BlockedTimeReport:
         )
         cursor = 0.0
         blocked = 0.0
+        degraded_blocked = 0.0
         by_peer: dict[int, float] = {}
         by_op: dict[str, float] = {}
         busy_compute = 0.0
@@ -341,6 +475,8 @@ def blocked_time(source: Any) -> BlockedTimeReport:
             gap = span.start - cursor
             if gap > 0:
                 blocked += gap
+                if _is_degraded(windows, cursor, span.start, (rank,)):
+                    degraded_blocked += gap
                 if span.category == "transfer":
                     peer = int(span.attrs.get("peer", -1))
                     by_peer[peer] = by_peer.get(peer, 0.0) + gap
@@ -362,9 +498,12 @@ def blocked_time(source: Any) -> BlockedTimeReport:
                 trailing_idle_s=max(makespan - cursor, 0.0),
                 by_peer_s=by_peer,
                 by_op_s=by_op,
+                degraded_blocked_s=degraded_blocked,
             )
         )
-    return BlockedTimeReport(makespan=makespan, ranks=tuple(entries))
+    return BlockedTimeReport(
+        makespan=makespan, ranks=tuple(entries), fault_windows=windows
+    )
 
 
 # -- link utilization ---------------------------------------------------------

@@ -34,7 +34,7 @@ from typing import Any, Callable, Iterator, Mapping
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "tracer_of"]
 
 #: Span categories understood by the exporters.
-SPAN_CATEGORIES = ("phase", "compute", "seq", "transfer", "mpi")
+SPAN_CATEGORIES = ("phase", "compute", "seq", "transfer", "mpi", "fault")
 
 
 @dataclasses.dataclass(frozen=True)

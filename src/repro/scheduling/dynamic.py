@@ -17,7 +17,11 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.cluster.mailbox import ANY_SOURCE
-from repro.errors import ConfigurationError
+from repro.errors import (
+    CommunicationTimeout,
+    ConfigurationError,
+    RankFailedError,
+)
 from repro.mpi.communicator import MessageContext
 
 __all__ = ["dynamic_master_worker", "WorkerResigned", "fault_tolerant_master_worker"]
@@ -32,9 +36,13 @@ _TAG_STOP = 104
 class WorkerResigned(Exception):
     """Raised by a task function to simulate a worker dropping out.
 
-    The fault-tolerant scheduler treats it as the worker announcing a
-    graceful failure: its outstanding chunk is returned to the queue
-    and the worker stops requesting work.
+    The fault-tolerant scheduler treats it as the worker dying without
+    notice: the worker simply stops participating, and the master
+    *detects* the loss through its receive deadline plus the
+    router-derived liveness view (:func:`repro.faults.liveness_of`) —
+    no goodbye message is required, so genuinely crashed ranks (e.g. a
+    fault-plan :class:`~repro.faults.RankCrash`) are handled the same
+    way as scripted resignations.
     """
 
 
@@ -102,23 +110,34 @@ def fault_tolerant_master_worker(
     tasks: Sequence[Any] | None,
     process_task: Callable[[MessageContext, Any], Any],
     chunk_size: int = 1,
+    timeout_s: float = 0.25,
 ) -> list[Any] | None:
-    """Self-scheduling with worker-failure recovery (SPMD).
+    """Self-scheduling with worker-failure *detection* and recovery (SPMD).
 
-    Like :func:`dynamic_master_worker`, but a worker whose
-    ``process_task`` raises :class:`WorkerResigned` announces the
-    failure; the master requeues the unfinished chunk for the surviving
-    workers and stops scheduling onto the failed one.  This is the
-    scheduling-level robustness of the real-time distributed frameworks
-    the paper cites ([17]): the answer is complete and correct as long
-    as at least one worker survives (the master itself processes
-    leftovers if *all* workers resign).
+    Like :func:`dynamic_master_worker`, but robust to workers that stop
+    without notice: a worker whose ``process_task`` raises
+    :class:`WorkerResigned` simply returns (simulated silent death),
+    and genuinely crashed ranks (fault-plan
+    :class:`~repro.faults.RankCrash`) disappear the same way.  The
+    master detects losses with the :mod:`repro.faults` detection API —
+    a per-receive deadline (``timeout_s``; virtual seconds on the
+    engine, wall seconds inproc) plus the router-derived liveness view
+    — then requeues the dead workers' outstanding chunks for the
+    survivors.  The answer is complete and correct as long as the
+    master survives: it processes leftovers itself if *all* workers
+    are lost.
 
     Returns:
         At the master: results in task order.  At workers: ``None``.
     """
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if timeout_s <= 0:
+        raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+    # Imported lazily: repro.faults pulls in the algorithm drivers,
+    # which import this package.
+    from repro.faults.detect import liveness_of
+
     master = ctx.master_rank
     if ctx.rank == master:
         if tasks is None:
@@ -127,11 +146,12 @@ def fault_tolerant_master_worker(
         results: list[Any] = [None] * n_tasks
         pending: list[tuple[int, int]] = []  # requeued (start, stop) chunks
         cursor = 0
-        done = 0
         n_workers = ctx.size - 1
         if n_workers == 0:
             return [process_task(ctx, t) for t in tasks]
-        stopped = 0
+        liveness = liveness_of(ctx)
+        alive = {rank for rank in range(ctx.size) if rank != master}
+        outstanding: dict[int, tuple[int, int]] = {}
 
         def next_chunk() -> tuple[int, int] | None:
             nonlocal cursor
@@ -143,27 +163,48 @@ def fault_tolerant_master_worker(
                 return (start, cursor)
             return None
 
-        while stopped < n_workers:
-            worker, kind, body = ctx.recv(ANY_SOURCE, -1)
+        def bury(worker: int) -> None:
+            """Requeue a dead worker's chunk and stop scheduling to it."""
+            chunk = outstanding.pop(worker, None)
+            if chunk is not None:
+                pending.append(chunk)
+            alive.discard(worker)
+
+        while alive:
+            try:
+                worker, kind, body = ctx.recv(
+                    ANY_SOURCE, -1, timeout_s=timeout_s
+                )
+            except CommunicationTimeout:
+                # Nobody is talking: see who died.  On the virtual-time
+                # engine the deadline only fires at quiescence, so a
+                # timeout here *implies* lost workers; on the wall
+                # clock it may be spurious (slow workers) — then no
+                # rank is dead and we simply wait again.
+                for worker in sorted(alive):
+                    if not liveness.is_alive(worker):
+                        bury(worker)
+                continue
             if kind == "result":
                 start, chunk_results = body
                 for offset, value in enumerate(chunk_results):
                     results[start + offset] = value
-                done += len(chunk_results)
-            elif kind == "resigned":
-                if body is not None:
-                    pending.append(body)  # requeue the lost chunk
-                ctx.send(worker, None, _TAG_STOP)
-                stopped += 1
-                continue
+                outstanding.pop(worker, None)
             chunk = next_chunk()
-            if chunk is not None:
-                start, stop = chunk
-                ctx.send(worker, (start, list(tasks[start:stop])), _TAG_WORK)
-            else:
-                ctx.send(worker, None, _TAG_STOP)
-                stopped += 1
-        # All workers gone: the master mops up anything left.
+            try:
+                if chunk is not None:
+                    start, stop = chunk
+                    outstanding[worker] = chunk
+                    ctx.send(
+                        worker, (start, list(tasks[start:stop])), _TAG_WORK,
+                        timeout_s=timeout_s,
+                    )
+                else:
+                    ctx.send(worker, None, _TAG_STOP, timeout_s=timeout_s)
+                    alive.discard(worker)
+            except (CommunicationTimeout, RankFailedError):
+                bury(worker)
+        # All workers retired or lost: the master mops up anything left.
         while True:
             chunk = next_chunk()
             if chunk is None:
@@ -173,7 +214,7 @@ def fault_tolerant_master_worker(
                 results[start + offset] = process_task(ctx, task)
         return results
 
-    # Worker loop with resignation support.
+    # Worker loop; resignation is silent — detection is the master's job.
     ctx.send(master, (ctx.rank, "request", None), _TAG_REQUEST)
     while True:
         chunk = ctx.recv(master, -1)
@@ -183,12 +224,5 @@ def fault_tolerant_master_worker(
         try:
             chunk_results = [process_task(ctx, t) for t in chunk_tasks]
         except WorkerResigned:
-            ctx.send(
-                master,
-                (ctx.rank, "resigned", (start, start + len(chunk_tasks))),
-                _TAG_RESULT,
-            )
-            stop_msg = ctx.recv(master, -1)
-            assert stop_msg is None
             return None
         ctx.send(master, (ctx.rank, "result", (start, chunk_results)), _TAG_RESULT)
