@@ -159,8 +159,10 @@ class RankContext:
             self.faults.before_op(self.rank, "compute", self.clock.now)
         dt = self.platform.processor(self.rank).compute_seconds(mflops)
         start = self.clock.now
+        slow_factor = 1.0
         if self.faults is not None:
-            dt *= self.faults.compute_factor(self.rank, start)
+            slow_factor = self.faults.compute_factor(self.rank, start)
+            dt *= slow_factor
         self.clock.advance(dt)
         self.ledger.add(Phase.SEQ if sequential else Phase.PAR, dt)
         if self._engine.trace and dt > 0:
@@ -175,9 +177,14 @@ class RankContext:
             )
         if self.obs is not None and dt > 0:
             kind = "seq" if sequential else "compute"
+            # Degraded intervals carry the slowdown factor so the trace
+            # diff / report can label them (conditional key, PR-3 style).
+            attrs = {"mflops": float(mflops)}
+            if slow_factor != 1.0:
+                attrs["factor"] = float(slow_factor)
             self.obs.tracer.add_span(
                 kind, self.rank, start, self.clock.now,
-                category=kind, mflops=float(mflops),
+                category=kind, **attrs,
             )
             self.obs.metrics.counter(
                 "compute.mflops", rank=self.rank, kind=kind

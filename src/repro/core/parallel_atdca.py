@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.atdca import TargetDetectionResult
 from repro.core.parallel_common import (
-    charge_sequential,
+    charged_kernel,
     cost_model_of,
     distribute_row_blocks,
     master_only,
@@ -120,20 +120,29 @@ def parallel_atdca_program(
     # -- step 2-3: the brightest pixel ----------------------------------------
     if start_k == 0:
         with tracer.span("atdca.brightest", rank=ctx.rank):
-            ctx.compute(cost.brightest_search(n_local, bands))
-            if n_local:
-                energies = np.einsum("ij,ij->i", local, local)
-                lidx, score = _local_argmax(energies)
-                candidate = (
-                    score, block.global_flat_index(lidx), local[lidx].copy()
-                )
-            else:  # an empty share still participates in the collectives
-                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            with charged_kernel(
+                ctx, "brightest_search", cost.brightest_search(n_local, bands)
+            ):
+                if n_local:
+                    energies = np.einsum("ij,ij->i", local, local)
+                    lidx, score = _local_argmax(energies)
+                    candidate = (
+                        score, block.global_flat_index(lidx), local[lidx].copy()
+                    )
+                else:  # an empty share still participates in the collectives
+                    candidate = (
+                        -np.inf, np.iinfo(np.int64).max, np.zeros(bands)
+                    )
             gathered = comm.gather(candidate)
 
             if comm.is_master:
-                charge_sequential(ctx, cost.brightest_search(comm.size, bands))
-                win = _select_candidate(gathered)
+                with charged_kernel(
+                    ctx,
+                    "brightest_search",
+                    cost.brightest_search(comm.size, bands),
+                    sequential=True,
+                ):
+                    win = _select_candidate(gathered)
                 first = gathered[win]
                 indices.append(first[1])
                 signatures.append(first[2])
@@ -148,21 +157,30 @@ def parallel_atdca_program(
     # -- steps 4-6: iterative OSP extraction ------------------------------------
     for k in range(start_k, n_targets):
         with tracer.span("atdca.iteration", rank=ctx.rank, k=k):
-            ctx.compute(cost.osp_scores(n_local, bands, k))
-            if n_local:
-                energies = residual_energy(local, u_matrix)
-                lidx, score = _local_argmax(energies)
-                candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-            else:
-                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            with charged_kernel(
+                ctx, "osp_scores", cost.osp_scores(n_local, bands, k)
+            ):
+                if n_local:
+                    energies = residual_energy(local, u_matrix)
+                    lidx, score = _local_argmax(energies)
+                    candidate = (
+                        score, block.global_flat_index(lidx), local[lidx].copy()
+                    )
+                else:
+                    candidate = (
+                        -np.inf, np.iinfo(np.int64).max, np.zeros(bands)
+                    )
             gathered = comm.gather(candidate)
             if comm.is_master:
                 # The paper's master applies P_U^⊥ to the candidate pixels —
                 # with the explicit N×N projector, a sequential step.
-                charge_sequential(
-                    ctx, cost.master_osp_selection(bands, k, comm.size)
-                )
-                win = _select_candidate(gathered)
+                with charged_kernel(
+                    ctx,
+                    "master_osp_selection",
+                    cost.master_osp_selection(bands, k, comm.size),
+                    sequential=True,
+                ):
+                    win = _select_candidate(gathered)
                 chosen = gathered[win]
                 indices.append(chosen[1])
                 signatures.append(chosen[2])

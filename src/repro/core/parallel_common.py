@@ -16,8 +16,9 @@ kwargs carry the image.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.types import FloatArray
 __all__ = [
     "cost_model_of",
     "charge_sequential",
+    "charged_kernel",
     "LocalBlock",
     "distribute_row_blocks",
     "master_only",
@@ -48,6 +50,39 @@ def cost_model_of(ctx: MessageContext) -> CostModel:
 def charge_sequential(ctx: MessageContext, mflops: float) -> None:
     """Charge master-side sequential work (no-op on wall-clock backends)."""
     ctx.compute(mflops, sequential=True)
+
+
+@contextlib.contextmanager
+def charged_kernel(
+    ctx: MessageContext,
+    name: str,
+    mflops: float,
+    sequential: bool = False,
+) -> Iterator[None]:
+    """Charge one named cost-model kernel and bracket its real work.
+
+    Opens a ``"kernel"``-category span carrying the kernel name and the
+    charged megaflop count, charges the cost model inside it, then
+    yields so the caller's actual numpy work runs inside the same span.
+    On the virtual-time engine the span duration therefore *equals* the
+    model's prediction; on the wall-clock backend it is the measured
+    numpy time — :func:`repro.obs.profile.profile_trace` compares the
+    two to calibrate the model.
+
+    Kernel spans are annotations: they are not DAG activities and are
+    excluded from the COM/SEQ/PAR ledger cross-check.
+    """
+    tracer = tracer_of(ctx)
+    with tracer.span(
+        f"kernel.{name}",
+        rank=ctx.rank,
+        category="kernel",
+        kernel=name,
+        mflops=float(mflops),
+        sequential=sequential,
+    ):
+        ctx.compute(mflops, sequential=sequential)
+        yield
 
 
 def save_detection_checkpoint(
@@ -164,25 +199,30 @@ def distribute_row_blocks(
                     f"{img.rows}"
                 )
             cost = cost_model_of(ctx)
-            charge_sequential(
-                ctx, cost.scatter_pack(img.n_pixels * img.bands)
-            )
-            payloads = []
-            for rank in range(comm.size):
-                start, stop = partition.bounds(rank)
-                block = extract_halo_block(img.values, start, stop, halo_depth)
-                payloads.append(
-                    (
-                        block.data,
-                        int(block.core_start),
-                        int(block.core_stop),
-                        int(block.top),
-                        int(block.bottom),
-                        int(img.cols),
-                        int(img.bands),
-                        int(img.rows),
+            with charged_kernel(
+                ctx,
+                "scatter_pack",
+                cost.scatter_pack(img.n_pixels * img.bands),
+                sequential=True,
+            ):
+                payloads = []
+                for rank in range(comm.size):
+                    start, stop = partition.bounds(rank)
+                    block = extract_halo_block(
+                        img.values, start, stop, halo_depth
                     )
-                )
+                    payloads.append(
+                        (
+                            block.data,
+                            int(block.core_start),
+                            int(block.core_stop),
+                            int(block.top),
+                            int(block.bottom),
+                            int(img.cols),
+                            int(img.bands),
+                            int(img.rows),
+                        )
+                    )
             mine = comm.scatter(payloads)
         else:
             master_only(ctx, image, "image")

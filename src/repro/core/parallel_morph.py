@@ -22,7 +22,7 @@ from repro.core.morph import (
     mei_map,
 )
 from repro.core.parallel_common import (
-    charge_sequential,
+    charged_kernel,
     cost_model_of,
     distribute_row_blocks,
     master_only,
@@ -104,27 +104,35 @@ def parallel_morph_program(
 
     # -- step 2: the multiscale MEI sweep (redundant halo rows included) -------
     with tracer.span("morph.mei", rank=ctx.rank, iterations=iterations):
-        ctx.compute(cost.morph_iteration(n_extended, bands, se.size) * iterations)
-        mei_extended = mei_map(extended, se, iterations)
-        mei_core = block.halo.core_view(mei_extended)
-        core = block.halo.core_view()
+        with charged_kernel(
+            ctx,
+            "morph_iteration",
+            cost.morph_iteration(n_extended, bands, se.size) * iterations,
+        ):
+            mei_extended = mei_map(extended, se, iterations)
+            mei_core = block.halo.core_view(mei_extended)
+            core = block.halo.core_view()
 
     # -- step 3: master forms the unique endmember set --------------------------
     with tracer.span("morph.endmembers", rank=ctx.rank):
         pool = min(block.n_core_pixels, 8 * n_classes)
-        ctx.compute(cost.sad_pairs(pool * min(n_classes, pool), bands))
-        if block.n_core_pixels:
-            candidates = local_endmember_candidates(
-                core,
-                mei_core,
-                n_classes,
-                row_offset=block.halo.core_start,
-                total_cols=block.cols,
-                dedup_threshold=dedup_threshold,
-            )
-            payload = (candidates.signatures, candidates.indices, candidates.scores)
-        else:
-            payload = None
+        with charged_kernel(
+            ctx, "sad_pairs", cost.sad_pairs(pool * min(n_classes, pool), bands)
+        ):
+            if block.n_core_pixels:
+                candidates = local_endmember_candidates(
+                    core,
+                    mei_core,
+                    n_classes,
+                    row_offset=block.halo.core_start,
+                    total_cols=block.cols,
+                    dedup_threshold=dedup_threshold,
+                )
+                payload = (
+                    candidates.signatures, candidates.indices, candidates.scores
+                )
+            else:
+                payload = None
         gathered = comm.gather(payload)
 
         if comm.is_master:
@@ -135,10 +143,15 @@ def parallel_morph_program(
                 for sig, idx, sc in [item]
             ]
             total = sum(s.count for s in sets)
-            charge_sequential(
-                ctx, cost.dedup_unique_set(total, bands, kept=n_classes)
-            )
-            endmembers = merge_unique_sets(sets, dedup_threshold, count=n_classes)
+            with charged_kernel(
+                ctx,
+                "dedup_unique_set",
+                cost.dedup_unique_set(total, bands, kept=n_classes),
+                sequential=True,
+            ):
+                endmembers = merge_unique_sets(
+                    sets, dedup_threshold, count=n_classes
+                )
             em_payload = (
                 endmembers.signatures,
                 endmembers.indices,
@@ -153,15 +166,19 @@ def parallel_morph_program(
 
     # -- step 4: parallel labelling ----------------------------------------------
     with tracer.span("morph.classify", rank=ctx.rank):
-        ctx.compute(
-            cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count)
-        )
-        if block.n_core_pixels:
-            angles = sad_to_references(block.core_pixels, endmembers.signatures)
-            labels = np.argmin(angles, axis=1).astype(np.int64)
-        else:
-            labels = np.empty(0, dtype=np.int64)
-        mei_flat = mei_core.reshape(-1)
+        with charged_kernel(
+            ctx,
+            "classify_by_sad",
+            cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count),
+        ):
+            if block.n_core_pixels:
+                angles = sad_to_references(
+                    block.core_pixels, endmembers.signatures
+                )
+                labels = np.argmin(angles, axis=1).astype(np.int64)
+            else:
+                labels = np.empty(0, dtype=np.int64)
+            mei_flat = mei_core.reshape(-1)
         gathered_labels = comm.gather((labels, mei_flat))
 
     # -- step 5: master assembles the classification matrix ------------------------
@@ -257,9 +274,11 @@ def parallel_morph_exchange_program(
     for step in range(iterations):
         with tracer.span("morph.iteration", rank=ctx.rank, k=step):
             n_ext = current.shape[0] * cols
-            ctx.compute(cost.morph_iteration(n_ext, bands, se.size))
-            extrema = morph_extrema(current, se)
-            scores = mei_scores(extrema)
+            with charged_kernel(
+                ctx, "morph_iteration", cost.morph_iteration(n_ext, bands, se.size)
+            ):
+                extrema = morph_extrema(current, se)
+                scores = mei_scores(extrema)
             if mei_ext.shape != scores.shape:
                 mei_ext = np.zeros_like(scores)
             np.maximum(mei_ext, scores, out=mei_ext)
@@ -279,17 +298,21 @@ def parallel_morph_exchange_program(
 
     with tracer.span("morph.endmembers", rank=ctx.rank):
         pool = min(block.n_core_pixels, 8 * n_classes)
-        ctx.compute(cost.sad_pairs(pool * min(n_classes, pool), bands))
-        if block.n_core_pixels:
-            candidates = local_endmember_candidates(
-                core, mei_core, n_classes,
-                row_offset=block.halo.core_start,
-                total_cols=cols,
-                dedup_threshold=dedup_threshold,
-            )
-            payload = (candidates.signatures, candidates.indices, candidates.scores)
-        else:
-            payload = None
+        with charged_kernel(
+            ctx, "sad_pairs", cost.sad_pairs(pool * min(n_classes, pool), bands)
+        ):
+            if block.n_core_pixels:
+                candidates = local_endmember_candidates(
+                    core, mei_core, n_classes,
+                    row_offset=block.halo.core_start,
+                    total_cols=cols,
+                    dedup_threshold=dedup_threshold,
+                )
+                payload = (
+                    candidates.signatures, candidates.indices, candidates.scores
+                )
+            else:
+                payload = None
         gathered = comm.gather(payload)
 
         if comm.is_master:
@@ -300,10 +323,15 @@ def parallel_morph_exchange_program(
                 for sig, idx, sc in [item]
             ]
             total = sum(s.count for s in sets)
-            charge_sequential(
-                ctx, cost.dedup_unique_set(total, bands, kept=n_classes)
-            )
-            endmembers = merge_unique_sets(sets, dedup_threshold, count=n_classes)
+            with charged_kernel(
+                ctx,
+                "dedup_unique_set",
+                cost.dedup_unique_set(total, bands, kept=n_classes),
+                sequential=True,
+            ):
+                endmembers = merge_unique_sets(
+                    sets, dedup_threshold, count=n_classes
+                )
             em_payload = (
                 endmembers.signatures, endmembers.indices, endmembers.scores
             )
@@ -315,14 +343,18 @@ def parallel_morph_exchange_program(
         )
 
     with tracer.span("morph.classify", rank=ctx.rank):
-        ctx.compute(
-            cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count)
-        )
-        if block.n_core_pixels:
-            angles = sad_to_references(block.core_pixels, endmembers.signatures)
-            labels = np.argmin(angles, axis=1).astype(np.int64)
-        else:
-            labels = np.empty(0, dtype=np.int64)
+        with charged_kernel(
+            ctx,
+            "classify_by_sad",
+            cost.classify_by_sad(block.n_core_pixels, bands, endmembers.count),
+        ):
+            if block.n_core_pixels:
+                angles = sad_to_references(
+                    block.core_pixels, endmembers.signatures
+                )
+                labels = np.argmin(angles, axis=1).astype(np.int64)
+            else:
+                labels = np.empty(0, dtype=np.int64)
         gathered_labels = comm.gather((labels, mei_core.reshape(-1)))
 
     if not comm.is_master:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.parallel_common import (
-    charge_sequential,
+    charged_kernel,
     cost_model_of,
     distribute_row_blocks,
     master_only,
@@ -66,16 +66,21 @@ def parallel_pct_program(
 
     # -- steps 2-3: local unique sets, merged at the master -------------------
     with tracer.span("pct.unique", rank=ctx.rank):
-        ctx.compute(cost.unique_set_scan(n_local, bands, n_classes))
-        if n_local:
-            local_unique = greedy_unique(local, threshold, max_keep=4 * n_classes)
-            offset = block.halo.core_start * block.cols
-            local_unique = UniqueSet(
-                signatures=local_unique.signatures,
-                indices=local_unique.indices + offset,
-            )
-        else:
-            local_unique = None
+        with charged_kernel(
+            ctx, "unique_set_scan",
+            cost.unique_set_scan(n_local, bands, n_classes),
+        ):
+            if n_local:
+                local_unique = greedy_unique(
+                    local, threshold, max_keep=4 * n_classes
+                )
+                offset = block.halo.core_start * block.cols
+                local_unique = UniqueSet(
+                    signatures=local_unique.signatures,
+                    indices=local_unique.indices + offset,
+                )
+            else:
+                local_unique = None
         gathered_sets = comm.gather(
             None
             if local_unique is None
@@ -90,10 +95,13 @@ def parallel_pct_program(
                 for sig, idx in [payload]
             ]
             total_candidates = sum(s.count for s in sets)
-            charge_sequential(
-                ctx, cost.dedup_unique_set(total_candidates, bands, kept=n_classes)
-            )
-            unique = merge_unique_sets(sets, threshold, count=n_classes)
+            with charged_kernel(
+                ctx,
+                "dedup_unique_set",
+                cost.dedup_unique_set(total_candidates, bands, kept=n_classes),
+                sequential=True,
+            ):
+                unique = merge_unique_sets(sets, threshold, count=n_classes)
             unique_payload = (unique.signatures, unique.indices)
         else:
             unique_payload = None
@@ -102,23 +110,28 @@ def parallel_pct_program(
 
     # -- steps 4-7: distributed covariance, sequential eigendecomposition ------
     with tracer.span("pct.covariance", rank=ctx.rank):
-        ctx.compute(cost.covariance_accumulate(n_local, bands))
-        if n_local:
-            sums = partial_covariance_sums(local)
-        else:
-            sums = (np.zeros(bands), np.zeros((bands, bands)), 0)
+        with charged_kernel(
+            ctx, "covariance_accumulate",
+            cost.covariance_accumulate(n_local, bands),
+        ):
+            if n_local:
+                sums = partial_covariance_sums(local)
+            else:
+                sums = (np.zeros(bands), np.zeros((bands, bands)), 0)
         all_sums = comm.gather(sums)
 
         if comm.is_master:
-            charge_sequential(
+            with charged_kernel(
                 ctx,
+                "eigendecomposition",
                 cost.covariance_accumulate(comm.size, bands)
                 + cost.eigendecomposition(bands),
-            )
-            mean, covariance = combine_covariance_sums(all_sums)
-            transform, eigenvalues = pct_transform(
-                covariance, n_components=unique.count
-            )
+                sequential=True,
+            ):
+                mean, covariance = combine_covariance_sums(all_sums)
+                transform, eigenvalues = pct_transform(
+                    covariance, n_components=unique.count
+                )
             stats_payload = (mean, transform, eigenvalues)
         else:
             stats_payload = None
@@ -126,21 +139,23 @@ def parallel_pct_program(
 
     # -- steps 8-9: parallel projection and labelling ------------------------------
     with tracer.span("pct.project", rank=ctx.rank):
-        ctx.compute(
+        with charged_kernel(
+            ctx,
+            "pct_projection",
             cost.pct_projection(n_local, bands, unique.count)
-            + cost.classify_by_sad(n_local, unique.count, unique.count)
-        )
-        if n_local:
-            reduced = apply_pct(local, mean, transform)
-            reduced_refs = apply_pct(unique.signatures, mean, transform)
-            offset_vec = reduced.min(axis=0)
-            # The SAD-positivity shift must be *global* to match the
-            # sequential path; reduce the per-partition minima first.
-            local_min = offset_vec
-        else:
-            reduced = None
-            reduced_refs = None
-            local_min = np.full(unique.count, np.inf)
+            + cost.classify_by_sad(n_local, unique.count, unique.count),
+        ):
+            if n_local:
+                reduced = apply_pct(local, mean, transform)
+                reduced_refs = apply_pct(unique.signatures, mean, transform)
+                offset_vec = reduced.min(axis=0)
+                # The SAD-positivity shift must be *global* to match the
+                # sequential path; reduce the per-partition minima first.
+                local_min = offset_vec
+            else:
+                reduced = None
+                reduced_refs = None
+                local_min = np.full(unique.count, np.inf)
         global_min = comm.allreduce(local_min, op=np.minimum)
 
         if n_local:

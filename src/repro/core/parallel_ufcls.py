@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING
 from repro.core.atdca import TargetDetectionResult
 from repro.core.parallel_atdca import _local_argmax, _select_candidate
 from repro.core.parallel_common import (
-    charge_sequential,
+    charged_kernel,
     cost_model_of,
     distribute_row_blocks,
     master_only,
@@ -83,20 +83,29 @@ def parallel_ufcls_program(
     # -- step 1: brightest pixel (shared with Hetero-ATDCA) ---------------------
     if start_k == 0:
         with tracer.span("ufcls.brightest", rank=ctx.rank):
-            ctx.compute(cost.brightest_search(n_local, bands))
-            if n_local:
-                energies = np.einsum("ij,ij->i", local, local)
-                lidx, score = _local_argmax(energies)
-                candidate = (
-                    score, block.global_flat_index(lidx), local[lidx].copy()
-                )
-            else:
-                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            with charged_kernel(
+                ctx, "brightest_search", cost.brightest_search(n_local, bands)
+            ):
+                if n_local:
+                    energies = np.einsum("ij,ij->i", local, local)
+                    lidx, score = _local_argmax(energies)
+                    candidate = (
+                        score, block.global_flat_index(lidx), local[lidx].copy()
+                    )
+                else:
+                    candidate = (
+                        -np.inf, np.iinfo(np.int64).max, np.zeros(bands)
+                    )
             gathered = comm.gather(candidate)
 
             if comm.is_master:
-                charge_sequential(ctx, cost.brightest_search(comm.size, bands))
-                win = _select_candidate(gathered)
+                with charged_kernel(
+                    ctx,
+                    "brightest_search",
+                    cost.brightest_search(comm.size, bands),
+                    sequential=True,
+                ):
+                    win = _select_candidate(gathered)
                 first = gathered[win]
                 indices.append(first[1])
                 signatures.append(first[2])
@@ -111,19 +120,28 @@ def parallel_ufcls_program(
     # -- steps 2-5: iterative error-driven extraction ------------------------------
     for k in range(start_k, n_targets):
         with tracer.span("ufcls.iteration", rank=ctx.rank, k=k):
-            ctx.compute(cost.fcls_scores(n_local, bands, k))
-            if n_local:
-                error = fcls_error_image(local, targets)
-                lidx, score = _local_argmax(error)
-                candidate = (score, block.global_flat_index(lidx), local[lidx].copy())
-            else:
-                candidate = (-np.inf, np.iinfo(np.int64).max, np.zeros(bands))
+            with charged_kernel(
+                ctx, "fcls_scores", cost.fcls_scores(n_local, bands, k)
+            ):
+                if n_local:
+                    error = fcls_error_image(local, targets)
+                    lidx, score = _local_argmax(error)
+                    candidate = (
+                        score, block.global_flat_index(lidx), local[lidx].copy()
+                    )
+                else:
+                    candidate = (
+                        -np.inf, np.iinfo(np.int64).max, np.zeros(bands)
+                    )
             gathered = comm.gather(candidate)
             if comm.is_master:
-                charge_sequential(
-                    ctx, cost.master_scls_selection(bands, k, comm.size)
-                )
-                win = _select_candidate(gathered)
+                with charged_kernel(
+                    ctx,
+                    "master_scls_selection",
+                    cost.master_scls_selection(bands, k, comm.size),
+                    sequential=True,
+                ):
+                    win = _select_candidate(gathered)
                 chosen = gathered[win]
                 indices.append(chosen[1])
                 signatures.append(chosen[2])

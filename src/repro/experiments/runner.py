@@ -26,7 +26,13 @@ from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6
 from repro.experiments.table7 import run_table7
 from repro.experiments.table8 import run_table8
-from repro.experiments.traced import export_metrics, run_metrics, run_traced
+from repro.experiments.traced import (
+    export_metrics,
+    run_calibration,
+    run_metrics,
+    run_report,
+    run_traced,
+)
 from repro.hsi.scene import SceneConfig, make_wtc_scene
 
 __all__ = ["main", "EXPERIMENT_NAMES"]
@@ -72,6 +78,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="export the metric registry of a demo run as "
                              "JSON + OpenMetrics text into DIR (standalone; "
                              "reuses the --trace runs when both are given)")
+    parser.add_argument("--report", metavar="FILE", default=None,
+                        help="write a self-contained HTML run report (gantt "
+                             "with critical path, link/blocked/WEA tables, "
+                             "cost-model calibration) for the traced demo "
+                             "run; reuses the --trace sim run when both "
+                             "flags are given")
+    parser.add_argument("--calibrate", metavar="DIR", default=None,
+                        help="calibrate the analytic cost model on both "
+                             "backends and write calibration_{sim,inproc}"
+                             ".json/.txt into DIR (gate with "
+                             "python -m repro.obs.profile gate)")
     parser.add_argument("--fault-plan", metavar="FILE", default=None,
                         help="inject the JSON fault plan into the traced "
                              "demo runs and the table5-7 grid cells; runs "
@@ -93,9 +110,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--trace requires a directory name")
     if args.metrics == "":
         parser.error("--metrics requires a directory name")
-    if not args.experiments and args.trace is None and args.metrics is None:
+    if args.report == "":
+        parser.error("--report requires a file name")
+    if args.calibrate == "":
+        parser.error("--calibrate requires a directory name")
+    if (not args.experiments and args.trace is None and args.metrics is None
+            and args.report is None and args.calibrate is None):
         parser.error("nothing to do: name experiments and/or pass "
-                     "--trace DIR / --metrics DIR")
+                     "--trace DIR / --metrics DIR / --report FILE / "
+                     "--calibrate DIR")
 
     wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
         name for name in EXPERIMENT_NAMES if name in args.experiments
@@ -111,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
     trace_dir = None
+    sim_traced = None
     metrics_dir = Path(args.metrics) if args.metrics is not None else None
     if args.trace is not None:
         trace_dir = Path(args.trace)
@@ -121,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
             traced = run_traced(
                 config, trace_dir, backend=backend, fault_plan=fault_plan
             )
+            if backend == "sim":
+                sim_traced = traced
             print(f"  {traced.n_spans} spans -> "
                   + ", ".join(p.name for p in traced.files))
             if getattr(traced.run, "recovered", False):
@@ -145,6 +171,19 @@ def main(argv: list[str] | None = None) -> int:
               flush=True)
         files = run_metrics(config, metrics_dir, backend="sim")
         print("  metrics -> " + ", ".join(p.name for p in files))
+
+    if args.report is not None:
+        print("rendering the HTML run report (sim backend)...", flush=True)
+        report_path = run_report(
+            config, args.report, fault_plan=fault_plan, traced=sim_traced
+        )
+        print(f"  report -> {report_path}")
+    if args.calibrate is not None:
+        print("calibrating the cost model (sim + inproc backends)...",
+              flush=True)
+        calib_files = run_calibration(config, args.calibrate)
+        print("  calibration -> "
+              + ", ".join(p.name for p in calib_files))
 
     scene = make_wtc_scene(config.scene)
     grid = None

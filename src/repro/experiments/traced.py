@@ -48,7 +48,14 @@ from repro.obs import (
 )
 from repro.perf.timers import breakdown_of_run
 
-__all__ = ["TracedRun", "run_traced", "export_metrics", "run_metrics"]
+__all__ = [
+    "TracedRun",
+    "run_traced",
+    "run_report",
+    "run_calibration",
+    "export_metrics",
+    "run_metrics",
+]
 
 #: Tolerance for the span-ledger COM/SEQ/PAR cross-check.
 CROSSCHECK_TOL = 1e-9
@@ -68,31 +75,15 @@ class TracedRun:
         return len(self.obs.tracer)
 
 
-def run_traced(
-    config: ExperimentConfig | None = None,
-    outdir: Path | str = "experiments_output",
-    backend: str = "sim",
-    algorithm: str = "atdca",
-    fault_plan: "FaultPlan | None" = None,
-) -> TracedRun:
-    """Run ``algorithm`` traced on ``backend`` and export everything.
-
-    Uses the fully heterogeneous Table 1/2 platform and the accuracy
-    scene (small enough that the wall-clock backend finishes quickly).
-
-    With ``fault_plan`` the run goes through the fault-tolerant driver
-    (:func:`repro.faults.recovery.run_with_recovery`): the plan's
-    faults are injected, planned crashes recover onto survivor
-    subsets, and the exported trace carries the ``fault``-category
-    spans that :func:`repro.obs.fault_windows` reads.  The COM/SEQ/PAR
-    ledger cross-check is skipped for such runs — the trace spans
-    cover every attempt while the engine ledger covers only the final
-    one, so they legitimately disagree.
-    """
-    cfg = config or ExperimentConfig()
-    out = Path(outdir)
-    out.mkdir(parents=True, exist_ok=True)
-
+def _demo_run(
+    cfg: ExperimentConfig,
+    backend: str,
+    algorithm: str,
+    fault_plan: "FaultPlan | None",
+) -> tuple["ParallelRun | RecoveredRun", ObsSession, TraceAnalysis]:
+    """One traced demo run (shared by trace, report, and calibration):
+    execute on the Table 1/2 platform, cross-check the span ledger on
+    fault-free sim runs, analyze the trace."""
     scene = make_wtc_scene(cfg.scene)
     platform = fully_heterogeneous()
     obs = ObsSession.create()
@@ -138,6 +129,34 @@ def run_traced(
         partition=run.partition if run.sim is not None else None,
         platform=getattr(run, "platform", platform),
     )
+    return run, obs, analysis
+
+
+def run_traced(
+    config: ExperimentConfig | None = None,
+    outdir: Path | str = "experiments_output",
+    backend: str = "sim",
+    algorithm: str = "atdca",
+    fault_plan: "FaultPlan | None" = None,
+) -> TracedRun:
+    """Run ``algorithm`` traced on ``backend`` and export everything.
+
+    Uses the fully heterogeneous Table 1/2 platform and the accuracy
+    scene (small enough that the wall-clock backend finishes quickly).
+
+    With ``fault_plan`` the run goes through the fault-tolerant driver
+    (:func:`repro.faults.recovery.run_with_recovery`): the plan's
+    faults are injected, planned crashes recover onto survivor
+    subsets, and the exported trace carries the ``fault``-category
+    spans that :func:`repro.obs.fault_windows` reads.  The COM/SEQ/PAR
+    ledger cross-check is skipped for such runs — the trace spans
+    cover every attempt while the engine ledger covers only the final
+    one, so they legitimately disagree.
+    """
+    cfg = config or ExperimentConfig()
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    run, obs, analysis = _demo_run(cfg, backend, algorithm, fault_plan)
 
     stem = f"{algorithm}_{backend}"
     trace_path = out / f"{stem}.trace.json"
@@ -162,6 +181,82 @@ def run_traced(
         ),
         analysis=analysis,
     )
+
+
+def run_report(
+    config: ExperimentConfig | None = None,
+    path: Path | str = "report.html",
+    backend: str = "sim",
+    algorithm: str = "atdca",
+    fault_plan: "FaultPlan | None" = None,
+    traced: TracedRun | None = None,
+) -> Path:
+    """Write the single-file HTML report for a traced demo run.
+
+    Backs the CLI's ``--report FILE`` flag.  Pass ``traced`` to reuse
+    an existing :class:`TracedRun` (the CLI reuses the ``--trace`` sim
+    run); otherwise a fresh demo run is executed.  The report embeds
+    the deterministic analyzer JSON verbatim and, additionally, the
+    cost-model calibration of the run.
+    """
+    from repro.obs import profile_trace, write_report
+
+    cfg = config or ExperimentConfig()
+    if traced is not None:
+        run, obs, analysis = traced.run, traced.obs, traced.analysis
+    else:
+        run, obs, analysis = _demo_run(cfg, backend, algorithm, fault_plan)
+    # Calibrate against the full starting platform: profile_trace maps
+    # post-recovery dense ranks back to original ids via the seam spans.
+    platform = fully_heterogeneous()
+    calibration = profile_trace(obs, platform)
+    subtitle = (
+        f"{cfg.scene.rows}×{cfg.scene.cols}×{cfg.scene.bands} scene — "
+        f"{platform.name} — {platform.size} ranks"
+    )
+    if getattr(run, "recovered", False):
+        subtitle += (
+            f" — recovered from rank loss {run.crashed_ranks} "
+            f"in {len(run.attempts)} attempts"
+        )
+    return write_report(
+        path,
+        obs,
+        analysis,
+        calibration,
+        title=f"{algorithm} — {backend} backend",
+        subtitle=subtitle,
+    )
+
+
+def run_calibration(
+    config: ExperimentConfig | None = None,
+    outdir: Path | str = "experiments_output",
+    algorithm: str = "atdca",
+) -> tuple[Path, ...]:
+    """Calibrate the cost model on both backends; write JSON + text.
+
+    Backs the CLI's ``--calibrate DIR`` flag: one demo run per backend,
+    each replayed through :func:`repro.obs.profile_trace` against the
+    Table 1/2 platform, written as ``calibration_<backend>.json`` (for
+    ``python -m repro.obs.profile gate``) and a readable ``.txt``.
+    """
+    from repro.obs import profile_trace
+
+    cfg = config or ExperimentConfig()
+    out = Path(outdir)
+    out.mkdir(parents=True, exist_ok=True)
+    platform = fully_heterogeneous()
+    paths: list[Path] = []
+    for backend in ("sim", "inproc"):
+        _, obs, _ = _demo_run(cfg, backend, algorithm, None)
+        report = profile_trace(obs, platform)
+        json_path = out / f"calibration_{backend}.json"
+        json_path.write_text(report.to_json() + "\n", encoding="utf-8")
+        txt_path = out / f"calibration_{backend}.txt"
+        txt_path.write_text(report.to_text() + "\n", encoding="utf-8")
+        paths += [json_path, txt_path]
+    return tuple(paths)
 
 
 def export_metrics(

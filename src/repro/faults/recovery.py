@@ -347,6 +347,14 @@ def run_with_recovery(
                 obs.metrics.counter("recovery.repartition_s").inc(
                     repartition_overhead_s
                 )
+                # ``ranks`` records the next attempt's dense-rank →
+                # original-rank mapping (master first, survivors in
+                # ascending original order) so trace consumers — e.g.
+                # ``gantt_of_trace`` — can place post-recovery spans on
+                # the original lanes.
+                next_ordered = tuple(
+                    [master_orig] + sorted(survivors - {master_orig})
+                )
                 obs.tracer.add_span(
                     "recovery.repartition",
                     master,
@@ -355,5 +363,6 @@ def run_with_recovery(
                     category="fault",
                     lost_rank=lost_orig,
                     survivors=len(survivors),
+                    ranks=",".join(str(r) for r in next_ordered),
                 )
             # Loop: re-run WEA over the survivors and resume.

@@ -214,27 +214,44 @@ class Communicator:
             ).inc()
         return self._tracer.span(f"mpi.{kind}", rank=self.rank, category="mpi")
 
+    def _account_payload(self, kind: str, obj: Any) -> None:
+        """Meter this rank's contribution to a collective, in wire
+        megabits — the byte side of the flop/byte profile that
+        :mod:`repro.obs.profile` calibrates against the cost model."""
+        if self._obs is None or obj is None:
+            return
+        from repro.cluster.mailbox import payload_wire_megabits
+
+        self._obs.metrics.counter(
+            "mpi.payload_megabits", rank=self.rank, kind=kind
+        ).inc(payload_wire_megabits(obj))
+
     # -- collectives ---------------------------------------------------------------
     def bcast(self, obj: Any = None, root: int | None = None) -> Any:
         """Broadcast from ``root`` (default: master) via binomial tree."""
         root = self.master_rank if root is None else root
         with self._collective_span("bcast"):
-            return _coll.binomial_bcast(
+            result = _coll.binomial_bcast(
                 self._ctx, obj, root, self._next_collective_tag()
             )
+        self._account_payload("bcast", result)
+        return result
 
     def scatter(self, items: Sequence[Any] | None = None, root: int | None = None) -> Any:
         """Distribute ``items[i]`` to rank ``i`` (root supplies the list)."""
         root = self.master_rank if root is None else root
         with self._collective_span("scatter"):
-            return _coll.flat_scatter(
+            mine = _coll.flat_scatter(
                 self._ctx, items, root, self._next_collective_tag()
             )
+        self._account_payload("scatter", mine)
+        return mine
 
     def gather(self, obj: Any, root: int | None = None) -> list[Any] | None:
         """Collect one object per rank at ``root`` (rank order)."""
         root = self.master_rank if root is None else root
         with self._collective_span("gather"):
+            self._account_payload("gather", obj)
             return _coll.flat_gather(
                 self._ctx, obj, root, self._next_collective_tag()
             )
@@ -248,6 +265,7 @@ class Communicator:
         """Tree-reduce ``value`` with commutative ``op``; result at root."""
         root = self.master_rank if root is None else root
         with self._collective_span("reduce"):
+            self._account_payload("reduce", value)
             return _coll.binomial_reduce(
                 self._ctx, value, op, root, self._next_collective_tag()
             )

@@ -68,6 +68,31 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
 
+#: Lazily-imported members (``python -m repro.obs.profile`` / ``.diff``
+#: would otherwise re-execute a module the package already imported).
+_LAZY = {
+    "SpanDelta": "repro.obs.diff",
+    "StructuralDivergence": "repro.obs.diff",
+    "TraceDiff": "repro.obs.diff",
+    "diff_traces": "repro.obs.diff",
+    "CalibrationReport": "repro.obs.profile",
+    "GateResult": "repro.obs.profile",
+    "OpSample": "repro.obs.profile",
+    "calibration_gate": "repro.obs.profile",
+    "profile_trace": "repro.obs.profile",
+    "render_report": "repro.obs.report",
+    "write_report": "repro.obs.report",
+}
+
+
+def __getattr__(name: str) -> Any:
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)
+
 __all__ = [
     "ObsSession",
     "obs_of",
@@ -93,6 +118,17 @@ __all__ = [
     "fault_windows",
     "link_utilization",
     "wea_attribution",
+    "SpanDelta",
+    "StructuralDivergence",
+    "TraceDiff",
+    "diff_traces",
+    "CalibrationReport",
+    "GateResult",
+    "OpSample",
+    "calibration_gate",
+    "profile_trace",
+    "render_report",
+    "write_report",
     "LoadedTrace",
     "breakdown_from_spans",
     "chrome_trace",

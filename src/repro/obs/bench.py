@@ -35,6 +35,7 @@ import dataclasses
 import datetime
 import json
 import sys
+import textwrap
 import time
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -112,8 +113,24 @@ def _cell_id(algorithm: str, variant: str, network: str, backend: str) -> str:
     return f"{algorithm}/{variant}/{network}/{backend}"
 
 
-def run_bench(config: BenchConfig, date: str) -> dict[str, Any]:
-    """Execute the pinned grid and return the artifact document."""
+def _cell_filename(cell_id: str) -> str:
+    """Cell id → filesystem-safe trace name (slashes/spaces collapsed)."""
+    import re
+
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", cell_id) + ".jsonl"
+
+
+def run_bench(
+    config: BenchConfig, date: str, trace_dir: Path | str | None = None
+) -> dict[str, Any]:
+    """Execute the pinned grid and return the artifact document.
+
+    With ``trace_dir``, every sim cell additionally runs under an
+    :class:`~repro.obs.ObsSession` and its spans+metrics are written as
+    ``<trace_dir>/<cell>.jsonl`` — the inputs ``compare`` needs to
+    auto-diff a regressed cell down to the responsible ops.  Tracing is
+    passive: virtual timings (and thus the artifact) are unchanged.
+    """
     from repro.cluster.presets import all_networks
 
     exp = ExperimentConfig()
@@ -133,6 +150,9 @@ def run_bench(config: BenchConfig, date: str) -> dict[str, Any]:
             f"unknown network(s) {sorted(unknown)}; "
             f"choose from {sorted(platforms)}"
         )
+    traces_out = Path(trace_dir) if trace_dir is not None else None
+    if traces_out is not None:
+        traces_out.mkdir(parents=True, exist_ok=True)
 
     cells: dict[str, dict[str, Any]] = {}
     for network in config.networks:
@@ -143,12 +163,23 @@ def run_bench(config: BenchConfig, date: str) -> dict[str, Any]:
                 for backend in config.backends:
                     cid = _cell_id(algorithm, variant, network, backend)
                     if backend == "sim":
+                        obs = None
+                        if traces_out is not None:
+                            from repro.obs import ObsSession
+
+                            obs = ObsSession.create()
                         run = run_parallel(
                             algorithm, scene.image, platform,
                             params=params, variant=variant,
-                            backend="sim", cost_model=cost,
+                            backend="sim", cost_model=cost, obs=obs,
                         )
                         assert run.sim is not None
+                        if obs is not None and traces_out is not None:
+                            from repro.obs.export import write_jsonl
+
+                            write_jsonl(
+                                traces_out / _cell_filename(cid), obs
+                            )
                         breakdown = breakdown_of_run(run.sim)
                         scores = imbalance_of_run(run.sim)
                         cells[cid] = {
@@ -288,6 +319,36 @@ def compare_artifacts(
     return diffs
 
 
+def _regression_diff(
+    cell_id: str,
+    baseline_dir: str | Path,
+    candidate_dir: str | Path,
+    top: int = 5,
+) -> str | None:
+    """Trace-level explanation of one regressed sim cell, if possible.
+
+    Loads the cell's JSONL trace from both directories (written by
+    ``run --trace-dir``) and returns the ranked per-op delta text of
+    :func:`repro.obs.diff.diff_traces` — which ops slowed down, whether
+    they sit on the critical path, and the dominant rank.  Returns
+    ``None`` when either trace is absent or unreadable; the timing
+    regression still gates, it just goes unexplained.
+    """
+    from repro.obs.diff import diff_traces
+    from repro.obs.export import read_jsonl
+
+    name = _cell_filename(cell_id)
+    base_path = Path(baseline_dir) / name
+    cand_path = Path(candidate_dir) / name
+    if not (base_path.is_file() and cand_path.is_file()):
+        return None
+    try:
+        diff = diff_traces(read_jsonl(base_path), read_jsonl(cand_path))
+    except (OSError, json.JSONDecodeError, ReproError):
+        return None
+    return diff.to_text(top=top)
+
+
 def report_text(artifact: Mapping[str, Any]) -> str:
     """Render one artifact as a monospace table."""
     rows = []
@@ -349,6 +410,11 @@ def _add_run_parser(sub: Any) -> None:
     p.add_argument("--comm-factor", type=float, default=None,
                    help="scale all message volumes (ablation / regression "
                         "injection; 2.0 doubles every link cost)")
+    p.add_argument("--trace-dir", metavar="DIR", default=None,
+                   help="also write each sim cell's spans+metrics as "
+                        "<DIR>/<cell>.jsonl; feed the directories of two "
+                        "runs to `compare --baseline-traces/--candidate-"
+                        "traces` to auto-diff regressed cells")
 
 
 def _build_config(args: argparse.Namespace) -> BenchConfig:
@@ -380,6 +446,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_cmp.add_argument("--fail-on-missing", action="store_true",
                        help="treat cells missing from the candidate as "
                             "regressions")
+    p_cmp.add_argument("--baseline-traces", metavar="DIR", default=None,
+                       help="per-cell JSONL traces of the baseline run "
+                            "(from `run --trace-dir`)")
+    p_cmp.add_argument("--candidate-traces", metavar="DIR", default=None,
+                       help="per-cell JSONL traces of the candidate run; "
+                            "with both trace directories given, each "
+                            "regressed sim cell is auto-diffed down to "
+                            "the responsible ops and dominant rank")
     p_rep = sub.add_parser("report", help="print one artifact as a table")
     p_rep.add_argument("artifact")
     args = parser.parse_args(argv)
@@ -387,13 +461,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         config = _build_config(args)
         date = args.date or datetime.date.today().isoformat()
-        artifact = run_bench(config, date=date)
+        artifact = run_bench(config, date=date, trace_dir=args.trace_dir)
         out = (
             Path(args.out) if args.out
             else Path(args.outdir) / f"BENCH_{date}.json"
         )
         write_artifact(artifact, out)
         print(f"{len(artifact['cells'])} cells -> {out}")
+        if args.trace_dir is not None:
+            n_traced = sum(
+                1 for cell in artifact["cells"].values()
+                if cell["backend"] == "sim"
+            )
+            print(f"{n_traced} sim cell traces -> {args.trace_dir}")
         return 0
 
     if args.command == "compare":
@@ -414,9 +494,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         failing = [d for d in diffs if d.status == "regression"]
         if args.fail_on_missing:
             failing += [d for d in diffs if d.status == "missing"]
+        explain = (
+            args.baseline_traces is not None
+            and args.candidate_traces is not None
+        )
         for diff in diffs:
             if diff.status != "ok":
                 print(diff.describe())
+            if diff.status == "regression" and explain:
+                explained = _regression_diff(
+                    diff.cell_id, args.baseline_traces, args.candidate_traces
+                )
+                if explained is not None:
+                    print(textwrap.indent(explained, "    "))
         ok = sum(1 for d in diffs if d.status == "ok")
         print(f"{len(diffs)} cells compared: {ok} ok, "
               f"{sum(1 for d in diffs if d.status == 'improvement')} "

@@ -48,6 +48,16 @@ __all__ = [
 
 _JSON_KW = {"sort_keys": True, "separators": (",", ":")}
 
+#: Version stamp written as the first line of every JSONL export.
+#: ``/1`` exports had no header; ``/2`` adds the header line and the
+#: conditional fault-span attributes (``factor``, ``link``, ``op``,
+#: ``original_rank``, ``lost_rank``, ``survivors``, ``ranks``, ...).
+JSONL_SCHEMA = "repro.obs.trace/2"
+
+#: Schema versions :func:`read_jsonl` accepts (``/1`` is the implicit
+#: version of header-less exports).
+_ACCEPTED_SCHEMAS = ("repro.obs.trace/1", JSONL_SCHEMA)
+
 
 def spans_of(source: Any) -> list[Span]:
     """Normalize a session / tracer / loaded trace / span sequence to a
@@ -134,7 +144,9 @@ def _jsonable(value: Any) -> Any:
 # -- JSONL --------------------------------------------------------------------
 
 def jsonl_lines(source: Any) -> Iterable[str]:
-    """One JSON object per span, then one per metric record."""
+    """A schema header, then one JSON object per span, then one per
+    metric record."""
+    yield json.dumps({"type": "schema", "version": JSONL_SCHEMA}, **_JSON_KW)
     for span in spans_of(source):
         yield json.dumps(
             {
@@ -289,7 +301,16 @@ class LoadedTrace:
 
 
 def read_jsonl(path: str | Path) -> LoadedTrace:
-    """Load spans + metric records from a :func:`write_jsonl` export."""
+    """Load spans + metric records from a :func:`write_jsonl` export.
+
+    Accepts the current schema (:data:`JSONL_SCHEMA`) and header-less
+    ``/1`` exports from before the header existed; any other version
+    stamp raises a :class:`ValueError` naming both versions.  Span
+    attributes round-trip as written — including the conditional
+    fault keys (``factor``, ``link``, ``op``, ``original_rank``,
+    ``lost_rank``, ``survivors``, ``ranks``) — with JSON-native types
+    preserved.
+    """
     spans: list[Span] = []
     records: list[dict[str, Any]] = []
     for lineno, line in enumerate(
@@ -299,7 +320,15 @@ def read_jsonl(path: str | Path) -> LoadedTrace:
             continue
         obj = json.loads(line)
         kind = obj.get("type")
-        if kind == "span":
+        if kind == "schema":
+            version = obj.get("version")
+            if version not in _ACCEPTED_SCHEMAS:
+                raise ValueError(
+                    f"{path}:{lineno}: unsupported trace schema "
+                    f"{version!r} (this reader understands "
+                    f"{', '.join(_ACCEPTED_SCHEMAS)})"
+                )
+        elif kind == "span":
             spans.append(
                 Span(
                     name=obj["name"],
@@ -359,7 +388,7 @@ def summary_table(source: Any, master_rank: int = 0) -> str:
     """Human-readable per-rank summary plus the span-derived triple."""
     spans = spans_of(source)
     ranks = sorted({s.rank for s in spans})
-    categories = ("phase", "compute", "seq", "transfer", "mpi")
+    categories = ("phase", "compute", "seq", "kernel", "transfer", "mpi")
     header = f"{'rank':>5} " + " ".join(f"{c:>12}" for c in categories) + f" {'spans':>7}"
     lines = ["span time by category (s)", header, "-" * len(header)]
     for rank in ranks:

@@ -14,6 +14,8 @@ Spans carry a ``category`` used by the exporters and the COM/SEQ/PAR
 cross-check:
 
 * ``"compute"`` / ``"seq"`` — engine-charged computation intervals;
+* ``"kernel"`` — one named cost-model kernel (brackets the charge *and*
+  the real numpy work, so it carries wall time on the inproc backend);
 * ``"transfer"`` — one message transfer, recorded at each endpoint;
 * ``"mpi"`` — a collective operation (brackets its internal transfers);
 * ``"phase"`` — algorithm-level phases (``atdca.iteration``, ...).
@@ -34,7 +36,9 @@ from typing import Any, Callable, Iterator, Mapping
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "tracer_of"]
 
 #: Span categories understood by the exporters.
-SPAN_CATEGORIES = ("phase", "compute", "seq", "transfer", "mpi", "fault")
+SPAN_CATEGORIES = (
+    "phase", "compute", "seq", "kernel", "transfer", "mpi", "fault"
+)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -19,24 +19,32 @@ from repro.errors import ConfigurationError
 
 __all__ = ["ascii_gantt", "gantt_of_run", "gantt_of_trace"]
 
-_GLYPHS = {"compute": "#", "seq": "S", "transfer": "=", "phase": "."}
-#: Painting priority: compute over transfer over phase background
-#: (overlaps happen when a transfer interval abuts a compute interval
-#: at cell resolution, and phase spans always enclose their children).
+_GLYPHS = {
+    "compute": "#", "seq": "S", "transfer": "=", "phase": ".", "fault": "!",
+}
+#: Painting priority: faults over compute over transfer over phase
+#: background (overlaps happen when a transfer interval abuts a compute
+#: interval at cell resolution, and phase spans enclose their children).
 _PRIORITY = {
     "phase": -1, ".": -1,
     "transfer": 0, "=": 0,
     "compute": 1, "#": 1,
     "seq": 2, "S": 2,
+    "fault": 3, "!": 3,
 }
 
-#: Span category → gantt event kind (mpi waits render as transfers).
+#: Span category → gantt event kind (mpi waits render as transfers;
+#: kernel spans bracket the same interval the engine charges, so they
+#: paint as compute — on the wall-clock backend they are the only
+#: record of compute time).
 _SPAN_KINDS = {
     "compute": "compute",
     "seq": "seq",
+    "kernel": "compute",
     "transfer": "transfer",
     "mpi": "transfer",
     "phase": "phase",
+    "fault": "fault",
 }
 
 
@@ -96,7 +104,10 @@ def ascii_gantt(
         + " " * (width - 6 - len(f"{horizon:.2f}"))
         + f"{horizon:.2f} s"
     )
-    legend = " " * pad + "  #=parallel compute  S=sequential  ==transfer  .=phase"
+    legend = (
+        " " * pad
+        + "  #=parallel compute  S=sequential  ==transfer  .=phase  !=fault"
+    )
     return "\n".join(lines + [axis, scale, legend])
 
 
@@ -120,6 +131,28 @@ class _SpanEvent:
     end: float
 
 
+def _recovery_segments(spans: Sequence[Any]) -> list[tuple[float, tuple[int, ...]]]:
+    """Rank remappings introduced by ``recovery.repartition`` seams.
+
+    Each returned ``(from_time, ordered)`` entry says: spans starting at
+    or after ``from_time`` ran on the survivor subset whose dense rank
+    ``i`` is original rank ``ordered[i]``.  Seams without a ``ranks``
+    attribute (pre-PR-4 traces) are skipped — those traces render as
+    before, with dense rank numbering.
+    """
+    segments: list[tuple[float, tuple[int, ...]]] = []
+    for span in spans:
+        if span.category != "fault" or span.name != "recovery.repartition":
+            continue
+        ranks_attr = span.attrs.get("ranks")
+        if not ranks_attr:
+            continue
+        ordered = tuple(int(r) for r in str(ranks_attr).split(","))
+        segments.append((span.end, ordered))
+    segments.sort(key=lambda seg: seg[0])
+    return segments
+
+
 def gantt_of_trace(
     source: Any,
     n_ranks: int | None = None,
@@ -134,9 +167,17 @@ def gantt_of_trace(
     both backends populate.  Wall-clock spans are shifted so the chart
     starts at the earliest span.
 
+    Fault-tolerant traces are handled: after a ``recovery.repartition``
+    seam the survivors run with renumbered dense ranks, and the seam
+    span's ``ranks`` attribute carries the dense → original mapping, so
+    post-recovery spans land back on their original lanes.  A crashed
+    rank's lane simply ends at the crash (marked by the ``!`` fault
+    glyph) instead of being overdrawn by the rank that inherited its
+    dense id.
+
     Args:
         source: session / tracer / span sequence (see ``spans_of``).
-        n_ranks: lane count (default: highest span rank + 1).
+        n_ranks: lane count (default: highest *original* span rank + 1).
         width: characters across the time axis.
         labels: optional lane labels.
     """
@@ -145,16 +186,35 @@ def gantt_of_trace(
     spans = spans_of(source)
     if not spans:
         raise ConfigurationError("no spans to render (trace a run first)")
-    ranks = n_ranks if n_ranks is not None else max(s.rank for s in spans) + 1
+    segments = _recovery_segments(spans)
+
+    def lane_of(span: Any) -> int:
+        mapping = None
+        for from_time, ordered in segments:
+            if span.start >= from_time:
+                mapping = ordered
+            else:
+                break
+        if mapping is not None and span.rank < len(mapping):
+            return mapping[span.rank]
+        return span.rank
+
+    def kind_of(span: Any) -> str:
+        if span.category == "kernel" and span.attrs.get("sequential"):
+            return "seq"
+        return _SPAN_KINDS.get(span.category, "phase")
+
+    lanes = [lane_of(s) for s in spans]
+    ranks = n_ranks if n_ranks is not None else max(lanes) + 1
     t0 = min(s.start for s in spans)
     events = [
         _SpanEvent(
-            kind=_SPAN_KINDS.get(s.category, "phase"),
-            rank=s.rank,
+            kind=kind_of(s),
+            rank=lane,
             start=s.start - t0,
             end=s.end - t0,
         )
-        for s in spans
+        for s, lane in zip(spans, lanes)
     ]
     return ascii_gantt(
         events,

@@ -33,6 +33,7 @@ from repro.obs import (
     write_jsonl,
     write_metrics_json,
 )
+from repro.obs.export import JSONL_SCHEMA
 from repro.obs.metrics import sum_counters
 from repro.obs.trace import SPAN_CATEGORIES
 from repro.perf.timers import breakdown_of_run
@@ -369,7 +370,8 @@ class TestExports:
         lines = path.read_text().splitlines()
         objs = [json.loads(line) for line in lines]
         kinds = {o["type"] for o in objs}
-        assert kinds == {"span", "metric"}
+        assert kinds == {"schema", "span", "metric"}
+        assert objs[0] == {"type": "schema", "version": JSONL_SCHEMA}
         n_spans = sum(1 for o in objs if o["type"] == "span")
         assert n_spans == len(obs.tracer)
 

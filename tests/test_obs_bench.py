@@ -157,3 +157,69 @@ class TestCli:
         assert main([
             "compare", str(full), str(partial), "--fail-on-missing"
         ]) == 1
+
+
+class TestTraceAutoDiff:
+    """`run --trace-dir` + `compare --*-traces`: regressions explained
+    down to the responsible ops."""
+
+    ARGS = (
+        "--algorithms", "atdca", "--variants", "hetero",
+        "--networks", "fully heterogeneous", "--rows", "96",
+        "--date", "2026-01-01",
+    )
+
+    def test_run_writes_one_trace_per_sim_cell(self, tmp_path):
+        traces = tmp_path / "traces"
+        assert main([
+            "run", "--out", str(tmp_path / "b.json"),
+            "--trace-dir", str(traces), *self.ARGS,
+        ]) == 0
+        files = sorted(p.name for p in traces.glob("*.jsonl"))
+        assert files == ["atdca_hetero_fully_heterogeneous_sim.jsonl"]
+
+    def test_tracing_does_not_change_the_artifact(self, tmp_path):
+        plain = run_bench(TINY, date="2026-01-01")
+        traced = run_bench(
+            TINY, date="2026-01-01", trace_dir=tmp_path / "traces"
+        )
+        kw = {"sort_keys": True, "separators": (",", ":")}
+        assert json.dumps(traced, **kw) == json.dumps(plain, **kw)
+
+    def test_regression_is_explained_from_traces(self, tmp_path, capsys):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        base_tr, cand_tr = tmp_path / "base_tr", tmp_path / "cand_tr"
+        assert main([
+            "run", "--out", str(base), "--trace-dir", str(base_tr),
+            *self.ARGS,
+        ]) == 0
+        assert main([
+            "run", "--out", str(cand), "--trace-dir", str(cand_tr),
+            "--comm-factor", "2.0", *self.ARGS,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "compare", str(base), str(cand),
+            "--baseline-traces", str(base_tr),
+            "--candidate-traces", str(cand_tr),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "trace diff over" in out  # the auto-diff explanation
+
+    def test_missing_traces_degrade_gracefully(self, tmp_path, capsys):
+        base, cand = tmp_path / "base.json", tmp_path / "cand.json"
+        assert main(["run", "--out", str(base), *self.ARGS]) == 0
+        assert main([
+            "run", "--out", str(cand), "--comm-factor", "2.0", *self.ARGS,
+        ]) == 0
+        capsys.readouterr()
+        # Trace dirs given but empty: the gate still fires, unexplained.
+        assert main([
+            "compare", str(base), str(cand),
+            "--baseline-traces", str(tmp_path / "no_base"),
+            "--candidate-traces", str(tmp_path / "no_cand"),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        assert "trace diff over" not in out

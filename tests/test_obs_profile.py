@@ -1,0 +1,189 @@
+"""Cost-model calibration (repro.obs.profile): sim exactness, the
+drift gate, and the analyze/gate CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.presets import fully_heterogeneous
+from repro.core.runner import run_parallel
+from repro.errors import ConfigurationError
+from repro.hsi import SceneConfig, make_wtc_scene
+from repro.obs import ObsSession, write_jsonl
+from repro.obs.profile import (
+    GATE_SCHEMA,
+    SCHEMA,
+    calibration_gate,
+    main,
+    profile_trace,
+)
+
+COMMITTED_BASELINE = (
+    Path(__file__).resolve().parents[1]
+    / "benchmarks" / "baselines" / "calibration.json"
+)
+
+
+@pytest.fixture(scope="module")
+def traced_sim():
+    """One traced sim run on the paper's 16-node platform."""
+    scene = make_wtc_scene(SceneConfig(rows=48, cols=16, bands=24, seed=7))
+    platform = fully_heterogeneous()
+    obs = ObsSession.create()
+    run_parallel(
+        "atdca", scene.image, platform,
+        params={"n_targets": 5}, backend="sim", obs=obs,
+    )
+    return obs, platform
+
+
+@pytest.fixture(scope="module")
+def calibration(traced_sim):
+    obs, platform = traced_sim
+    return profile_trace(obs, platform)
+
+
+class TestSimExactness:
+    """On the virtual-time engine the trace IS the model."""
+
+    def test_fitted_scales_are_unity(self, calibration):
+        assert calibration.compute_scale == pytest.approx(1.0, abs=1e-9)
+        assert calibration.transfer_scale == pytest.approx(1.0, abs=1e-9)
+
+    def test_phase_errors_are_numerically_zero(self, calibration):
+        assert calibration.median_phase_rel_error < 1e-9
+        assert calibration.max_phase_rel_error < 1e-9
+
+    def test_both_sample_kinds_are_profiled(self, calibration):
+        assert calibration.n_compute > 0
+        assert calibration.n_transfer > 0
+        assert calibration.kernels and calibration.links
+        assert calibration.phases
+
+    def test_groups_are_sorted_by_name(self, calibration):
+        for groups in (
+            calibration.kernels, calibration.links, calibration.phases
+        ):
+            names = [g.name for g in groups]
+            assert names == sorted(names)
+
+    def test_worst_ops_are_bounded_and_ranked(self, calibration):
+        assert 0 < len(calibration.worst_ops) <= 5
+        errors = [err for _, err in calibration.worst_ops]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_empty_trace_raises(self, traced_sim):
+        _, platform = traced_sim
+        with pytest.raises(ConfigurationError):
+            profile_trace([], platform)
+
+
+class TestSerialization:
+    def test_json_document_shape(self, calibration):
+        doc = json.loads(calibration.to_json())
+        assert doc["schema"] == SCHEMA
+        assert doc["platform"] == "fully heterogeneous"
+        assert doc["median_phase_rel_error"] == 0.0  # rounded at 9 digits
+        assert doc["compute_scale"] == 1.0
+        assert {g["name"] for g in doc["phases"]} == {
+            g.name for g in calibration.phases
+        }
+
+    def test_text_report_names_every_phase(self, calibration):
+        text = calibration.to_text()
+        assert "fully heterogeneous" in text
+        assert "compute scale" in text
+        for group in calibration.phases:
+            assert group.name in text
+
+
+class TestGate:
+    BASELINE = {
+        "schema": GATE_SCHEMA,
+        "max_median_phase_rel_error": {"sim": 1e-9, "inproc": 0.95},
+    }
+
+    def test_pass_and_fail(self):
+        assert calibration_gate(0.0, self.BASELINE, "sim").passed
+        result = calibration_gate(0.5, self.BASELINE, "sim")
+        assert not result.passed
+        assert "FAIL" in result.to_text()
+
+    def test_backend_selects_its_threshold(self):
+        result = calibration_gate(0.5, self.BASELINE, "inproc")
+        assert result.passed
+        assert result.threshold == 0.95
+
+    def test_bad_schema_and_missing_backend_raise(self):
+        with pytest.raises(ConfigurationError):
+            calibration_gate(0.0, {"schema": "nope"}, "sim")
+        with pytest.raises(ConfigurationError):
+            calibration_gate(
+                0.0,
+                {"schema": GATE_SCHEMA, "max_median_phase_rel_error": {}},
+                "sim",
+            )
+
+    def test_committed_baseline_gates_the_sim_run(self, calibration):
+        baseline = json.loads(COMMITTED_BASELINE.read_text(encoding="utf-8"))
+        result = calibration_gate(
+            calibration.median_phase_rel_error, baseline, "sim"
+        )
+        assert result.passed, result.to_text()
+
+
+class TestCli:
+    @pytest.fixture()
+    def trace_file(self, traced_sim, tmp_path):
+        obs, _ = traced_sim
+        return write_jsonl(tmp_path / "run.jsonl", obs)
+
+    def test_analyze_writes_calibration_json(
+        self, trace_file, tmp_path, capsys
+    ):
+        out = tmp_path / "calib.json"
+        assert main([
+            "analyze", str(trace_file),
+            "--platform", "fully heterogeneous", "--json", str(out),
+        ]) == 0
+        assert "cost-model calibration" in capsys.readouterr().out
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["schema"] == SCHEMA
+        assert doc["median_phase_rel_error"] == 0.0
+
+    def test_analyze_rejects_unknown_platform(self, trace_file, capsys):
+        assert main([
+            "analyze", str(trace_file), "--platform", "no such cluster",
+        ]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_gate_exit_codes(self, tmp_path, capsys):
+        calib = tmp_path / "calib.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(TestGate.BASELINE), encoding="utf-8")
+        calib.write_text(
+            json.dumps({"schema": SCHEMA, "median_phase_rel_error": 0.0}),
+            encoding="utf-8",
+        )
+        assert main([
+            "gate", str(calib), "--baseline", str(baseline),
+        ]) == 0
+        calib.write_text(
+            json.dumps({"schema": SCHEMA, "median_phase_rel_error": 0.5}),
+            encoding="utf-8",
+        )
+        assert main([
+            "gate", str(calib), "--baseline", str(baseline),
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_gate_rejects_bad_calibration_schema(self, tmp_path, capsys):
+        calib = tmp_path / "calib.json"
+        calib.write_text(json.dumps({"schema": "nope"}), encoding="utf-8")
+        assert main([
+            "gate", str(calib), "--baseline", str(COMMITTED_BASELINE),
+        ]) == 2
+        assert "unsupported calibration schema" in capsys.readouterr().err
