@@ -41,6 +41,8 @@ __all__ = [
     "ANY_SOURCE",
     "payload_wire_megabits",
     "copy_payload",
+    "freeze_payload",
+    "ensure_writable",
     "OpDeadline",
     "Router",
 ]
@@ -110,6 +112,63 @@ def copy_payload(payload: Any) -> Any:
     if payload is None:
         return None
     return copy.deepcopy(payload)
+
+
+def freeze_payload(payload: Any) -> Any:
+    """Zero-copy freeze: arrays become *read-only views*, not copies.
+
+    Transport-level value semantics without the O(payload) deep copy:
+    the receiver can read the sender's buffer directly but any write
+    raises, so a delivered message can never be silently mutated by one
+    rank under another's feet.  Receivers that legitimately need to
+    mutate a delivered array take their copy explicitly via
+    :func:`ensure_writable` — copy-on-write at the consumer, paid only
+    when actually needed.
+
+    Contract (guaranteed by the rendezvous semantics of
+    :class:`Router`): the payload's contents at delivery time are the
+    contents at send time, because the sender is parked inside
+    :meth:`Router.send` until the receive consumes the offer.  Senders
+    must not mutate a buffer after the send returns — the programs in
+    this codebase send freshly built arrays and never touch them again.
+
+    Non-array leaves keep :func:`copy_payload`'s behaviour (immutable
+    scalars pass through; unknown objects are deep-copied).
+    """
+    if isinstance(payload, np.ndarray):
+        view = payload.view()
+        view.flags.writeable = False
+        return view
+    if isinstance(payload, tuple):
+        return tuple(freeze_payload(p) for p in payload)
+    if isinstance(payload, list):
+        return [freeze_payload(p) for p in payload]
+    if isinstance(payload, dict):
+        return {k: freeze_payload(v) for k, v in payload.items()}
+    if isinstance(payload, (int, float, str, bytes, bool, np.integer, np.floating)):
+        return payload
+    if payload is None:
+        return None
+    return copy.deepcopy(payload)
+
+
+def ensure_writable(payload: Any) -> Any:
+    """Copy-on-write realization of a (possibly frozen) payload.
+
+    Read-only arrays are copied; writable arrays pass through
+    unchanged.  Containers are rebuilt only as needed to carry the
+    copies.  Use this at the *consumer* when a received array must be
+    mutated in place.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload if payload.flags.writeable else payload.copy()
+    if isinstance(payload, tuple):
+        return tuple(ensure_writable(p) for p in payload)
+    if isinstance(payload, list):
+        return [ensure_writable(p) for p in payload]
+    if isinstance(payload, dict):
+        return {k: ensure_writable(v) for k, v in payload.items()}
+    return payload
 
 
 class OpDeadline:
@@ -249,7 +308,10 @@ class Router:
         self._check_rank(dst, "destination")
         if src == dst:
             raise CommunicationError(f"rank {src} cannot send to itself")
-        offer = _Offer(src, dst, tag, copy_payload(payload), megabits)
+        # Zero-copy: a read-only view travels instead of a deep copy —
+        # O(1) per send regardless of payload size (see freeze_payload
+        # for the aliasing contract the rendezvous semantics guarantee).
+        offer = _Offer(src, dst, tag, freeze_payload(payload), megabits)
         with self._cond:
             self._offers[dst].append(offer)
             self._version += 1

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
 from repro.hsi.cube import HyperspectralImage
-from repro.linalg.osp import brightest_pixel_index, residual_energy
+from repro.linalg.osp import IncrementalOSP, brightest_pixel_index
 from repro.types import FloatArray, IntArray
 
 __all__ = ["TargetDetectionResult", "atdca_pixels", "atdca"]
@@ -77,12 +77,18 @@ def atdca_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
     indices.append(first)
     scores.append(float(pix[first] @ pix[first]))
 
-    for _ in range(1, n_targets):
-        u = pix[np.asarray(indices)]
-        energy = residual_energy(pix, u)
+    # Fast path: the orthonormal basis of span(U) is carried across
+    # iterations (one Gram–Schmidt step per new target) instead of a
+    # full QR per iteration — O(n·bands) amortized per target.
+    osp = IncrementalOSP(pix)
+    osp.add_target(pix[first])
+    for k in range(1, n_targets):
+        energy = osp.residual_energy()
         nxt = int(np.argmax(energy))
         indices.append(nxt)
         scores.append(float(energy[nxt]))
+        if k + 1 < n_targets:
+            osp.add_target(pix[nxt])
 
     idx = np.asarray(indices, dtype=np.int64)
     return TargetDetectionResult(

@@ -22,11 +22,27 @@ from repro.core.unique import UniqueSet, greedy_unique, merge_unique_sets
 from repro.errors import ConfigurationError, ShapeError
 from repro.hsi.cube import HyperspectralImage
 from repro.hsi.metrics import sad_to_references
-from repro.morphology.ops import mei_scores, morph_extrema
+from repro.morphology.ops import (
+    _EPS,
+    clamped_neighbor_indices,
+    edge_pad_into,
+    extrema_positions,
+    mei_scores,
+    morph_extrema,
+    offset_angle_maps,
+    unique_pair_angles,
+    unique_pair_mei,
+)
 from repro.morphology.structuring import StructuringElement, square
 from repro.types import FloatArray, IntArray
 
-__all__ = ["MorphClassification", "mei_map", "select_endmembers", "morph_classify"]
+__all__ = [
+    "MorphClassification",
+    "mei_map",
+    "mei_map_reference",
+    "select_endmembers",
+    "morph_classify",
+]
 
 #: Default SAD threshold for deduplicating endmember candidates.
 DEFAULT_DEDUP_THRESHOLD = 0.05
@@ -52,20 +68,18 @@ class MorphClassification:
         return self.endmembers.count
 
 
-def mei_map(
+def mei_map_reference(
     cube: FloatArray,
     se: StructuringElement,
     iterations: int,
 ) -> FloatArray:
-    """Steps 2(a)–(c): the multiscale MEI map over ``iterations`` passes.
+    """Reference multiscale MEI map: direct per-pass erosion/dilation.
 
-    Pass ``j`` computes erosion/dilation of the current image, credits
-    ``SAD(eroded, dilated)`` to the *pure* pixel the dilation selected
-    (the AMEE convention of [13]: the eccentricity score belongs to the
-    spectrally purest pixel of the window, which is what makes top-MEI
-    pixels endmember material rather than class-boundary mixtures),
-    folding into a running max, then replaces the image by its dilation
-    for the next scale.
+    This is the straightforward evaluation of steps 2(a)–(c) — each pass
+    re-normalizes the whole frame and recomputes every window angle.
+    :func:`mei_map` produces the same array bit-for-bit via the
+    pair-compressed fast path; this implementation is kept as the
+    equivalence oracle (and for profiling comparisons).
     """
     if iterations < 1:
         raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
@@ -80,6 +94,92 @@ def mei_map(
         np.maximum.at(mei, (extrema.dilated_rows, extrema.dilated_cols), scores)
         if step + 1 < iterations:
             current = extrema.dilated
+    return mei
+
+
+def mei_map(
+    cube: FloatArray,
+    se: StructuringElement,
+    iterations: int,
+) -> FloatArray:
+    """Steps 2(a)–(c): the multiscale MEI map over ``iterations`` passes.
+
+    Pass ``j`` computes erosion/dilation of the current image, credits
+    ``SAD(eroded, dilated)`` to the *pure* pixel the dilation selected
+    (the AMEE convention of [13]: the eccentricity score belongs to the
+    spectrally purest pixel of the window, which is what makes top-MEI
+    pixels endmember material rather than class-boundary mixtures),
+    folding into a running max, then replaces the image by its dilation
+    for the next scale.
+
+    Fast path (bit-identical to :func:`mei_map_reference`): dilation
+    only *selects* existing pixels, so instead of materializing and
+    renormalizing each dilated frame this carries a provenance map of
+    flat indices into the original cube — unit spectra and norms are
+    computed once.  The first pass (frame = original cube, every pixel
+    distinct) computes the per-offset D_B sweeps with the
+    (dr,dc)/(−dr,−dc) mirror symmetry — each mirrored angle field is the
+    lead field shifted, with only the clamped border strips recomputed
+    (:func:`~repro.morphology.ops.offset_angle_maps`), halving the
+    full-frame dot-product sweeps.  Later passes gather heavily (the
+    dilated frame repeats its window maxima), so their window angles are
+    deduplicated to distinct pixel-index pairs before the O(bands) dot
+    products run; MEI angles are pair-deduplicated on every pass.
+    Per-pass D_B accumulation keeps the structuring element's offset
+    order, so the sums see the same floats in the same order as the
+    direct evaluation.
+    """
+    if iterations < 1:
+        raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+    arr = np.asarray(cube, dtype=float)
+    if arr.ndim != 3:
+        raise ShapeError(f"expected (rows, cols, bands), got {arr.shape}")
+    rows, cols, bands = arr.shape
+    n = rows * cols
+    flat = arr.reshape(n, bands)
+    norms = np.linalg.norm(flat, axis=1)
+    unit = flat / np.maximum(norms, _EPS)[:, None]
+    pr, pc = se.shape[0] // 2, se.shape[1] // 2
+    offsets = [
+        (dr, dc) for dr, dc in se.offsets() if not (dr == 0 and dc == 0)
+    ]
+    neighbors = clamped_neighbor_indices(rows, cols, se)
+
+    prov = np.arange(n)  # current frame pixel → original flat index
+    mei = np.zeros((rows, cols))
+    dmap = np.empty((rows, cols))
+    scratch: dict[str, FloatArray] = {}  # reused pair-gather buffers
+    for step in range(iterations):
+        # D_B (eq. 2): accumulated per offset in se.offsets() order.
+        dmap[:] = 0.0
+        if step == 0:
+            gu = unit.reshape(rows, cols, bands)
+            cosbuf = np.empty((rows, cols))
+            padded = edge_pad_into(
+                np.empty((rows + 2 * pr, cols + 2 * pc, bands)), gu, pr, pc
+            )
+            for ang in offset_angle_maps(gu, padded, offsets, pr, pc, cosbuf):
+                dmap += ang
+            del padded, cosbuf
+        else:
+            lefts = np.concatenate([prov] * len(neighbors))
+            rights = np.concatenate([prov[nb] for nb in neighbors])
+            angles = unique_pair_angles(lefts, rights, unit, scratch)
+            for k in range(len(neighbors)):
+                dmap += angles[k * n : (k + 1) * n].reshape(rows, cols)
+
+        er_r, er_c, di_r, di_c = extrema_positions(dmap, se)
+        di_flat = (di_r * cols + di_c).ravel()
+        e_idx = prov[(er_r * cols + er_c).ravel()]
+        d_idx = prov[di_flat]
+        scores = unique_pair_mei(
+            e_idx, d_idx, flat, norms, scratch
+        ).reshape(rows, cols)
+        # MEI credit goes to the *lattice position* the dilation chose
+        # in the current frame, not the provenance pixel.
+        np.maximum.at(mei, (di_r, di_c), scores)
+        if step + 1 < iterations:
+            prov = prov[di_flat]
     return mei
 
 

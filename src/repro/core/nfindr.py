@@ -41,6 +41,93 @@ def simplex_volume(vertices: FloatArray) -> float:
     return abs(float(np.linalg.det(mat)))
 
 
+def _sweep_scalar(
+    reduced: FloatArray,
+    current: IntArray,
+    volume: float,
+    k: int,
+    start: int = 0,
+) -> tuple[IntArray, float, bool]:
+    """Reference one-trial-at-a-time replacement sweep (from ``start``).
+
+    Kept as the fallback for degenerate (zero-volume) simplexes, where
+    the cofactor screen of :func:`_replacement_sweep` is unavailable.
+    """
+    improved = False
+    for candidate in range(start, reduced.shape[0]):
+        if candidate in current:
+            continue
+        for slot in range(k):
+            trial = current.copy()
+            trial[slot] = candidate
+            trial_volume = simplex_volume(reduced[trial])
+            if trial_volume > volume * (1 + 1e-12):
+                current = trial
+                volume = trial_volume
+                improved = True
+    return current, volume, improved
+
+
+def _replacement_sweep(
+    reduced: FloatArray,
+    aug: FloatArray,
+    current: IntArray,
+    volume: float,
+    k: int,
+) -> tuple[IntArray, float, bool]:
+    """One first-accept replacement sweep with a batched volume screen.
+
+    Replacing vertex ``s`` with pixel ``r`` changes row ``s`` of the
+    augmented simplex matrix ``M = [1 | V]`` to ``aug[r]``, so the trial
+    determinant is the cofactor expansion ``aug[r] · C[s]`` along that
+    row.  One ``(n, k) @ (k, k)`` product therefore screens every
+    (candidate, slot) pair against the current simplex at once, instead
+    of ``n·k`` scalar ``det`` calls.  The scan replicates the scalar
+    sweep's greedy order: pairs are visited candidate-major/slot-minor,
+    the first improving swap is accepted immediately (confirmed with the
+    exact :func:`simplex_volume` determinant, which also becomes the
+    stored volume), and scanning resumes at the next candidate against
+    the updated simplex.
+    """
+    improved = False
+    resume = 0
+    guard = 1.0 + 1e-12
+    n = reduced.shape[0]
+    while resume < n:
+        mat = np.hstack([np.ones((k, 1)), reduced[current]])
+        det_m = float(np.linalg.det(mat))
+        if det_m == 0.0 or not np.isfinite(det_m):
+            # Degenerate simplex: no cofactor matrix — finish the sweep
+            # with the scalar reference scan.
+            current, volume, scalar_improved = _sweep_scalar(
+                reduced, current, volume, k, start=resume
+            )
+            return current, volume, improved or scalar_improved
+        cofactors = det_m * np.linalg.inv(mat).T  # (k, k), C[s, j]
+        trial_volumes = np.abs(aug @ cofactors.T)  # (n, k): pair (r, s)
+        ok = trial_volumes > volume * guard
+        ok[current] = False  # candidates already in the simplex
+        ok[:resume] = False  # pairs the sweep already passed
+        while True:
+            flat = int(np.argmax(ok))  # first True in (candidate, slot) order
+            if not ok.flat[flat]:
+                return current, volume, improved
+            r, s = divmod(flat, k)
+            trial = current.copy()
+            trial[s] = r
+            trial_volume = simplex_volume(reduced[trial])
+            if trial_volume > volume * guard:
+                current = trial
+                volume = trial_volume
+                improved = True
+                resume = r + 1
+                break
+            # Screen false positive at the comparison margin: the exact
+            # determinant governs, as in the scalar sweep.
+            ok.flat[flat] = False
+    return current, volume, improved
+
+
 @dataclasses.dataclass(frozen=True)
 class NFindrResult:
     """Extracted endmembers.
@@ -92,22 +179,14 @@ def nfindr_pixels(
     current = atdca_pixels(pix, k).flat_indices.astype(np.int64)
     volume = simplex_volume(reduced[current])
 
+    aug = np.hstack([np.ones((pix.shape[0], 1)), reduced])  # (n, k)
     sweeps = 0
     improved = True
     while improved and sweeps < max_sweeps:
-        improved = False
         sweeps += 1
-        for candidate in range(pix.shape[0]):
-            if candidate in current:
-                continue
-            for slot in range(k):
-                trial = current.copy()
-                trial[slot] = candidate
-                trial_volume = simplex_volume(reduced[trial])
-                if trial_volume > volume * (1 + 1e-12):
-                    current = trial
-                    volume = trial_volume
-                    improved = True
+        current, volume, improved = _replacement_sweep(
+            reduced, aug, current, volume, k
+        )
     return NFindrResult(
         flat_indices=current,
         signatures=pix[current].copy(),

@@ -34,7 +34,7 @@ from repro.core.parallel_common import (
 )
 from repro.errors import ConfigurationError
 from repro.hsi.cube import HyperspectralImage
-from repro.linalg.osp import residual_energy
+from repro.linalg.osp import IncrementalOSP
 from repro.mpi.communicator import Communicator, MessageContext
 from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
@@ -154,6 +154,15 @@ def parallel_atdca_program(
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
         start_k = 1
 
+    # Per-rank incremental OSP state: each broadcast appends exactly one
+    # row to ``u_matrix``, so the basis is carried across iterations and
+    # only the newest row is orthogonalized (checkpoint resumes replay
+    # the saved rows in order — the same arithmetic as a live run).
+    osp = IncrementalOSP(local) if n_local else None
+    if osp is not None and u_matrix is not None:
+        for row in np.atleast_2d(u_matrix):
+            osp.add_target(row)
+
     # -- steps 4-6: iterative OSP extraction ------------------------------------
     for k in range(start_k, n_targets):
         with tracer.span("atdca.iteration", rank=ctx.rank, k=k):
@@ -161,7 +170,7 @@ def parallel_atdca_program(
                 ctx, "osp_scores", cost.osp_scores(n_local, bands, k)
             ):
                 if n_local:
-                    energies = residual_energy(local, u_matrix)
+                    energies = osp.residual_energy()
                     lidx, score = _local_argmax(energies)
                     candidate = (
                         score, block.global_flat_index(lidx), local[lidx].copy()
@@ -189,6 +198,9 @@ def parallel_atdca_program(
             else:
                 new_u = None
             u_matrix = comm.bcast(new_u)
+            if osp is not None:
+                # The broadcast grew U by exactly one row; fold it in.
+                osp.add_target(u_matrix[-1])
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
 
     if not comm.is_master:

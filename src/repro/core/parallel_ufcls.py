@@ -24,8 +24,8 @@ from repro.core.parallel_common import (
     master_only,
     save_detection_checkpoint as _save_checkpoint,
 )
-from repro.core.ufcls import fcls_error_image
 from repro.errors import ConfigurationError
+from repro.linalg.fcls import IncrementalFCLS
 from repro.hsi.cube import HyperspectralImage
 from repro.mpi.communicator import Communicator, MessageContext
 from repro.obs.trace import tracer_of
@@ -117,6 +117,15 @@ def parallel_ufcls_program(
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
         start_k = 1
 
+    # Per-rank incremental FCLS state: every broadcast appends exactly
+    # one row to ``targets``, so the cross-products and Gram inverse are
+    # carried across iterations (checkpoint resumes replay the saved
+    # rows in order — the same arithmetic as a live run).
+    solver = IncrementalFCLS(local) if n_local else None
+    if solver is not None and targets is not None:
+        for row in np.atleast_2d(targets):
+            solver.add_target(row)
+
     # -- steps 2-5: iterative error-driven extraction ------------------------------
     for k in range(start_k, n_targets):
         with tracer.span("ufcls.iteration", rank=ctx.rank, k=k):
@@ -124,7 +133,7 @@ def parallel_ufcls_program(
                 ctx, "fcls_scores", cost.fcls_scores(n_local, bands, k)
             ):
                 if n_local:
-                    error = fcls_error_image(local, targets)
+                    error = solver.error_image()
                     lidx, score = _local_argmax(error)
                     candidate = (
                         score, block.global_flat_index(lidx), local[lidx].copy()
@@ -150,6 +159,9 @@ def parallel_ufcls_program(
             else:
                 new_targets = None
             targets = comm.bcast(new_targets)
+            if solver is not None:
+                # The broadcast grew the target set by one row; fold it in.
+                solver.add_target(targets[-1])
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
 
     if not comm.is_master:

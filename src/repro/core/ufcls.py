@@ -15,7 +15,11 @@ import numpy as np
 
 from repro.core.atdca import TargetDetectionResult, _check_inputs
 from repro.hsi.cube import HyperspectralImage
-from repro.linalg.fcls import fcls_abundances, reconstruction_error
+from repro.linalg.fcls import (
+    IncrementalFCLS,
+    fcls_abundances,
+    reconstruction_error,
+)
 from repro.linalg.osp import brightest_pixel_index
 from repro.types import FloatArray
 
@@ -43,12 +47,19 @@ def ufcls_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
     indices.append(first)
     scores.append(float(pix[first] @ pix[first]))
 
-    for _ in range(1, n_targets):
-        targets = pix[np.asarray(indices)]
-        error = fcls_error_image(pix, targets)
+    # Fast path: cross-products and the regularized Gram inverse are
+    # carried across iterations (one gemv + a rank-1 bordering update
+    # per new target) instead of rebuilding the design matrix each
+    # round — see :class:`repro.linalg.fcls.IncrementalFCLS`.
+    solver = IncrementalFCLS(pix)
+    solver.add_target(pix[first])
+    for k in range(1, n_targets):
+        error = solver.error_image()
         nxt = int(np.argmax(error))
         indices.append(nxt)
         scores.append(float(error[nxt]))
+        if k + 1 < n_targets:
+            solver.add_target(pix[nxt])
 
     idx = np.asarray(indices, dtype=np.int64)
     return TargetDetectionResult(

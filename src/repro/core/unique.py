@@ -79,10 +79,14 @@ def greedy_unique(
     """Streaming distinct selection: keep pixel ``i`` iff its SAD to every
     kept signature exceeds ``threshold``.
 
-    Scan order is pixel order (deterministic).  The batched inner test
-    (one :func:`sad_to_references` call per kept candidate growth) keeps
-    this near-vectorized: the common case — pixel close to an existing
-    representative — costs one ``(1, k)`` angle row.
+    Scan order is pixel order (deterministic).  Vectorized as survivor
+    filtering: each time a signature is kept, one batched
+    :func:`sad_to_references` matrix product eliminates every remaining
+    candidate within ``threshold`` of it — valid because the kept set
+    only grows, so a candidate eliminated now could never be re-admitted
+    later.  O(k·n·bands) for ``k`` kept signatures, no per-pixel Python
+    loop, and the exact same set as the one-candidate-at-a-time scan
+    (the per-pair angle test is unchanged, just batched).
 
     Args:
         pixels: ``(n, bands)`` candidate pool.
@@ -96,16 +100,19 @@ def greedy_unique(
         raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
     if max_keep is not None and max_keep < 1:
         raise ConfigurationError(f"max_keep must be >= 1, got {max_keep}")
+    limit = pix.shape[0] if max_keep is None else max_keep
     kept_rows: list[int] = [0]
-    kept_mat = pix[0:1]
-    for i in range(1, pix.shape[0]):
-        if max_keep is not None and len(kept_rows) >= max_keep:
-            break
-        angles = sad_to_references(pix[i : i + 1], kept_mat)[0]
-        if float(angles.min()) > threshold:
-            kept_rows.append(i)
-            kept_mat = np.vstack([kept_mat, pix[i : i + 1]])
-    return UniqueSet(signatures=kept_mat.copy(), indices=np.asarray(kept_rows))
+    latest = 0
+    survivors = np.arange(1, pix.shape[0])
+    while survivors.size and len(kept_rows) < limit:
+        angles = sad_to_references(pix[survivors], pix[latest : latest + 1])
+        survivors = survivors[angles[:, 0] > threshold]
+        if survivors.size:
+            latest = int(survivors[0])
+            kept_rows.append(latest)
+            survivors = survivors[1:]
+    idx = np.asarray(kept_rows)
+    return UniqueSet(signatures=pix[idx].copy(), indices=idx)
 
 
 def reduce_to_count(unique: UniqueSet, count: int) -> UniqueSet:

@@ -8,8 +8,9 @@ computed once and shared.
 from __future__ import annotations
 
 import dataclasses
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.cluster.presets import all_networks
 from repro.core.runner import ALGORITHM_NAMES, ParallelRun, run_parallel
@@ -88,6 +89,92 @@ def _row_order(label: str) -> tuple[int, int]:
     return alg_order.get(alg, 99), 0 if prefix == "Hetero" else 1
 
 
+def _run_grid_cell(
+    cfg: ExperimentConfig,
+    image: Any,
+    cost: Any,
+    traces: Path | None,
+    fault_plan: "FaultPlan | None",
+    network_name: str,
+    algorithm: str,
+    variant: str,
+) -> tuple[tuple[str, str], GridCell]:
+    """Execute one (network, algorithm, variant) cell → (key, cell).
+
+    Pure function of its arguments (the virtual-time engine is
+    deterministic), so cells can run serially or fanned out over a
+    process pool with identical results.
+    """
+    platform = all_networks()[network_name]
+    obs = ObsSession.create() if traces is not None else None
+    if fault_plan is not None:
+        from repro.faults.recovery import run_with_recovery
+
+        run = run_with_recovery(
+            algorithm,
+            image,
+            platform,
+            params=cfg.params_for(algorithm),
+            variant=variant,
+            cost_model=cost,
+            plan=fault_plan,
+            obs=obs,
+        )
+    else:
+        run = run_parallel(
+            algorithm,
+            image,
+            platform,
+            params=cfg.params_for(algorithm),
+            variant=variant,
+            cost_model=cost,
+            obs=obs,
+        )
+    assert run.sim is not None
+    label = variant_label(algorithm, variant)
+    if traces is not None and obs is not None:
+        stem = f"{label}__{network_name}".replace(" ", "_")
+        write_chrome_trace(traces / f"{stem}.trace.json", obs)
+        write_metrics_json(traces / f"{stem}.metrics.json", obs)
+    cell = GridCell(
+        run=run,
+        breakdown=breakdown_of_run(run.sim),
+        imbalance=imbalance_of_run(run.sim),
+    )
+    return (label, network_name), cell
+
+
+#: Per-worker state for the process-pool path (set by the initializer,
+#: read by :func:`_grid_pool_cell`; one copy per pool process).
+_POOL_STATE: dict[str, Any] | None = None
+
+
+def _grid_pool_init(
+    cfg: ExperimentConfig,
+    image: Any,
+    cost: Any,
+    traces: Path | None,
+    fault_plan: "FaultPlan | None",
+) -> None:
+    global _POOL_STATE
+    _POOL_STATE = {
+        "cfg": cfg, "image": image, "cost": cost,
+        "traces": traces, "fault_plan": fault_plan,
+    }
+
+
+def _grid_pool_cell(
+    task: tuple[str, str, str]
+) -> tuple[tuple[str, str], GridCell]:
+    assert _POOL_STATE is not None
+    network_name, algorithm, variant = task
+    return _run_grid_cell(
+        _POOL_STATE["cfg"], _POOL_STATE["image"], _POOL_STATE["cost"],
+        _POOL_STATE["traces"], _POOL_STATE["fault_plan"],
+        network_name, algorithm, variant,
+    )
+
+
 def run_network_grid(
     config: ExperimentConfig | None = None,
     algorithms: tuple[str, ...] = ALGORITHM_NAMES,
@@ -95,6 +182,7 @@ def run_network_grid(
     scene: WTCScene | None = None,
     trace_dir: Path | str | None = None,
     fault_plan: "FaultPlan | None" = None,
+    jobs: int | None = None,
 ) -> NetworkGrid:
     """Execute the full grid on the virtual-time engine.
 
@@ -109,6 +197,11 @@ def run_network_grid(
             tolerant driver with this plan injected (fresh fault state
             per cell, so each cell sees the same fault sequence); cell
             timings then measure the *degraded* platform.
+        jobs: fan independent cells out over this many worker
+            processes.  Cells are pure functions of their inputs and
+            results are merged back in serial-loop order, so any
+            ``jobs`` value produces the same grid (and the same trace
+            files) as a serial run — only the wall time changes.
     """
     cfg = config or ExperimentConfig()
     scn = scene or make_wtc_scene(cfg.grid_scene)
@@ -116,43 +209,28 @@ def run_network_grid(
     traces = Path(trace_dir) if trace_dir is not None else None
     if traces is not None:
         traces.mkdir(parents=True, exist_ok=True)
+    tasks = [
+        (network_name, algorithm, variant)
+        for network_name in all_networks()
+        for algorithm in algorithms
+        for variant in variants
+    ]
     cells: dict[tuple[str, str], GridCell] = {}
-    for network_name, platform in all_networks().items():
-        for algorithm in algorithms:
-            for variant in variants:
-                obs = ObsSession.create() if traces is not None else None
-                if fault_plan is not None:
-                    from repro.faults.recovery import run_with_recovery
-
-                    run = run_with_recovery(
-                        algorithm,
-                        scn.image,
-                        platform,
-                        params=cfg.params_for(algorithm),
-                        variant=variant,
-                        cost_model=cost,
-                        plan=fault_plan,
-                        obs=obs,
-                    )
-                else:
-                    run = run_parallel(
-                        algorithm,
-                        scn.image,
-                        platform,
-                        params=cfg.params_for(algorithm),
-                        variant=variant,
-                        cost_model=cost,
-                        obs=obs,
-                    )
-                assert run.sim is not None
-                label = variant_label(algorithm, variant)
-                if traces is not None and obs is not None:
-                    stem = f"{label}__{network_name}".replace(" ", "_")
-                    write_chrome_trace(traces / f"{stem}.trace.json", obs)
-                    write_metrics_json(traces / f"{stem}.metrics.json", obs)
-                cells[(label, network_name)] = GridCell(
-                    run=run,
-                    breakdown=breakdown_of_run(run.sim),
-                    imbalance=imbalance_of_run(run.sim),
-                )
+    if jobs is not None and jobs > 1 and len(tasks) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(tasks)),
+            initializer=_grid_pool_init,
+            initargs=(cfg, scn.image, cost, traces, fault_plan),
+        ) as pool:
+            # map() preserves task order: the merged dict is built in
+            # exactly the serial loop's order regardless of completion.
+            for key, cell in pool.map(_grid_pool_cell, tasks):
+                cells[key] = cell
+    else:
+        for network_name, algorithm, variant in tasks:
+            key, cell = _run_grid_cell(
+                cfg, scn.image, cost, traces, fault_plan,
+                network_name, algorithm, variant,
+            )
+            cells[key] = cell
     return NetworkGrid(cells=cells, scene=scn, config=cfg)

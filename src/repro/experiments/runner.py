@@ -94,6 +94,10 @@ def main(argv: list[str] | None = None) -> int:
                              "demo runs and the table5-7 grid cells; runs "
                              "go through the fault-tolerant driver, so "
                              "planned crashes recover onto the survivors")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="fan the table5-7 grid cells out over N worker "
+                             "processes; results (and trace files) are "
+                             "identical to a serial run")
     parser.add_argument("--rows", type=int, default=96, help="scene rows")
     parser.add_argument("--cols", type=int, default=64, help="scene cols")
     parser.add_argument("--bands", type=int, default=48, help="scene bands")
@@ -190,7 +194,8 @@ def main(argv: list[str] | None = None) -> int:
     if _GRID_EXPERIMENTS & set(wanted):
         print("building the network grid (32 simulated runs)...", flush=True)
         grid = run_network_grid(
-            config, trace_dir=trace_dir, fault_plan=fault_plan
+            config, trace_dir=trace_dir, fault_plan=fault_plan,
+            jobs=args.jobs,
         )
 
     sections: list[str] = []

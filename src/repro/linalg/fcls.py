@@ -27,6 +27,7 @@ __all__ = [
     "nnls_abundances",
     "fcls_abundances",
     "reconstruction_error",
+    "IncrementalFCLS",
 ]
 
 
@@ -50,12 +51,107 @@ def _validate(pixels: FloatArray, endmembers: FloatArray) -> tuple[FloatArray, F
     return pix, end
 
 
-def _gram_inverse(end: FloatArray, ridge: float) -> FloatArray:
-    k = end.shape[0]
-    gram = end @ end.T
+def _reg_inverse(gram: FloatArray, ridge: float) -> FloatArray:
     # A tiny ridge keeps near-collinear target sets (common once ATDCA/UFCLS
-    # have extracted many similar spectra) numerically solvable.
-    return np.linalg.inv(gram + ridge * np.eye(k) * max(1.0, np.trace(gram) / k))
+    # have extracted many similar spectra) numerically solvable.  The damping
+    # is per-entry (``ridge·max(1, G_jj)``, Levenberg–Marquardt style): entry
+    # ``j``'s regularization depends only on target ``j``, never on later
+    # additions, which is what lets :class:`IncrementalFCLS` grow the inverse
+    # by rank-1 bordering and still invert *exactly* the same matrix as this
+    # from-scratch path.
+    damped = gram + np.diag(ridge * np.maximum(1.0, np.diag(gram)))
+    return np.linalg.inv(damped)
+
+
+def _gram_inverse(end: FloatArray, ridge: float) -> FloatArray:
+    return _reg_inverse(end @ end.T, ridge)
+
+
+def _scls_from_cross(cross: FloatArray, ginv: FloatArray) -> FloatArray:
+    """The closed-form SCLS solution from cross-products alone.
+
+    ``cross`` is ``pixels @ endmembers.T`` (``(n, k)``) and ``ginv`` the
+    (regularized) Gram inverse — everything the Lagrange formula needs,
+    so callers that already hold these products skip the O(n·bands·k)
+    design-matrix work entirely.
+    """
+    a_ls = cross @ ginv  # (n, k)
+    ones = np.ones(ginv.shape[0])
+    ginv_one = ginv @ ones  # (k,)
+    denom = float(ones @ ginv_one)
+    if abs(denom) < 1e-300:
+        raise DataError("sum-to-one constraint is degenerate for these endmembers")
+    correction = (a_ls.sum(axis=1) - 1.0) / denom
+    return a_ls - correction[:, None] * ginv_one[None, :]
+
+
+def _active_set_refine(
+    result: FloatArray,
+    cross: FloatArray,
+    gram: FloatArray,
+    ridge: float,
+    rounds: int,
+) -> FloatArray:
+    """Heinz–Chang active-set refinement on top of a full SCLS solve.
+
+    Operates purely on cross-products: a sub-problem over endmember
+    subset ``live`` and pixel rows ``rows`` needs only
+    ``cross[rows][:, live]`` and ``gram[live][:, live]`` — identical
+    floats to recomputing ``pix[rows] @ end[live].T`` from scratch,
+    since every entry is the same pixel–endmember dot product.
+
+    Mutates and returns ``result`` with all abundances non-negative.
+    """
+    n, k = result.shape
+    bad = np.flatnonzero((result < -1e-12).any(axis=1))
+    if bad.size == 0:
+        np.maximum(result, 0.0, out=result)
+        return result
+
+    active = np.ones((n, k), dtype=bool)
+    # Round 0 already solved the all-active case; record first drops.
+    worst = np.argmin(result[bad], axis=1)
+    active[bad, worst] = False
+    todo = bad
+
+    for _ in range(rounds):
+        if todo.size == 0:
+            break
+        masks, inverse = np.unique(active[todo], axis=0, return_inverse=True)
+        next_todo: list[np.ndarray] = []
+        for m_idx in range(masks.shape[0]):
+            mask = masks[m_idx]
+            rows = todo[inverse == m_idx]
+            live = np.flatnonzero(mask)
+            if live.size == 0:
+                raise ConvergenceError(
+                    "FCLS active-set iteration emptied an active set"
+                )
+            sub_cross = cross[rows[:, None], live[None, :]]
+            sub_ginv = _reg_inverse(gram[live[:, None], live[None, :]], ridge)
+            sub = _scls_from_cross(sub_cross, sub_ginv)
+            feasible = ~(sub < -1e-12).any(axis=1)
+            done_rows = rows[feasible]
+            if done_rows.size:
+                result[done_rows] = 0.0
+                result[done_rows[:, None], live[None, :]] = np.maximum(
+                    sub[feasible], 0.0
+                )
+            bad_rows = rows[~feasible]
+            if bad_rows.size:
+                worst_local = np.argmin(sub[~feasible], axis=1)
+                active[bad_rows, live[worst_local]] = False
+                next_todo.append(bad_rows)
+        todo = (
+            np.concatenate(next_todo) if next_todo else np.empty(0, dtype=np.int64)
+        )
+    if todo.size:
+        raise ConvergenceError(
+            f"FCLS failed to converge for {todo.size} pixel(s) in "
+            f"{rounds} rounds"
+        )
+    np.maximum(result, 0.0, out=result)
+    return result
 
 
 def ls_abundances(
@@ -82,14 +178,7 @@ def scls_abundances(
     """
     pix, end = _validate(pixels, endmembers)
     ginv = _gram_inverse(end, ridge)
-    a_ls = pix @ end.T @ ginv  # (n, k)
-    ones = np.ones(end.shape[0])
-    ginv_one = ginv @ ones  # (k,)
-    denom = float(ones @ ginv_one)
-    if abs(denom) < 1e-300:
-        raise DataError("sum-to-one constraint is degenerate for these endmembers")
-    correction = (a_ls.sum(axis=1) - 1.0) / denom
-    return a_ls - correction[:, None] * ginv_one[None, :]
+    return _scls_from_cross(pix @ end.T, ginv)
 
 
 def nnls_abundances(pixels: FloatArray, endmembers: FloatArray) -> FloatArray:
@@ -119,56 +208,12 @@ def fcls_abundances(
     a per-pixel Python loop.
     """
     pix, end = _validate(pixels, endmembers)
-    n, k = pix.shape[0], end.shape[0]
+    k = end.shape[0]
     rounds = max_iter if max_iter is not None else k + 1
-    result = scls_abundances(pix, end, ridge)
-    bad = np.flatnonzero((result < -1e-12).any(axis=1))
-    if bad.size == 0:
-        np.maximum(result, 0.0, out=result)
-        return result
-
-    active = np.ones((n, k), dtype=bool)
-    # Round 0 already solved the all-active case; record first drops.
-    worst = np.argmin(result[bad], axis=1)
-    active[bad, worst] = False
-    todo = bad
-
-    for _ in range(rounds):
-        if todo.size == 0:
-            break
-        masks, inverse = np.unique(active[todo], axis=0, return_inverse=True)
-        next_todo: list[np.ndarray] = []
-        for m_idx in range(masks.shape[0]):
-            mask = masks[m_idx]
-            rows = todo[inverse == m_idx]
-            live = np.flatnonzero(mask)
-            if live.size == 0:
-                raise ConvergenceError(
-                    "FCLS active-set iteration emptied an active set"
-                )
-            sub = scls_abundances(pix[rows], end[live], ridge)
-            feasible = ~(sub < -1e-12).any(axis=1)
-            done_rows = rows[feasible]
-            if done_rows.size:
-                result[done_rows] = 0.0
-                result[done_rows[:, None], live[None, :]] = np.maximum(
-                    sub[feasible], 0.0
-                )
-            bad_rows = rows[~feasible]
-            if bad_rows.size:
-                worst_local = np.argmin(sub[~feasible], axis=1)
-                active[bad_rows, live[worst_local]] = False
-                next_todo.append(bad_rows)
-        todo = (
-            np.concatenate(next_todo) if next_todo else np.empty(0, dtype=np.int64)
-        )
-    if todo.size:
-        raise ConvergenceError(
-            f"FCLS failed to converge for {todo.size} pixel(s) in "
-            f"{rounds} rounds"
-        )
-    np.maximum(result, 0.0, out=result)
-    return result
+    cross = pix @ end.T
+    gram = end @ end.T
+    result = _scls_from_cross(cross, _reg_inverse(gram, ridge))
+    return _active_set_refine(result, cross, gram, ridge, rounds)
 
 
 def reconstruction_error(
@@ -188,3 +233,120 @@ def reconstruction_error(
         )
     resid = pix - ab @ end
     return np.einsum("ij,ij->i", resid, resid)
+
+
+class IncrementalFCLS:
+    """Incremental UFCLS state: cross-products and the Gram inverse are
+    carried across iterations as the target set grows one row at a time.
+
+    Per added target this computes one ``pixels @ signature`` product
+    (O(n·bands)) and a rank-1 *bordering* update of the regularized Gram
+    inverse (O(t²)); the per-iteration FCLS error image is then solved
+    entirely from cached cross-products — O(n·t²) instead of the
+    from-scratch O(n·bands·t).  Because :func:`_reg_inverse` damps each
+    diagonal entry independently of later additions, the bordered update
+    inverts *exactly* the same matrix as the from-scratch path.
+
+    Bypass: when the new target's Schur complement is not safely
+    positive (a numerically dependent / near-collinear signature), the
+    bordering update would amplify round-off, so the inverse is
+    recomputed from scratch for that step instead.
+
+    The per-pixel arithmetic is batch-size independent, so partitioned
+    ranks reproduce a sequential pass bit-for-bit — the property the
+    parallel/sequential equivalence tests pin.
+    """
+
+    #: Relative Schur-complement floor below which bordering falls back
+    #: to a from-scratch inverse.
+    SCHUR_GUARD = 1e-9
+
+    def __init__(self, pixels: FloatArray, ridge: float = 1e-10) -> None:
+        pix = np.asarray(pixels, dtype=float)
+        if pix.ndim == 1:
+            pix = pix[None, :]
+        if pix.ndim != 2:
+            raise ShapeError(f"expected (n, bands), got {pix.shape}")
+        self._pix = pix
+        self._ridge = float(ridge)
+        self._total = np.einsum("ij,ij->i", pix, pix)
+        self._end = np.empty((0, pix.shape[1]))
+        self._cross = np.empty((pix.shape[0], 0))
+        self._gram = np.empty((0, 0))
+        self._minv = np.empty((0, 0))
+
+    @property
+    def count(self) -> int:
+        """Targets added so far."""
+        return self._end.shape[0]
+
+    @property
+    def gram_inverse(self) -> FloatArray:
+        """The maintained inverse of the regularized Gram matrix."""
+        return self._minv
+
+    def add_target(self, signature: FloatArray) -> None:
+        """Grow the target set by one signature (O(n·bands) + O(t²))."""
+        sig = np.asarray(signature, dtype=float).reshape(-1)
+        if sig.shape[0] != self._pix.shape[1]:
+            raise ShapeError(
+                f"signature has {sig.shape[0]} bands, "
+                f"expected {self._pix.shape[1]}"
+            )
+        k = self.count
+        b = self._end @ sig  # (k,) new Gram column
+        c = float(sig @ sig)
+        new_gram = np.empty((k + 1, k + 1))
+        new_gram[:k, :k] = self._gram
+        new_gram[:k, k] = b
+        new_gram[k, :k] = b
+        new_gram[k, k] = c
+        damped_c = c + self._ridge * max(1.0, c)
+        if k == 0:
+            if damped_c == 0.0:
+                raise DataError("cannot add an all-zero first target")
+            minv = np.array([[1.0 / damped_c]])
+        else:
+            u = self._minv @ b
+            schur = damped_c - float(b @ u)
+            if schur <= self.SCHUR_GUARD * damped_c:
+                # Bypass: near-collinear addition — bordering would
+                # amplify round-off; rebuild the inverse from scratch.
+                minv = _reg_inverse(new_gram, self._ridge)
+            else:
+                minv = np.empty((k + 1, k + 1))
+                minv[:k, :k] = self._minv + np.outer(u, u) / schur
+                minv[:k, k] = -u / schur
+                minv[k, :k] = -u / schur
+                minv[k, k] = 1.0 / schur
+        self._gram = new_gram
+        self._minv = minv
+        self._end = np.vstack([self._end, sig[None, :]])
+        self._cross = np.concatenate(
+            [self._cross, (self._pix @ sig)[:, None]], axis=1
+        )
+
+    def abundances(self, max_iter: int | None = None) -> FloatArray:
+        """FCLS abundances of every pixel against the current targets."""
+        if self.count == 0:
+            raise DataError("need at least one endmember")
+        rounds = max_iter if max_iter is not None else self.count + 1
+        result = _scls_from_cross(self._cross, self._minv)
+        return _active_set_refine(
+            result, self._cross, self._gram, self._ridge, rounds
+        )
+
+    def error_image(self, max_iter: int | None = None) -> FloatArray:
+        """The UFCLS error image from cached products → ``(n,)``.
+
+        Uses the expansion ``‖x − aᵀE‖² = ‖x‖² − 2a·(Ex) + aᵀGa`` so no
+        O(n·bands) reconstruction is formed; clipped at zero to absorb
+        the round-off the expansion admits where the residual vanishes.
+        """
+        ab = self.abundances(max_iter)
+        err = (
+            self._total
+            - 2.0 * np.einsum("ij,ij->i", ab, self._cross)
+            + np.einsum("ij,ij->i", ab @ self._gram, ab)
+        )
+        return np.maximum(err, 0.0)

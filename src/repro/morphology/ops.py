@@ -38,6 +38,12 @@ __all__ = [
     "erosion",
     "dilation",
     "mei_scores",
+    "edge_pad_into",
+    "offset_angle_maps",
+    "clamped_neighbor_indices",
+    "unique_pair_angles",
+    "unique_pair_mei",
+    "extrema_positions",
 ]
 
 _EPS = 1e-12
@@ -112,17 +118,18 @@ class MorphExtrema:
     dmap: FloatArray
 
 
-def morph_extrema(cube: FloatArray, se: StructuringElement) -> MorphExtrema:
-    """Compute erosion and dilation (eqs. 3–4) in one neighbourhood scan.
+def extrema_positions(
+    dmap: FloatArray, se: StructuringElement
+) -> tuple[IntArray, IntArray, IntArray, IntArray]:
+    """The per-pixel D_B-extremal window positions → (er_r, er_c, di_r, di_c).
 
     The scan keeps, per pixel, the running min/max of the (edge-padded)
-    ``D_B`` values over window offsets and the offset that achieved it;
-    coordinates outside the image clip to the nearest valid pixel,
-    consistent with the edge-replicated padding.
+    ``D_B`` values over window offsets and the offset that achieved it
+    (strict comparisons: ties resolve to the first offset in
+    ``se.offsets()`` order); coordinates outside the image clip to the
+    nearest valid pixel, consistent with the edge-replicated padding.
     """
-    arr = _check_cube(cube)
-    rows, cols, _ = arr.shape
-    dmap = cumulative_sad_map(arr, se)
+    rows, cols = dmap.shape
     pr, pc = se.shape[0] // 2, se.shape[1] // 2
     dpad = np.pad(dmap, ((pr, pr), (pc, pc)), mode="edge")
 
@@ -150,6 +157,14 @@ def morph_extrema(cube: FloatArray, se: StructuringElement) -> MorphExtrema:
     er_c = np.clip(base_c + min_dc, 0, cols - 1)
     di_r = np.clip(base_r + max_dr, 0, rows - 1)
     di_c = np.clip(base_c + max_dc, 0, cols - 1)
+    return er_r, er_c, di_r, di_c
+
+
+def morph_extrema(cube: FloatArray, se: StructuringElement) -> MorphExtrema:
+    """Compute erosion and dilation (eqs. 3–4) in one neighbourhood scan."""
+    arr = _check_cube(cube)
+    dmap = cumulative_sad_map(arr, se)
+    er_r, er_c, di_r, di_c = extrema_positions(dmap, se)
 
     return MorphExtrema(
         eroded=arr[er_r, er_c],
@@ -182,3 +197,232 @@ def mei_scores(extrema: MorphExtrema) -> FloatArray:
     cos = np.einsum("ijk,ijk->ij", e, d) / denom
     np.clip(cos, -1.0, 1.0, out=cos)
     return np.arccos(cos)
+
+
+# --------------------------------------------------------------------------
+# Fast-path primitives: the D_B map's per-offset angle fields come in
+# mirror pairs — the angle field of offset ``(−dr,−dc)`` is the field of
+# ``(dr,dc)`` shifted by ``(dr,dc)``, because both read the same
+# unordered pixel pair and ``a·b`` / ``b·a`` are the same float sequence
+# (elementwise products commute, reduction order is fixed by the band
+# axis).  Only the clamped border strips pair different pixels; those
+# are recomputed directly.  A symmetric structuring element therefore
+# needs half the full-frame dot-product sweeps, bit-identical to the
+# direct evaluation.  ``edge_pad_into`` supports reusing one padded
+# buffer across passes instead of reallocating per pass.
+# --------------------------------------------------------------------------
+
+
+def edge_pad_into(
+    out: FloatArray, cube: FloatArray, pr: int, pc: int
+) -> FloatArray:
+    """Edge-replicated pad of ``cube`` written into a preallocated buffer.
+
+    Produces exactly :func:`numpy.pad`'s ``mode="edge"`` values (corners
+    replicate corner pixels) without allocating a fresh padded array per
+    call — ``out`` must be ``(rows+2·pr, cols+2·pc, bands)``.
+    """
+    rows, cols = cube.shape[:2]
+    out[pr : pr + rows, pc : pc + cols] = cube
+    if pr:
+        out[:pr, pc : pc + cols] = cube[:1]
+        out[pr + rows :, pc : pc + cols] = cube[-1:]
+    if pc:
+        out[:, :pc] = out[:, pc : pc + 1]
+        out[:, pc + cols :] = out[:, pc + cols - 1 : pc + cols]
+    return out
+
+
+def _clamped_strip_angles(
+    ang: FloatArray,
+    gu: FloatArray,
+    dr: int,
+    dc: int,
+    row_idx: IntArray,
+    col_idx: IntArray,
+) -> None:
+    """Direct angles for the border strip ``row_idx × col_idx`` of ``ang``.
+
+    Pairs each strip pixel with its clip-clamped ``(dr, dc)`` neighbour
+    — the pixel edge-replicated padding would read — via the same
+    cos/clip/arccos float sequence as the full-frame sweep.
+    """
+    rows, cols = ang.shape
+    src_r = np.clip(row_idx + dr, 0, rows - 1)
+    src_c = np.clip(col_idx + dc, 0, cols - 1)
+    a = gu[row_idx[:, None], col_idx[None, :]]
+    b = gu[src_r[:, None], src_c[None, :]]
+    cos = np.einsum("ijk,ijk->ij", a, b)
+    np.clip(cos, -1.0, 1.0, out=cos)
+    ang[row_idx[:, None], col_idx[None, :]] = np.arccos(cos)
+
+
+def offset_angle_maps(
+    gu: FloatArray,
+    padded: FloatArray,
+    offsets: list[tuple[int, int]],
+    pr: int,
+    pc: int,
+    cosbuf: FloatArray,
+) -> list[FloatArray]:
+    """Per-offset SAD angle maps of a unit-spectra frame, mirrors shared.
+
+    ``gu`` is the ``(rows, cols, bands)`` unit frame, ``padded`` its
+    edge-replicated pad (see :func:`edge_pad_into`), ``cosbuf`` a
+    reusable ``(rows, cols)`` scratch.  For each offset the map holds
+    ``arccos(clip(u(x) · u(x ⊕ offset)))``; when an offset's mirror was
+    already computed, its map is the mirror's map shifted by the offset
+    (interior — the identical unordered pair) with only the clamped
+    border strips evaluated directly.  Bit-identical to computing every
+    offset with a full-frame sweep.
+    """
+    rows, cols = gu.shape[:2]
+    computed: dict[tuple[int, int], FloatArray] = {}
+    maps: list[FloatArray] = []
+    for dr, dc in offsets:
+        lead = computed.get((-dr, -dc))
+        ang = np.empty((rows, cols))
+        if lead is not None:
+            # ang[r, c] = lead[r+dr, c+dc] wherever the source index is
+            # in bounds: both read the unordered pair {(r,c), (r+dr,c+dc)}.
+            r0, r1 = max(0, -dr), rows + min(0, -dr)
+            c0, c1 = max(0, -dc), cols + min(0, -dc)
+            ang[r0:r1, c0:c1] = lead[r0 + dr : r1 + dr, c0 + dc : c1 + dc]
+            all_cols = np.arange(cols)
+            all_rows = np.arange(rows)
+            if r0 > 0:
+                _clamped_strip_angles(ang, gu, dr, dc, np.arange(r0), all_cols)
+            if r1 < rows:
+                _clamped_strip_angles(
+                    ang, gu, dr, dc, np.arange(r1, rows), all_cols
+                )
+            if c0 > 0:
+                _clamped_strip_angles(ang, gu, dr, dc, all_rows, np.arange(c0))
+            if c1 < cols:
+                _clamped_strip_angles(
+                    ang, gu, dr, dc, all_rows, np.arange(c1, cols)
+                )
+        else:
+            shifted = padded[pr + dr : pr + dr + rows, pc + dc : pc + dc + cols]
+            np.einsum("ijk,ijk->ij", gu, shifted, out=cosbuf)
+            np.clip(cosbuf, -1.0, 1.0, out=cosbuf)
+            np.arccos(cosbuf, out=ang)
+            computed[(dr, dc)] = ang
+        maps.append(ang)
+    return maps
+
+
+# --------------------------------------------------------------------------
+# Pair-deduplicated angles: once multiscale MEI passes start gathering
+# (dilation is a selection), the frame holds many repeats of the same
+# source pixels, and every repeated pixel-index pair would repeat the
+# same O(bands) dot product.  These helpers compute each *distinct*
+# unordered pair once and scatter the results back — bit-identical to
+# the direct evaluation, because a SAD between two fixed spectra does
+# not depend on which (row, col) asked for it, and ``a·b`` / ``b·a``
+# are the same float sequence.
+# --------------------------------------------------------------------------
+
+
+def clamped_neighbor_indices(
+    rows: int, cols: int, se: StructuringElement
+) -> list[IntArray]:
+    """Flat neighbour index maps, one per non-center SE offset.
+
+    Entry ``k`` maps flat pixel ``p`` to the flat index of its
+    neighbour under offset ``k``, with out-of-image coordinates clipped
+    — exactly the pixel the edge-replicated padding of
+    :func:`cumulative_sad_map` reads.
+    """
+    maps: list[IntArray] = []
+    base_r = np.arange(rows)[:, None]
+    base_c = np.arange(cols)[None, :]
+    for dr, dc in se.offsets():
+        if dr == 0 and dc == 0:
+            continue
+        r = np.clip(base_r + dr, 0, rows - 1)
+        c = np.clip(base_c + dc, 0, cols - 1)
+        maps.append((r * cols + c).ravel())
+    return maps
+
+
+def _gathered_rows(
+    src: FloatArray,
+    idx: IntArray,
+    scratch: dict[str, FloatArray] | None,
+    key: str,
+) -> FloatArray:
+    """``src[idx]`` routed through a caller-owned growable scratch buffer.
+
+    Large varying-size fancy-index gathers allocate (and first-touch)
+    fresh pages on every call; ``np.take(..., out=)`` into a reused
+    buffer pays that cost once.  ``scratch`` maps ``key`` to the buffer,
+    grown when too small; ``None`` falls back to plain indexing.
+    """
+    if scratch is None:
+        return src[idx]
+    buf = scratch.get(key)
+    if buf is None or buf.shape[0] < idx.shape[0] or buf.shape[1] != src.shape[1]:
+        buf = np.empty((idx.shape[0], src.shape[1]))
+        scratch[key] = buf
+    view = buf[: idx.shape[0]]
+    # mode="clip" writes straight into ``out`` (the default "raise" mode
+    # stages through a temporary); indices here are always in range.
+    np.take(src, idx, axis=0, out=view, mode="clip")
+    return view
+
+
+def unique_pair_angles(
+    left: IntArray,
+    right: IntArray,
+    unit_flat: FloatArray,
+    scratch: dict[str, FloatArray] | None = None,
+) -> FloatArray:
+    """``arccos(clip(u_left · u_right))`` per pair, each distinct pair once.
+
+    ``left``/``right`` index rows of ``unit_flat`` (unit spectra); pairs
+    are deduplicated on unordered keys before the O(bands) dot products,
+    then scattered back to per-pair order.  Pass a ``scratch`` dict to
+    reuse the gather buffers across calls (see :func:`_gathered_rows`).
+    """
+    n_ref = unit_flat.shape[0]
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    uniq, inverse = np.unique(lo * n_ref + hi, return_inverse=True)
+    ul, ur = np.divmod(uniq, n_ref)
+    cos = np.einsum(
+        "ij,ij->i",
+        _gathered_rows(unit_flat, ul, scratch, "pair_left"),
+        _gathered_rows(unit_flat, ur, scratch, "pair_right"),
+    )
+    np.clip(cos, -1.0, 1.0, out=cos)
+    return np.arccos(cos)[inverse]
+
+
+def unique_pair_mei(
+    left: IntArray,
+    right: IntArray,
+    pixels_flat: FloatArray,
+    norms_flat: FloatArray,
+    scratch: dict[str, FloatArray] | None = None,
+) -> FloatArray:
+    """Eq. 5 SAD between raw-spectra pairs, each distinct pair once.
+
+    Matches :func:`mei_scores` float-for-float: the cosine is the raw
+    dot over ``max(‖e‖·‖d‖, eps)`` with precomputed norms.  ``scratch``
+    reuses gather buffers across calls (shared with
+    :func:`unique_pair_angles` — the buffers grow to the larger need).
+    """
+    n_ref = pixels_flat.shape[0]
+    lo = np.minimum(left, right)
+    hi = np.maximum(left, right)
+    uniq, inverse = np.unique(lo * n_ref + hi, return_inverse=True)
+    ul, ur = np.divmod(uniq, n_ref)
+    denom = np.maximum(norms_flat[ul] * norms_flat[ur], _EPS)
+    cos = np.einsum(
+        "ij,ij->i",
+        _gathered_rows(pixels_flat, ul, scratch, "pair_left"),
+        _gathered_rows(pixels_flat, ur, scratch, "pair_right"),
+    ) / denom
+    np.clip(cos, -1.0, 1.0, out=cos)
+    return np.arccos(cos)[inverse]

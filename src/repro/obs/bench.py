@@ -23,6 +23,7 @@ Usage::
     python -m repro.obs.bench run --out bench.json --backends sim,inproc
     python -m repro.obs.bench compare BENCH_a.json BENCH_b.json
     python -m repro.obs.bench report BENCH_a.json
+    python -m repro.obs.bench microbench --gate    # fast-path kernel floors
 
 See README "Benchmarking & regression workflow" and EXPERIMENTS.md for
 how these artifacts relate to the paper's Tables 5–8.
@@ -120,8 +121,93 @@ def _cell_filename(cell_id: str) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "_", cell_id) + ".jsonl"
 
 
+def _bench_cost(config: BenchConfig) -> CostModel:
+    base_cost = ExperimentConfig().cost_model(config.scene_config())
+    return CostModel(
+        compute_scale=base_cost.compute_scale,
+        comm_scale=base_cost.comm_scale * config.comm_factor,
+        efficiency=base_cost.efficiency,
+        bytes_per_value=base_cost.bytes_per_value,
+    )
+
+
+def _run_sim_cell(
+    config: BenchConfig,
+    scene: Any,
+    cost: CostModel,
+    traces_out: Path | None,
+    network: str,
+    algorithm: str,
+    variant: str,
+) -> tuple[str, dict[str, Any]]:
+    """One sim cell → ``(cell_id, cell_doc)``.
+
+    Deterministic given its inputs, so the grid can run these serially
+    or on a process pool with byte-identical artifacts.
+    """
+    from repro.cluster.presets import all_networks
+
+    cid = _cell_id(algorithm, variant, network, "sim")
+    obs = None
+    if traces_out is not None:
+        from repro.obs import ObsSession
+
+        obs = ObsSession.create()
+    run = run_parallel(
+        algorithm, scene.image, all_networks()[network],
+        params=config.params_for(algorithm), variant=variant,
+        backend="sim", cost_model=cost, obs=obs,
+    )
+    assert run.sim is not None
+    if obs is not None and traces_out is not None:
+        from repro.obs.export import write_jsonl
+
+        write_jsonl(traces_out / _cell_filename(cid), obs)
+    breakdown = breakdown_of_run(run.sim)
+    scores = imbalance_of_run(run.sim)
+    return cid, {
+        "backend": "sim",
+        "label": variant_label(algorithm, variant),
+        "network": network,
+        "virtual": {
+            "makespan": run.sim.makespan,
+            "com": breakdown.com,
+            "seq": breakdown.seq,
+            "par": breakdown.par,
+            "d_all": scores.d_all,
+            "d_minus": scores.d_minus,
+        },
+    }
+
+
+#: Per-worker state for ``run --jobs`` (one copy per pool process).
+_POOL_STATE: dict[str, Any] | None = None
+
+
+def _bench_pool_init(config: BenchConfig, trace_dir: str | None) -> None:
+    global _POOL_STATE
+    _POOL_STATE = {
+        "config": config,
+        "scene": make_wtc_scene(config.scene_config()),
+        "cost": _bench_cost(config),
+        "traces_out": Path(trace_dir) if trace_dir is not None else None,
+    }
+
+
+def _bench_pool_cell(task: tuple[str, str, str]) -> tuple[str, dict[str, Any]]:
+    assert _POOL_STATE is not None
+    network, algorithm, variant = task
+    return _run_sim_cell(
+        _POOL_STATE["config"], _POOL_STATE["scene"], _POOL_STATE["cost"],
+        _POOL_STATE["traces_out"], network, algorithm, variant,
+    )
+
+
 def run_bench(
-    config: BenchConfig, date: str, trace_dir: Path | str | None = None
+    config: BenchConfig,
+    date: str,
+    trace_dir: Path | str | None = None,
+    jobs: int | None = None,
 ) -> dict[str, Any]:
     """Execute the pinned grid and return the artifact document.
 
@@ -130,19 +216,18 @@ def run_bench(
     ``<trace_dir>/<cell>.jsonl`` — the inputs ``compare`` needs to
     auto-diff a regressed cell down to the responsible ops.  Tracing is
     passive: virtual timings (and thus the artifact) are unchanged.
+
+    ``jobs`` fans the *sim* cells out over a process pool: virtual
+    timings are exact functions of the inputs and results merge back in
+    serial-loop order, so the artifact is byte-identical to a serial
+    run.  Inproc (wall-clock) cells always run serially — concurrent
+    cells would contend for cores and corrupt each other's timings.
     """
     from repro.cluster.presets import all_networks
 
-    exp = ExperimentConfig()
     scene_cfg = config.scene_config()
     scene = make_wtc_scene(scene_cfg)
-    base_cost = exp.cost_model(scene_cfg)
-    cost = CostModel(
-        compute_scale=base_cost.compute_scale,
-        comm_scale=base_cost.comm_scale * config.comm_factor,
-        efficiency=base_cost.efficiency,
-        bytes_per_value=base_cost.bytes_per_value,
-    )
+    cost = _bench_cost(config)
     platforms = all_networks()
     unknown = set(config.networks) - set(platforms)
     if unknown:
@@ -154,6 +239,32 @@ def run_bench(
     if traces_out is not None:
         traces_out.mkdir(parents=True, exist_ok=True)
 
+    sim_tasks = [
+        (network, algorithm, variant)
+        for network in config.networks
+        for algorithm in config.algorithms
+        for variant in config.variants
+        if "sim" in config.backends
+    ]
+    sim_cells: dict[str, dict[str, Any]] = {}
+    if jobs is not None and jobs > 1 and len(sim_tasks) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(sim_tasks)),
+            initializer=_bench_pool_init,
+            initargs=(config, str(traces_out) if traces_out else None),
+        ) as pool:
+            # map() preserves task order → serial-loop merge order.
+            for cid, cell in pool.map(_bench_pool_cell, sim_tasks):
+                sim_cells[cid] = cell
+    else:
+        for network, algorithm, variant in sim_tasks:
+            cid, cell = _run_sim_cell(
+                config, scene, cost, traces_out, network, algorithm, variant
+            )
+            sim_cells[cid] = cell
+
     cells: dict[str, dict[str, Any]] = {}
     for network in config.networks:
         platform = platforms[network]
@@ -163,38 +274,7 @@ def run_bench(
                 for backend in config.backends:
                     cid = _cell_id(algorithm, variant, network, backend)
                     if backend == "sim":
-                        obs = None
-                        if traces_out is not None:
-                            from repro.obs import ObsSession
-
-                            obs = ObsSession.create()
-                        run = run_parallel(
-                            algorithm, scene.image, platform,
-                            params=params, variant=variant,
-                            backend="sim", cost_model=cost, obs=obs,
-                        )
-                        assert run.sim is not None
-                        if obs is not None and traces_out is not None:
-                            from repro.obs.export import write_jsonl
-
-                            write_jsonl(
-                                traces_out / _cell_filename(cid), obs
-                            )
-                        breakdown = breakdown_of_run(run.sim)
-                        scores = imbalance_of_run(run.sim)
-                        cells[cid] = {
-                            "backend": "sim",
-                            "label": variant_label(algorithm, variant),
-                            "network": network,
-                            "virtual": {
-                                "makespan": run.sim.makespan,
-                                "com": breakdown.com,
-                                "seq": breakdown.seq,
-                                "par": breakdown.par,
-                                "d_all": scores.d_all,
-                                "d_minus": scores.d_minus,
-                            },
-                        }
+                        cells[cid] = sim_cells[cid]
                     else:  # inproc: wall time, repeat + median
                         samples = []
                         for _ in range(config.repeats):
@@ -415,6 +495,98 @@ def _add_run_parser(sub: Any) -> None:
                         "<DIR>/<cell>.jsonl; feed the directories of two "
                         "runs to `compare --baseline-traces/--candidate-"
                         "traces` to auto-diff regressed cells")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan sim cells out over N worker processes; the "
+                        "artifact is byte-identical to a serial run "
+                        "(inproc cells always run serially)")
+
+
+def _add_microbench_parser(sub: Any) -> None:
+    from repro.obs.microbench import KERNELS, MicrobenchConfig
+
+    defaults = MicrobenchConfig()
+    p = sub.add_parser(
+        "microbench",
+        help="time each fast-path kernel against its scratch reference, "
+             "gate on the committed speedup floors",
+    )
+    p.add_argument("--out", default=None,
+                   help="write the microbench artifact JSON here")
+    p.add_argument("--date", default=None,
+                   help="ISO date stamped into the artifact")
+    p.add_argument("--kernels", type=_csv, default=None,
+                   help=f"comma-separated kernel subset of {','.join(KERNELS)}")
+    p.add_argument("--repeats", type=int, default=defaults.repeats,
+                   help="timing repetitions per side (best-of wins)")
+    p.add_argument("--rows", type=int, default=defaults.rows)
+    p.add_argument("--cols", type=int, default=defaults.cols)
+    p.add_argument("--bands", type=int, default=defaults.bands)
+    p.add_argument("--seed", type=int, default=defaults.seed)
+    p.add_argument("--n-targets", type=int, default=defaults.n_targets,
+                   help="detector iterations (paper: 30)")
+    p.add_argument("--iterations", type=int,
+                   default=defaults.morph_iterations,
+                   help="MORPH passes I_max (paper: 5)")
+    p.add_argument("--ufcls-pixels", type=int, default=defaults.ufcls_pixels,
+                   help="pixel subset for the ufcls kernel (its shared "
+                        "active-set refinement makes full frames ~25 s/sample)")
+    p.add_argument("--paper-scale", action="store_true",
+                   help="use the paper's 614x512x224 cube (float64 cube "
+                        "~563 MB, reference MEI peak ~2 GB — check memory)")
+    p.add_argument("--gate", nargs="?", metavar="FLOORS",
+                   const="benchmarks/baselines/MICROBENCH_floors.json",
+                   default=None,
+                   help="fail (exit 1) when any measured speedup is below "
+                        "the committed floors file (default: %(const)s)")
+
+
+def _run_microbench_command(args: argparse.Namespace) -> int:
+    from repro.obs.microbench import (
+        MicrobenchConfig,
+        gate_microbench,
+        microbench_report,
+        run_microbench,
+    )
+
+    scale = {"rows": args.rows, "cols": args.cols, "bands": args.bands}
+    if args.paper_scale:
+        from repro.obs.microbench import PAPER_SCALE
+
+        scale = dict(PAPER_SCALE)
+    config = MicrobenchConfig(
+        seed=args.seed,
+        n_targets=args.n_targets,
+        morph_iterations=args.iterations,
+        repeats=args.repeats,
+        kernels=args.kernels or MicrobenchConfig().kernels,
+        ufcls_pixels=args.ufcls_pixels,
+        **scale,
+    )
+    date = args.date or datetime.date.today().isoformat()
+    artifact = run_microbench(config, date=date)
+    print(microbench_report(artifact))
+    if args.out is not None:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(artifact, **_JSON_KW) + "\n",
+                       encoding="utf-8")
+        print(f"{len(artifact['kernels'])} kernels -> {out}")
+    if args.gate is not None:
+        try:
+            floors = json.loads(Path(args.gate).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read floors {args.gate}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures = gate_microbench(artifact, floors)
+        if failures:
+            print("MICROBENCH GATE FAILED:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        floors_map = floors.get("floors", {})
+        print(f"microbench gate: {len(floors_map)} floors satisfied")
+    return 0
 
 
 def _build_config(args: argparse.Namespace) -> BenchConfig:
@@ -437,6 +609,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_run_parser(sub)
+    _add_microbench_parser(sub)
     p_cmp = sub.add_parser("compare", help="diff two artifacts, exit 1 on "
                                            "regression")
     p_cmp.add_argument("baseline")
@@ -461,7 +634,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         config = _build_config(args)
         date = args.date or datetime.date.today().isoformat()
-        artifact = run_bench(config, date=date, trace_dir=args.trace_dir)
+        artifact = run_bench(
+            config, date=date, trace_dir=args.trace_dir, jobs=args.jobs
+        )
         out = (
             Path(args.out) if args.out
             else Path(args.outdir) / f"BENCH_{date}.json"
@@ -475,6 +650,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             print(f"{n_traced} sim cell traces -> {args.trace_dir}")
         return 0
+
+    if args.command == "microbench":
+        return _run_microbench_command(args)
 
     if args.command == "compare":
         try:

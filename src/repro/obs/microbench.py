@@ -1,0 +1,324 @@
+"""Per-kernel wall-time microbenchmarks for the fast-path layer.
+
+``python -m repro.obs.bench microbench`` times each optimized sequential
+kernel *and* its retained scratch reference in the same process on the
+same data, then records the measured **speedup ratio** — fast-path gains
+expressed machine-portably, so the committed floor file gates on "is the
+incremental update still ≥3× the scratch rebuild" rather than on
+absolute seconds that vary per runner.
+
+Kernels measured (reference → fast path):
+
+* ``atdca`` — per-iteration scratch QR :func:`~repro.linalg.osp.residual_energy`
+  sweep vs the carried basis of :class:`~repro.linalg.osp.IncrementalOSP`.
+* ``ufcls`` — per-iteration scratch :func:`~repro.core.ufcls.fcls_error_image`
+  vs the bordered Gram inverse of :class:`~repro.linalg.fcls.IncrementalFCLS`.
+* ``mei_map`` — per-pass renormalizing :func:`~repro.core.morph.mei_map_reference`
+  vs the pair-compressed :func:`~repro.core.morph.mei_map`.
+* ``mailbox`` — deep :func:`~repro.cluster.mailbox.copy_payload` vs the
+  zero-copy read-only views of :func:`~repro.cluster.mailbox.freeze_payload`.
+
+Every kernel also cross-checks that reference and fast path still agree
+(identical target picks / bit-identical MEI array / equal payloads); a
+disagreement marks the cell unverified and fails the gate — a speedup
+that changes answers is a bug, not a win.
+
+The default scale fits CI; paper scale (614×512×224, the AVIRIS World
+Trade Center cube) is one flag away::
+
+    python -m repro.obs.bench microbench --gate
+    python -m repro.obs.bench microbench --paper-scale --out micro.json
+
+Paper scale allocates the full float64 cube (~563 MB, peak ~2 GB in the
+reference MEI pass) — check available memory first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.hsi.scene import SceneConfig, make_wtc_scene
+from repro.types import FloatArray, IntArray
+
+__all__ = [
+    "MICRO_SCHEMA",
+    "FLOORS_SCHEMA",
+    "KERNELS",
+    "MicrobenchConfig",
+    "run_microbench",
+    "gate_microbench",
+    "microbench_report",
+]
+
+MICRO_SCHEMA = "repro.obs.microbench/1"
+FLOORS_SCHEMA = "repro.obs.microbench-floors/1"
+
+KERNELS: tuple[str, ...] = ("atdca", "ufcls", "mei_map", "mailbox")
+
+#: Payload copies per timing sample for the mailbox kernel (a single
+#: freeze is sub-microsecond; batching makes the clock resolution moot).
+_MAILBOX_BATCH = 50
+
+
+@dataclasses.dataclass(frozen=True)
+class MicrobenchConfig:
+    """Scale and repetition knobs for the kernel microbenchmarks.
+
+    Defaults are CI-sized (a 96×64×64 scene) but keep the paper's loop
+    depths — ``n_targets=30`` detector iterations and ``I_max=5`` MORPH
+    passes — because the fast paths' advantage grows with iteration
+    count, and those depths are what the acceptance floors encode.
+    """
+
+    rows: int = 96
+    cols: int = 64
+    bands: int = 64
+    seed: int = 7
+    n_targets: int = 30
+    morph_iterations: int = 5
+    repeats: int = 3
+    kernels: tuple[str, ...] = KERNELS
+    #: Pixel subset for the ufcls kernel only.  Both sides of that
+    #: comparison are dominated by the shared per-pixel active-set
+    #: refinement (the fast path saves the Gram/ATDCA half), so the
+    #: ratio is already visible on a small subset — and the full frame
+    #: would cost ~25 s per timing sample.
+    ufcls_pixels: int = 512
+
+    def scene_config(self) -> SceneConfig:
+        return SceneConfig(
+            rows=self.rows, cols=self.cols, bands=self.bands, seed=self.seed
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+#: Paper-scale override: the AVIRIS WTC cube dimensions.
+PAPER_SCALE = {"rows": 614, "cols": 512, "bands": 224}
+
+
+def _time_best(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall time — the standard microbench estimator
+    (minimum is the least noise-contaminated sample)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _atdca_scratch(pix: FloatArray, n_targets: int) -> IntArray:
+    """ATDCA target loop with the scratch QR sweep per iteration."""
+    from repro.linalg.osp import brightest_pixel_index, residual_energy
+
+    indices = [brightest_pixel_index(pix)]
+    for _ in range(1, n_targets):
+        energy = residual_energy(pix, pix[np.asarray(indices)])
+        indices.append(int(np.argmax(energy)))
+    return np.asarray(indices, dtype=np.int64)
+
+
+def _ufcls_scratch(pix: FloatArray, n_targets: int) -> IntArray:
+    """UFCLS target loop with the scratch error image per iteration."""
+    from repro.core.ufcls import fcls_error_image
+    from repro.linalg.osp import brightest_pixel_index
+
+    indices = [brightest_pixel_index(pix)]
+    for _ in range(1, n_targets):
+        error = fcls_error_image(pix, pix[np.asarray(indices)])
+        indices.append(int(np.argmax(error)))
+    return np.asarray(indices, dtype=np.int64)
+
+
+def _bench_atdca(config: MicrobenchConfig, pix: FloatArray) -> dict[str, Any]:
+    from repro.core.atdca import atdca_pixels
+
+    t = config.n_targets
+    ref_idx = _atdca_scratch(pix, t)
+    fast_idx = atdca_pixels(pix, t).flat_indices
+    return {
+        "reference_s": _time_best(lambda: _atdca_scratch(pix, t),
+                                  config.repeats),
+        "fast_s": _time_best(lambda: atdca_pixels(pix, t), config.repeats),
+        "verified": bool(np.array_equal(ref_idx, fast_idx)),
+        "detail": f"t={t} targets, {pix.shape[0]} pixels × "
+                  f"{pix.shape[1]} bands",
+    }
+
+
+def _bench_ufcls(config: MicrobenchConfig, pix: FloatArray) -> dict[str, Any]:
+    from repro.core.ufcls import ufcls_pixels
+
+    t = config.n_targets
+    ref_idx = _ufcls_scratch(pix, t)
+    fast_idx = ufcls_pixels(pix, t).flat_indices
+    return {
+        "reference_s": _time_best(lambda: _ufcls_scratch(pix, t),
+                                  config.repeats),
+        "fast_s": _time_best(lambda: ufcls_pixels(pix, t), config.repeats),
+        "verified": bool(np.array_equal(ref_idx, fast_idx)),
+        "detail": f"t={t} targets, {pix.shape[0]} pixels × "
+                  f"{pix.shape[1]} bands",
+    }
+
+
+def _bench_mei_map(config: MicrobenchConfig, cube: FloatArray) -> dict[str, Any]:
+    from repro.core.morph import mei_map, mei_map_reference
+    from repro.morphology.structuring import square
+
+    se = square(3)
+    it = config.morph_iterations
+    ref = mei_map_reference(cube, se, it)
+    fast = mei_map(cube, se, it)
+    return {
+        "reference_s": _time_best(lambda: mei_map_reference(cube, se, it),
+                                  config.repeats),
+        "fast_s": _time_best(lambda: mei_map(cube, se, it), config.repeats),
+        "verified": bool(np.array_equal(ref, fast)),
+        "detail": f"I_max={it}, 3×3 SE, "
+                  f"{cube.shape[0]}×{cube.shape[1]}×{cube.shape[2]} cube",
+    }
+
+
+def _bench_mailbox(config: MicrobenchConfig, cube: FloatArray) -> dict[str, Any]:
+    from repro.cluster.mailbox import copy_payload, freeze_payload
+
+    # A representative broadcast payload: a band-rows slab plus metadata,
+    # the shape the engines actually ship between ranks.
+    slab = cube.reshape(-1, cube.shape[2])[: max(1, cube.shape[0] * 8)]
+    payload = {"targets": slab.copy(), "round": 3, "tag": "bcast"}
+
+    def _ref() -> None:
+        for _ in range(_MAILBOX_BATCH):
+            copy_payload(payload)
+
+    def _fast() -> None:
+        for _ in range(_MAILBOX_BATCH):
+            freeze_payload(payload)
+
+    frozen = freeze_payload(payload)
+    copied = copy_payload(payload)
+    verified = (
+        np.array_equal(frozen["targets"], payload["targets"])
+        and not frozen["targets"].flags.writeable
+        and np.array_equal(copied["targets"], payload["targets"])
+        and copied["targets"] is not payload["targets"]
+    )
+    mbytes = payload["targets"].nbytes / 1e6
+    return {
+        "reference_s": _time_best(_ref, config.repeats),
+        "fast_s": _time_best(_fast, config.repeats),
+        "verified": bool(verified),
+        "detail": f"{_MAILBOX_BATCH}× transfer of a {mbytes:.1f} MB payload",
+    }
+
+
+def run_microbench(config: MicrobenchConfig, date: str) -> dict[str, Any]:
+    """Run the selected kernels and return the artifact document."""
+    unknown = set(config.kernels) - set(KERNELS)
+    if unknown:
+        raise ReproError(
+            f"unknown kernel(s) {sorted(unknown)}; choose from {list(KERNELS)}"
+        )
+    scene = make_wtc_scene(config.scene_config())
+    cube = np.asarray(scene.image.values, dtype=float)
+    pix = scene.image.flatten_pixels()
+    runners: dict[str, Callable[[], dict[str, Any]]] = {
+        "atdca": lambda: _bench_atdca(config, pix),
+        "ufcls": lambda: _bench_ufcls(
+            config, pix[: max(config.ufcls_pixels, config.n_targets + 1)]
+        ),
+        "mei_map": lambda: _bench_mei_map(config, cube),
+        "mailbox": lambda: _bench_mailbox(config, cube),
+    }
+    kernels: dict[str, dict[str, Any]] = {}
+    for name in KERNELS:
+        if name not in config.kernels:
+            continue
+        cell = runners[name]()
+        cell["speedup"] = (
+            cell["reference_s"] / cell["fast_s"] if cell["fast_s"] > 0
+            else float("inf")
+        )
+        kernels[name] = cell
+    return {
+        "schema": MICRO_SCHEMA,
+        "date": date,
+        "config": config.to_dict(),
+        "kernels": kernels,
+    }
+
+
+def gate_microbench(
+    artifact: Mapping[str, Any], floors: Mapping[str, Any]
+) -> list[str]:
+    """Check measured speedups against the committed floors.
+
+    Returns a list of failure descriptions (empty = gate passes).  Each
+    floor names a kernel and the minimum acceptable reference/fast
+    ratio; kernels must also have ``verified`` agreement between the two
+    implementations.  Floors for kernels the artifact did not run fail —
+    a gate that silently skips its subject gates nothing.
+    """
+    if floors.get("schema") != FLOORS_SCHEMA:
+        raise ReproError(
+            f"unsupported floors schema {floors.get('schema')!r} "
+            f"(expected {FLOORS_SCHEMA!r})"
+        )
+    if artifact.get("schema") != MICRO_SCHEMA:
+        raise ReproError(
+            f"unsupported microbench schema {artifact.get('schema')!r} "
+            f"(expected {MICRO_SCHEMA!r})"
+        )
+    cells = artifact.get("kernels", {})
+    failures: list[str] = []
+    for kernel, floor in sorted(floors.get("floors", {}).items()):
+        cell = cells.get(kernel)
+        if cell is None:
+            failures.append(f"{kernel}: not measured (floor {floor}x)")
+            continue
+        if not cell.get("verified", False):
+            failures.append(
+                f"{kernel}: fast path disagrees with reference output"
+            )
+            continue
+        speedup = float(cell["speedup"])
+        if speedup < float(floor):
+            failures.append(
+                f"{kernel}: speedup {speedup:.2f}x below floor {floor}x "
+                f"(reference {cell['reference_s']:.4f}s, "
+                f"fast {cell['fast_s']:.4f}s)"
+            )
+    return failures
+
+
+def microbench_report(artifact: Mapping[str, Any]) -> str:
+    """Render a microbench artifact as a monospace table."""
+    from repro.perf.report import format_table
+
+    rows = []
+    for kernel in sorted(artifact.get("kernels", {})):
+        cell = artifact["kernels"][kernel]
+        rows.append([
+            kernel,
+            cell["reference_s"],
+            cell["fast_s"],
+            cell["speedup"],
+            "yes" if cell.get("verified") else "NO",
+            cell.get("detail", ""),
+        ])
+    headers = ["kernel", "reference (s)", "fast (s)", "speedup", "verified",
+               "detail"]
+    return format_table(
+        headers, rows,
+        title=f"kernel microbenchmarks {artifact.get('date', '?')} "
+              f"({artifact.get('schema')})",
+        precision=4,
+    )
