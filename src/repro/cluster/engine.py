@@ -124,6 +124,8 @@ class RankContext:
         self.obs = engine.obs
         #: Fault injector interpreting the run's plan (``None`` = off).
         self.faults = engine.faults
+        #: Live observability runtime (``None`` = off).
+        self._live = engine.live
 
     @property
     def size(self) -> int:
@@ -160,9 +162,16 @@ class RankContext:
         dt = self.platform.processor(self.rank).compute_seconds(mflops)
         start = self.clock.now
         slow_factor = 1.0
+        predicted = dt
         if self.faults is not None:
             slow_factor = self.faults.compute_factor(self.rank, start)
             dt *= slow_factor
+        if self._live is not None and mflops > 0:
+            # The online health detector compares the cost model's
+            # prediction against the charged (possibly fault-dilated)
+            # duration; the wall-clock backend feeds the same pair
+            # nominally, so the detector fires identically there.
+            self._live.observe_compute(self.rank, predicted, dt, start)
         self.clock.advance(dt)
         self.ledger.add(Phase.SEQ if sequential else Phase.PAR, dt)
         if self._engine.trace and dt > 0:
@@ -349,6 +358,12 @@ class SimulationEngine:
         #: Fault injector for this run (already attached to ``platform``
         #: by the caller); duck-typed to avoid importing repro.faults.
         self.faults = faults
+        #: Live observability runtime (flight recorder + health
+        #: detector), wired exactly like the fault injector.
+        self.live = getattr(obs, "live", None) if obs is not None else None
+        if self.live is not None:
+            self.live.attach(obs)
+            self.live.bind(platform=platform, faults=faults)
         if obs is not None:
             # Dual-clock design: spans read this engine's per-rank
             # virtual clocks, so exports are deterministic.
@@ -384,6 +399,7 @@ class SimulationEngine:
         if link is not None:
             start = max(start, self._link_free.get(link, 0.0))
         duration = network.transfer_seconds(src, dst, megabits)
+        predicted = duration
         if self.faults is not None:
             # LinkDegrade scales the capacity term only; the fixed
             # per-message latency is unaffected.
@@ -396,6 +412,8 @@ class SimulationEngine:
             "|".join(link) if link is not None
             else f"intra:{network.segment_of(src)}"
         )
+        if self.live is not None:
+            self.live.observe_transfer(link_label, predicted, duration, start)
         end = start + duration
         waits = {}
         for rank in (src, dst):

@@ -321,6 +321,12 @@ def run_parallel(
             partition=part,
             sim=sim,
         )
+    live = getattr(obs, "live", None) if obs is not None else None
+    if live is not None:
+        # The wall-clock backend has no cost model of its own; the live
+        # runtime needs the platform to derive nominal compute
+        # durations for the online health detector.
+        live.bind(platform=platform, faults=faults)
     inproc = run_inproc(
         platform.size,
         program,

@@ -89,12 +89,19 @@ def _row_order(label: str) -> tuple[int, int]:
     return alg_order.get(alg, 99), 0 if prefix == "Hetero" else 1
 
 
+def _cell_stem(algorithm: str, variant: str, network_name: str) -> str:
+    return f"{variant_label(algorithm, variant)}__{network_name}".replace(
+        " ", "_"
+    )
+
+
 def _run_grid_cell(
     cfg: ExperimentConfig,
     image: Any,
     cost: Any,
     traces: Path | None,
     fault_plan: "FaultPlan | None",
+    live_dir: Path | None,
     network_name: str,
     algorithm: str,
     variant: str,
@@ -106,7 +113,18 @@ def _run_grid_cell(
     process pool with identical results.
     """
     platform = all_networks()[network_name]
-    obs = ObsSession.create() if traces is not None else None
+    live = None
+    if live_dir is not None:
+        from repro.obs.live import LiveRuntime
+
+        live = LiveRuntime(
+            out_dir=live_dir / _cell_stem(algorithm, variant, network_name)
+        )
+    obs = (
+        ObsSession.create(live=live)
+        if traces is not None or live is not None
+        else None
+    )
     if fault_plan is not None:
         from repro.faults.recovery import run_with_recovery
 
@@ -132,8 +150,12 @@ def _run_grid_cell(
         )
     assert run.sim is not None
     label = variant_label(algorithm, variant)
+    if live is not None:
+        # Final snapshot carries the mergeable sketches so percentiles
+        # can be combined across grid cells.
+        live.write_snapshot(include_sketches=True)
     if traces is not None and obs is not None:
-        stem = f"{label}__{network_name}".replace(" ", "_")
+        stem = _cell_stem(algorithm, variant, network_name)
         write_chrome_trace(traces / f"{stem}.trace.json", obs)
         write_metrics_json(traces / f"{stem}.metrics.json", obs)
     cell = GridCell(
@@ -155,11 +177,12 @@ def _grid_pool_init(
     cost: Any,
     traces: Path | None,
     fault_plan: "FaultPlan | None",
+    live_dir: Path | None,
 ) -> None:
     global _POOL_STATE
     _POOL_STATE = {
         "cfg": cfg, "image": image, "cost": cost,
-        "traces": traces, "fault_plan": fault_plan,
+        "traces": traces, "fault_plan": fault_plan, "live_dir": live_dir,
     }
 
 
@@ -171,6 +194,7 @@ def _grid_pool_cell(
     return _run_grid_cell(
         _POOL_STATE["cfg"], _POOL_STATE["image"], _POOL_STATE["cost"],
         _POOL_STATE["traces"], _POOL_STATE["fault_plan"],
+        _POOL_STATE["live_dir"],
         network_name, algorithm, variant,
     )
 
@@ -183,6 +207,7 @@ def run_network_grid(
     trace_dir: Path | str | None = None,
     fault_plan: "FaultPlan | None" = None,
     jobs: int | None = None,
+    live_dir: Path | str | None = None,
 ) -> NetworkGrid:
     """Execute the full grid on the virtual-time engine.
 
@@ -202,6 +227,13 @@ def run_network_grid(
             results are merged back in serial-loop order, so any
             ``jobs`` value produces the same grid (and the same trace
             files) as a serial run — only the wall time changes.
+        live_dir: when given, every cell runs with a
+            :class:`~repro.obs.live.LiveRuntime` writing atomic
+            ``live.json``/``live.prom`` snapshots into
+            ``live_dir/<label>__<network>/`` (tail any of them with
+            ``python -m repro.obs.live watch``), and an aggregated
+            ``live_dir/health_summary.json`` records each cell's
+            online drift detections.
     """
     cfg = config or ExperimentConfig()
     scn = scene or make_wtc_scene(cfg.grid_scene)
@@ -209,6 +241,9 @@ def run_network_grid(
     traces = Path(trace_dir) if trace_dir is not None else None
     if traces is not None:
         traces.mkdir(parents=True, exist_ok=True)
+    live_root = Path(live_dir) if live_dir is not None else None
+    if live_root is not None:
+        live_root.mkdir(parents=True, exist_ok=True)
     tasks = [
         (network_name, algorithm, variant)
         for network_name in all_networks()
@@ -220,7 +255,7 @@ def run_network_grid(
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(tasks)),
             initializer=_grid_pool_init,
-            initargs=(cfg, scn.image, cost, traces, fault_plan),
+            initargs=(cfg, scn.image, cost, traces, fault_plan, live_root),
         ) as pool:
             # map() preserves task order: the merged dict is built in
             # exactly the serial loop's order regardless of completion.
@@ -229,8 +264,48 @@ def run_network_grid(
     else:
         for network_name, algorithm, variant in tasks:
             key, cell = _run_grid_cell(
-                cfg, scn.image, cost, traces, fault_plan,
+                cfg, scn.image, cost, traces, fault_plan, live_root,
                 network_name, algorithm, variant,
             )
             cells[key] = cell
+    if live_root is not None:
+        _write_health_summary(live_root, tasks)
     return NetworkGrid(cells=cells, scene=scn, config=cfg)
+
+
+def _write_health_summary(
+    live_root: Path, tasks: list[tuple[str, str, str]]
+) -> Path:
+    """Aggregate every cell's final ``live.json`` health state into one
+    ``health_summary.json`` (deterministic: cells in task order)."""
+    import json
+
+    summary: dict[str, Any] = {}
+    for network_name, algorithm, variant in tasks:
+        stem = _cell_stem(algorithm, variant, network_name)
+        snapshot_path = live_root / stem / "live.json"
+        try:
+            health = json.loads(
+                snapshot_path.read_text(encoding="utf-8")
+            ).get("health", {})
+        except (OSError, json.JSONDecodeError):
+            continue
+        drift_events = [
+            e for e in health.get("events", [])
+            if e.get("kind", "").endswith("_drift")
+        ]
+        summary[stem] = {
+            "flagged_ranks": health.get("flagged_ranks", []),
+            "flagged_links": health.get("flagged_links", []),
+            "n_events": len(health.get("events", [])),
+            "first_drift": drift_events[0] if drift_events else None,
+        }
+    out = live_root / "health_summary.json"
+    out.write_text(
+        json.dumps(
+            {"schema": "repro.obs.live.summary/1", "cells": summary},
+            sort_keys=True, separators=(",", ":"),
+        ) + "\n",
+        encoding="utf-8",
+    )
+    return out

@@ -89,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
                              "backends and write calibration_{sim,inproc}"
                              ".json/.txt into DIR (gate with "
                              "python -m repro.obs.profile gate)")
+    parser.add_argument("--live", metavar="DIR", default=None,
+                        help="observe runs while they execute: the traced "
+                             "demo runs and every table5-7 grid cell write "
+                             "atomic live.json/live.prom snapshots (flight-"
+                             "recorder ring, streaming latency percentiles, "
+                             "online health detections) under DIR; tail any "
+                             "of them with `python -m repro.obs.live watch`")
     parser.add_argument("--fault-plan", metavar="FILE", default=None,
                         help="inject the JSON fault plan into the traced "
                              "demo runs and the table5-7 grid cells; runs "
@@ -118,11 +125,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--report requires a file name")
     if args.calibrate == "":
         parser.error("--calibrate requires a directory name")
+    if args.live == "":
+        parser.error("--live requires a directory name")
     if (not args.experiments and args.trace is None and args.metrics is None
             and args.report is None and args.calibrate is None):
         parser.error("nothing to do: name experiments and/or pass "
                      "--trace DIR / --metrics DIR / --report FILE / "
-                     "--calibrate DIR")
+                     "--calibrate DIR (--live attaches to those runs)")
 
     wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
         name for name in EXPERIMENT_NAMES if name in args.experiments
@@ -137,6 +146,10 @@ def main(argv: list[str] | None = None) -> int:
               f"{len(fault_plan)} faults loaded", flush=True)
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)
+    live_dir = None
+    if args.live is not None:
+        live_dir = Path(args.live)
+        live_dir.mkdir(parents=True, exist_ok=True)
     trace_dir = None
     sim_traced = None
     metrics_dir = Path(args.metrics) if args.metrics is not None else None
@@ -147,7 +160,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"tracing a demo atdca run ({backend} backend)...",
                   flush=True)
             traced = run_traced(
-                config, trace_dir, backend=backend, fault_plan=fault_plan
+                config, trace_dir, backend=backend, fault_plan=fault_plan,
+                live_dir=live_dir,
             )
             if backend == "sim":
                 sim_traced = traced
@@ -195,8 +209,10 @@ def main(argv: list[str] | None = None) -> int:
         print("building the network grid (32 simulated runs)...", flush=True)
         grid = run_network_grid(
             config, trace_dir=trace_dir, fault_plan=fault_plan,
-            jobs=args.jobs,
+            jobs=args.jobs, live_dir=live_dir,
         )
+        if live_dir is not None:
+            print(f"live snapshots + health summary -> {live_dir}")
 
     sections: list[str] = []
     for name in wanted:

@@ -80,13 +80,19 @@ def _demo_run(
     backend: str,
     algorithm: str,
     fault_plan: "FaultPlan | None",
+    live_dir: Path | None = None,
 ) -> tuple["ParallelRun | RecoveredRun", ObsSession, TraceAnalysis]:
     """One traced demo run (shared by trace, report, and calibration):
     execute on the Table 1/2 platform, cross-check the span ledger on
     fault-free sim runs, analyze the trace."""
     scene = make_wtc_scene(cfg.scene)
     platform = fully_heterogeneous()
-    obs = ObsSession.create()
+    live = None
+    if live_dir is not None:
+        from repro.obs.live import LiveRuntime
+
+        live = LiveRuntime(out_dir=live_dir)
+    obs = ObsSession.create(live=live)
     run: ParallelRun | RecoveredRun
     if fault_plan is not None:
         from repro.faults.recovery import run_with_recovery
@@ -138,6 +144,7 @@ def run_traced(
     backend: str = "sim",
     algorithm: str = "atdca",
     fault_plan: "FaultPlan | None" = None,
+    live_dir: Path | str | None = None,
 ) -> TracedRun:
     """Run ``algorithm`` traced on ``backend`` and export everything.
 
@@ -152,13 +159,23 @@ def run_traced(
     ledger cross-check is skipped for such runs — the trace spans
     cover every attempt while the engine ledger covers only the final
     one, so they legitimately disagree.
+
+    With ``live_dir`` the run carries a
+    :class:`~repro.obs.live.LiveRuntime`: ``live_dir/<algorithm>_
+    <backend>/live.json`` (+ ``.prom``) is rewritten atomically while
+    the run executes (tail it with ``python -m repro.obs.live watch``),
+    and the final snapshot includes the mergeable latency sketches.
     """
     cfg = config or ExperimentConfig()
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
-    run, obs, analysis = _demo_run(cfg, backend, algorithm, fault_plan)
-
     stem = f"{algorithm}_{backend}"
+    cell_live_dir = Path(live_dir) / stem if live_dir is not None else None
+    run, obs, analysis = _demo_run(
+        cfg, backend, algorithm, fault_plan, live_dir=cell_live_dir
+    )
+    if obs.live is not None:
+        obs.live.write_snapshot(include_sketches=True)
     trace_path = out / f"{stem}.trace.json"
     metrics_path = out / f"{stem}.metrics.json"
     jsonl_path = out / f"{stem}.jsonl"

@@ -244,6 +244,12 @@ def run_with_recovery(
                 obs=obs,
                 rank_map=None if ordered == identity else ordered,
             )
+        live = getattr(obs, "live", None) if obs is not None else None
+        if live is not None:
+            # Rebind per attempt: post-recovery attempts run on the
+            # surviving subset platform, and the nominal per-rank
+            # clocks restart with it.
+            live.bind(platform=run_platform, faults=injector)
         program_kwargs = build_program_kwargs(algorithm, params, partition)
         if checkpoint is not None:
             program_kwargs["checkpoint"] = checkpoint

@@ -84,13 +84,20 @@ class InprocContext:
     def compute(self, mflops: float, sequential: bool = False) -> float:
         """No time charged (real computation takes real time here), but
         the nominal mflops are still metered when observability is on,
-        so both backends report comparable work counters."""
-        if self.obs is not None and mflops:
+        so both backends report comparable work counters.  When a live
+        runtime is attached it additionally receives the analytic
+        (predicted, observed) duration pair for this op, so the online
+        health detector sees the same sequence as on the virtual-time
+        engine."""
+        if self.obs is not None and mflops > 0:
             self.obs.metrics.counter(
                 "compute.mflops",
                 rank=self.rank,
                 kind="seq" if sequential else "compute",
             ).inc(float(mflops))
+            live = self.obs.live
+            if live is not None:
+                live.observe_nominal_compute(self.rank, mflops, sequential)
         return 0.0
 
     def charge_seconds(self, seconds: float, phase: Any = None) -> None:
@@ -191,6 +198,14 @@ def run_inproc(
             f"kwargs_per_rank has {len(kwargs_per_rank)} entries for "
             f"{n_ranks} ranks"
         )
+    live = getattr(obs, "live", None) if obs is not None else None
+    if live is not None:
+        # Wired like the fault injector: attach is idempotent, and the
+        # platform (needed for nominal health predictions) is bound by
+        # run_parallel / the recovery driver, which know it.
+        live.attach(obs)
+        if faults is not None:
+            live.bind(faults=faults)
     router = Router(n_ranks, deadlock_grace_s=deadlock_grace_s)
     results: list[Any] = [None] * n_ranks
     failures: list[tuple[int, BaseException]] = []

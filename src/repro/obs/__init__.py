@@ -51,6 +51,7 @@ from repro.obs.export import (
     jsonl_lines,
     metrics_records,
     openmetrics_text,
+    parse_openmetrics,
     read_jsonl,
     spans_of,
     summary_table,
@@ -82,6 +83,17 @@ _LAZY = {
     "profile_trace": "repro.obs.profile",
     "render_report": "repro.obs.report",
     "write_report": "repro.obs.report",
+    "FlightRecorder": "repro.obs.live",
+    "LiveRuntime": "repro.obs.live",
+    "read_snapshot": "repro.obs.live",
+    "render_snapshot": "repro.obs.live",
+    "HealthConfig": "repro.obs.health",
+    "HealthEvent": "repro.obs.health",
+    "HealthMonitor": "repro.obs.health",
+    "scales_from_calibration": "repro.obs.health",
+    "LatencySketch": "repro.obs.sketch",
+    "P2Quantile": "repro.obs.sketch",
+    "merge_sketches": "repro.obs.sketch",
 }
 
 
@@ -129,12 +141,24 @@ __all__ = [
     "profile_trace",
     "render_report",
     "write_report",
+    "FlightRecorder",
+    "LiveRuntime",
+    "read_snapshot",
+    "render_snapshot",
+    "HealthConfig",
+    "HealthEvent",
+    "HealthMonitor",
+    "scales_from_calibration",
+    "LatencySketch",
+    "P2Quantile",
+    "merge_sketches",
     "LoadedTrace",
     "breakdown_from_spans",
     "chrome_trace",
     "jsonl_lines",
     "metrics_records",
     "openmetrics_text",
+    "parse_openmetrics",
     "read_jsonl",
     "spans_of",
     "summary_table",
@@ -152,16 +176,25 @@ class ObsSession:
     Attributes:
         tracer: span collector (clock rebound by the chosen backend).
         metrics: labelled counter/gauge/histogram registry.
+        live: optional :class:`~repro.obs.live.LiveRuntime` (flight
+            recorder + online health detector); both backends attach
+            and feed it when present.
     """
 
     tracer: Tracer
     metrics: MetricsRegistry
+    live: Any = None
 
     @classmethod
-    def create(cls) -> "ObsSession":
+    def create(cls, live: Any = None) -> "ObsSession":
         """A fresh session with a wall-clock tracer (the virtual-time
-        engine rebinds the clock when the session is attached)."""
-        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+        engine rebinds the clock when the session is attached); pass a
+        :class:`~repro.obs.live.LiveRuntime` to observe the run while
+        it executes."""
+        session = cls(tracer=Tracer(), metrics=MetricsRegistry(), live=live)
+        if live is not None:
+            live.attach(session)
+        return session
 
 
 def obs_of(ctx: Any) -> ObsSession | None:

@@ -53,14 +53,19 @@ from repro.perf.timers import breakdown_of_run
 
 __all__ = [
     "SCHEMA",
+    "COMPARE_SCHEMA",
     "BenchConfig",
     "run_bench",
     "compare_artifacts",
+    "comparison_document",
     "report_text",
     "main",
 ]
 
 SCHEMA = "repro.obs.bench/1"
+
+#: Schema stamp of the machine-readable ``compare --json`` output.
+COMPARE_SCHEMA = "repro.obs.bench.compare/1"
 
 _JSON_KW = {"sort_keys": True, "separators": (",", ":")}
 
@@ -347,6 +352,42 @@ class CellDiff:
         )
 
 
+def comparison_document(
+    diffs: Sequence[CellDiff],
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    failing: Sequence[CellDiff],
+) -> dict[str, Any]:
+    """The machine-readable ``compare --json`` document: per-cell
+    deltas plus summary counts and the process exit status, so CI and
+    serve gates consume the comparison without text parsing."""
+    statuses = [d.status for d in diffs]
+    return {
+        "schema": COMPARE_SCHEMA,
+        "baseline_date": baseline.get("date"),
+        "candidate_date": candidate.get("date"),
+        "config_match": baseline.get("config") == candidate.get("config"),
+        "cells": [
+            {
+                "cell_id": d.cell_id,
+                "status": d.status,
+                "metric": d.metric,
+                "baseline": d.baseline,
+                "candidate": d.candidate,
+                "delta_pct": d.delta_pct,
+                "failing": d in failing,
+            }
+            for d in diffs
+        ],
+        "summary": {
+            status: statuses.count(status)
+            for status in ("ok", "regression", "improvement", "missing", "new")
+        },
+        "failing": [d.cell_id for d in failing],
+        "exit_status": 1 if failing else 0,
+    }
+
+
 def compare_artifacts(
     baseline: Mapping[str, Any],
     candidate: Mapping[str, Any],
@@ -619,6 +660,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_cmp.add_argument("--fail-on-missing", action="store_true",
                        help="treat cells missing from the candidate as "
                             "regressions")
+    p_cmp.add_argument("--json", metavar="FILE", default=None,
+                       help="additionally write the machine-readable "
+                            "comparison (per-cell deltas + exit status) "
+                            "to FILE ('-' for stdout), so CI gates can "
+                            "consume it without text parsing")
     p_cmp.add_argument("--baseline-traces", metavar="DIR", default=None,
                        help="per-cell JSONL traces of the baseline run "
                             "(from `run --trace-dir`)")
@@ -689,6 +735,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"{len(diffs)} cells compared: {ok} ok, "
               f"{sum(1 for d in diffs if d.status == 'improvement')} "
               f"improved, {len(failing)} failing")
+        if args.json is not None:
+            document = comparison_document(
+                diffs, baseline, candidate, failing
+            )
+            payload = json.dumps(document, **_JSON_KW) + "\n"
+            if args.json == "-":
+                sys.stdout.write(payload)
+            else:
+                out = Path(args.json)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                out.write_text(payload, encoding="utf-8")
+                print(f"comparison json -> {out}")
         if failing:
             print("REGRESSION: "
                   + "; ".join(d.cell_id for d in failing), file=sys.stderr)

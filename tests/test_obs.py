@@ -509,3 +509,119 @@ class TestJsonLogging:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError):
             enable_console_logging(fmt="yaml")
+
+
+class TestOpenMetricsRoundTrip:
+    """`parse_openmetrics(openmetrics_text(reg))` recovers the registry
+    records — the exporter's spec-compliance test (# EOF terminator,
+    explicit +Inf bucket, escaped labels)."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("engine.ops", rank=0).inc(3)
+        registry.counter("engine.ops", rank=1).inc(5.5)
+        registry.gauge("queue.depth", rank=0).set(7.0)
+        hist = registry.histogram(
+            "transfer.seconds", buckets=(0.001, 0.01, 0.1), link="a~b"
+        )
+        for v in (0.0005, 0.005, 0.05, 0.5):
+            hist.observe(v)
+        return registry
+
+    def _parsed_view(self, record):
+        """The record fields the text exposition carries."""
+        keep = {"name", "labels", "kind"}
+        keep |= (
+            {"buckets", "total", "count"}
+            if record["kind"] == "histogram"
+            else {"value"}
+        )
+        out = {k: v for k, v in record.items() if k in keep}
+        # The exposition writes sanitized names and string label values.
+        out["name"] = out["name"].replace(".", "_")
+        out["labels"] = {k: str(v) for k, v in out["labels"].items()}
+        return out
+
+    def test_round_trip_recovers_records(self):
+        from repro.obs.export import openmetrics_text, parse_openmetrics
+
+        registry = self._registry()
+        parsed = parse_openmetrics(openmetrics_text(registry))
+        expected = [self._parsed_view(r) for r in registry.records()]
+        assert sorted(
+            parsed, key=lambda r: (r["name"], sorted(r["labels"].items()))
+        ) == sorted(
+            expected, key=lambda r: (r["name"], sorted(r["labels"].items()))
+        )
+
+    def test_document_ends_with_eof_and_explicit_inf_bucket(self):
+        from repro.obs.export import openmetrics_text
+
+        text = openmetrics_text(self._registry())
+        assert text.endswith("# EOF\n")
+        assert 'le="+Inf"' in text
+        # The +Inf bucket equals the count sample (spec requirement).
+        inf_line = [l for l in text.splitlines() if 'le="+Inf"' in l][0]
+        count_line = [
+            l for l in text.splitlines()
+            if l.startswith("transfer_seconds_count")
+        ][0]
+        assert inf_line.split()[-1] == count_line.split()[-1] == "4"
+
+    def test_missing_eof_is_rejected(self):
+        from repro.obs.export import openmetrics_text, parse_openmetrics
+
+        text = openmetrics_text(self._registry())
+        with pytest.raises(ValueError, match="EOF"):
+            parse_openmetrics(text.replace("# EOF\n", ""))
+
+    def test_sample_without_type_is_rejected(self):
+        from repro.obs.export import parse_openmetrics
+
+        with pytest.raises(ValueError, match="TYPE"):
+            parse_openmetrics("mystery_metric 1.0\n# EOF\n")
+
+    def test_histogram_without_inf_bucket_is_rejected(self):
+        from repro.obs.export import parse_openmetrics
+
+        doc = (
+            "# TYPE lat histogram\n"
+            'lat_bucket{le="0.1"} 2\n'
+            "lat_sum 0.05\n"
+            "lat_count 2\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_openmetrics(doc)
+
+    def test_label_escaping_round_trips(self):
+        from repro.obs.export import openmetrics_text, parse_openmetrics
+
+        registry = MetricsRegistry()
+        registry.counter("odd.labels", note='quote " slash \\ nl \n').inc()
+        [record] = parse_openmetrics(openmetrics_text(registry))
+        assert record["labels"]["note"] == 'quote " slash \\ nl \n'
+
+    def test_live_run_exposition_round_trips(self, small_scene):
+        """End to end: a real session's exposition parses back with the
+        same family set."""
+        from repro.obs.export import (
+            metrics_records,
+            openmetrics_text,
+            parse_openmetrics,
+        )
+
+        obs = ObsSession.create()
+        run_parallel(
+            "atdca",
+            small_scene.image,
+            make_tiny_platform(),
+            params={"n_targets": 3},
+            backend="sim",
+            obs=obs,
+        )
+        parsed = parse_openmetrics(openmetrics_text(obs))
+        assert len(parsed) == len(metrics_records(obs))
+        sanitized = {r["name"].replace(".", "_")
+                     for r in metrics_records(obs)}
+        assert {r["name"] for r in parsed} == sanitized

@@ -223,3 +223,66 @@ class TestTraceAutoDiff:
         out = capsys.readouterr().out
         assert "regression" in out
         assert "trace diff over" not in out
+
+
+class TestCompareJson:
+    """The machine-readable `compare --json` document."""
+
+    def _artifacts(self, tmp_path, tiny_artifact):
+        import copy
+
+        base = tmp_path / "base.json"
+        slow_doc = copy.deepcopy(tiny_artifact)
+        for cell in slow_doc["cells"].values():
+            cell["virtual"]["makespan"] *= 2.0
+        slow = tmp_path / "slow.json"
+        write_artifact(tiny_artifact, base)
+        write_artifact(slow_doc, slow)
+        return base, slow
+
+    def test_self_compare_document(self, tmp_path, tiny_artifact, capsys):
+        from repro.obs.bench import COMPARE_SCHEMA
+
+        base, _ = self._artifacts(tmp_path, tiny_artifact)
+        out = tmp_path / "cmp.json"
+        assert main(["compare", str(base), str(base),
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == COMPARE_SCHEMA
+        assert doc["exit_status"] == 0
+        assert doc["config_match"] is True
+        assert doc["failing"] == []
+        assert doc["summary"]["ok"] == 2
+        assert {c["status"] for c in doc["cells"]} == {"ok"}
+
+    def test_regression_document_matches_exit_status(
+        self, tmp_path, tiny_artifact
+    ):
+        base, slow = self._artifacts(tmp_path, tiny_artifact)
+        out = tmp_path / "cmp.json"
+        assert main(["compare", str(base), str(slow),
+                     "--json", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["exit_status"] == 1
+        assert doc["summary"]["regression"] == 2
+        assert len(doc["failing"]) == 2
+        for cell in doc["cells"]:
+            assert cell["failing"] is True
+            assert cell["delta_pct"] == pytest.approx(100.0)
+            assert cell["metric"] == "virtual.makespan"
+
+    def test_json_to_stdout(self, tmp_path, tiny_artifact, capsys):
+        base, _ = self._artifacts(tmp_path, tiny_artifact)
+        assert main(["compare", str(base), str(base), "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index('{"'):]
+        assert json.loads(payload)["exit_status"] == 0
+
+    def test_document_builder_counts(self, tiny_artifact):
+        from repro.obs.bench import COMPARE_SCHEMA, comparison_document
+
+        diffs = compare_artifacts(tiny_artifact, tiny_artifact)
+        doc = comparison_document(diffs, tiny_artifact, tiny_artifact, [])
+        assert doc["schema"] == COMPARE_SCHEMA
+        assert doc["baseline_date"] == doc["candidate_date"] == "2026-01-01"
+        assert sum(doc["summary"].values()) == len(diffs)
