@@ -1,5 +1,6 @@
 """Heterogeneous cluster model: processors, networks, virtual-time engine."""
 
+from repro.cluster.accelerator import AcceleratorSpec
 from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
 from repro.cluster.engine import (
     RankContext,
@@ -13,6 +14,12 @@ from repro.cluster.network import (
     CommunicationNetwork,
     segmented_network,
     uniform_network,
+)
+from repro.cluster.perturb import (
+    extend_platform,
+    scale_latency,
+    scale_link_capacity,
+    upgrade_ranks,
 )
 from repro.cluster.platform import HeterogeneousPlatform
 from repro.cluster.presets import (
@@ -32,6 +39,7 @@ from repro.cluster.simtime import Phase, PhaseLedger, VirtualClock
 
 __all__ = [
     "ANY_TAG",
+    "AcceleratorSpec",
     "CommunicationNetwork",
     "CostModel",
     "DEFAULT_COST_MODEL",
@@ -50,13 +58,17 @@ __all__ = [
     "TraceEvent",
     "VirtualClock",
     "all_networks",
+    "extend_platform",
     "fully_heterogeneous",
     "fully_homogeneous",
     "partially_heterogeneous",
     "partially_homogeneous",
     "payload_wire_megabits",
     "run_program",
+    "scale_latency",
+    "scale_link_capacity",
     "segmented_network",
     "thunderhead",
     "uniform_network",
+    "upgrade_ranks",
 ]

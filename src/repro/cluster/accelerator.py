@@ -1,0 +1,80 @@
+"""Accelerator processor tier: device cycle time + host↔device cost.
+
+The heterogeneous-computing surveys this repo reproduces treat a
+GPU/FPGA node as a processor with a much smaller *device* cycle time
+whose speedup is taxed by a fixed kernel-launch overhead and a
+host↔device transfer cost proportional to the data moved.  We fold
+that into the existing :class:`~repro.cluster.processor.ProcessorSpec`
+contract — ``compute_seconds`` stays a pure function of the charged
+megaflops — so the virtual-time engine, the WEA partitioner and the
+what-if replay engine all consume an accelerator without changes:
+
+    compute_seconds(m) = launch_overhead_s
+                         + m * (device_cycle_time + hd_transfer_s_per_mflop)
+
+for ``m > 0`` (zero-megaflop charges stay free, as on a CPU).  The
+inherited ``cycle_time`` is the *effective marginal* seconds/megaflop
+(device + transfer), which is exactly what the WEA fractions should
+see: workload shares follow sustained throughput, not peak device
+speed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cluster.processor import ProcessorSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["AcceleratorSpec"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorSpec(ProcessorSpec):
+    """A node with an attached accelerator (GPU-class tier).
+
+    Attributes:
+        device_cycle_time: seconds per megaflop on the device itself.
+        launch_overhead_s: fixed per-kernel launch latency, charged
+            once per (non-empty) compute op.
+        hd_transfer_s_per_mflop: host↔device staging cost, modelled as
+            proportional to the op's arithmetic volume (streaming
+            kernels move data once per flop batch).
+
+    ``cycle_time`` may be passed as ``0.0`` (the default) to derive the
+    effective marginal rate ``device_cycle_time +
+    hd_transfer_s_per_mflop`` automatically.
+    """
+
+    cycle_time: float = 0.0
+    device_cycle_time: float = 1e-3
+    launch_overhead_s: float = 0.0
+    hd_transfer_s_per_mflop: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.device_cycle_time <= 0:
+            raise ConfigurationError(
+                f"accelerator {self.name!r}: device_cycle_time must be "
+                f"positive, got {self.device_cycle_time}"
+            )
+        if self.launch_overhead_s < 0 or self.hd_transfer_s_per_mflop < 0:
+            raise ConfigurationError(
+                f"accelerator {self.name!r}: launch_overhead_s and "
+                f"hd_transfer_s_per_mflop must be >= 0"
+            )
+        if self.cycle_time == 0.0:
+            object.__setattr__(
+                self,
+                "cycle_time",
+                self.device_cycle_time + self.hd_transfer_s_per_mflop,
+            )
+        super().__post_init__()
+
+    def compute_seconds(self, mflops: float) -> float:
+        if mflops < 0:
+            raise ConfigurationError(f"mflops must be >= 0, got {mflops}")
+        if mflops == 0:
+            return 0.0
+        return self.launch_overhead_s + mflops * (
+            self.device_cycle_time + self.hd_transfer_s_per_mflop
+        )

@@ -58,6 +58,7 @@ __all__ = [
     "estimate_row_workload",
     "make_fractions",
     "make_row_partition",
+    "make_row_partition_for_dims",
     "build_program_kwargs",
     "ParallelRun",
     "run_parallel",
@@ -161,6 +162,37 @@ def _morph_halo(params: Mapping[str, Any]) -> int:
     return morph_halo_depth(se, iterations, exact=bool(params.get("exact_halo", False)))
 
 
+def make_row_partition_for_dims(
+    platform: HeterogeneousPlatform,
+    rows: int,
+    cols: int,
+    bands: int,
+    algorithm: str,
+    params: Mapping[str, Any],
+    variant: str = "hetero",
+    cost_model: CostModel | None = None,
+) -> RowPartition:
+    """Fractions → memory-bounded WEA row partition for a scene shape.
+
+    The partition depends only on the scene *dimensions*, never the
+    pixel data, so what-if capacity planning can re-partition a
+    perturbed platform from a recorded trace's metadata alone and get
+    exactly the partition a real run would use.
+
+    For MORPH under the heterogeneous variants, row counts are
+    additionally halo-compensated: the windowed kernels process
+    ``rows + 2·halo`` rows, so shares equalize extended-block work.
+    """
+    algorithm = _check_algorithm(algorithm)
+    fractions = make_fractions(
+        platform, algorithm, cols, bands, params, variant, cost_model
+    )
+    if algorithm == "morph" and variant != "homo":
+        counts = halo_compensated_rows(rows, fractions, _morph_halo(params))
+        return RowPartition(counts)
+    return wea_partition(platform, rows, cols, bands, fractions=fractions)
+
+
 def make_row_partition(
     platform: HeterogeneousPlatform,
     image: HyperspectralImage,
@@ -169,24 +201,10 @@ def make_row_partition(
     variant: str = "hetero",
     cost_model: CostModel | None = None,
 ) -> RowPartition:
-    """Fractions → memory-bounded WEA row partition for ``image``.
-
-    For MORPH under the heterogeneous variants, row counts are
-    additionally halo-compensated: the windowed kernels process
-    ``rows + 2·halo`` rows, so shares equalize extended-block work.
-    """
-    algorithm = _check_algorithm(algorithm)
-    fractions = make_fractions(
-        platform, algorithm, image.cols, image.bands,
-        params, variant, cost_model,
-    )
-    if algorithm == "morph" and variant != "homo":
-        counts = halo_compensated_rows(
-            image.rows, fractions, _morph_halo(params)
-        )
-        return RowPartition(counts)
-    return wea_partition(
-        platform, image.rows, image.cols, image.bands, fractions=fractions
+    """Fractions → memory-bounded WEA row partition for ``image``."""
+    return make_row_partition_for_dims(
+        platform, image.rows, image.cols, image.bands,
+        algorithm, params, variant, cost_model,
     )
 
 
@@ -218,6 +236,45 @@ def build_program_kwargs(
         elif params.get("threshold") is not None:
             program_kwargs["threshold"] = params["threshold"]
     return program_kwargs
+
+
+def _stamp_run_meta(
+    obs: "ObsSession",
+    algorithm: str,
+    variant: str,
+    image: HyperspectralImage,
+    platform: HeterogeneousPlatform,
+    partition: RowPartition,
+    params: Mapping[str, Any],
+    cost_model: CostModel | None,
+) -> None:
+    """Record the run's workload descriptor as a zero-length span.
+
+    The ``run.meta`` span rides along in every trace export, so the
+    what-if engine can regenerate the analytic op program (algorithm,
+    scene shape, partition, cost-model scalars) from a trace file alone
+    — required for structural perturbations like worker add/remove and
+    capacity sweeps.  Category ``"meta"`` is outside the activity
+    categories, so analyzers, the DAG, and the gantt ignore it.
+    """
+    cost = cost_model or DEFAULT_COST_MODEL
+    scalar_params = {
+        k: v for k, v in params.items()
+        if isinstance(v, (int, float, str, bool))
+    }
+    obs.tracer.add_span(
+        "run.meta", platform.master_rank, 0.0, 0.0, category="meta",
+        algorithm=algorithm, variant=variant,
+        rows=int(image.rows), cols=int(image.cols), bands=int(image.bands),
+        partition=",".join(str(int(c)) for c in partition.counts),
+        platform=platform.name, size=int(platform.size),
+        master_rank=int(platform.master_rank),
+        efficiency=float(cost.efficiency),
+        bytes_per_value=int(cost.bytes_per_value),
+        compute_scale=float(cost.compute_scale),
+        comm_scale=float(cost.comm_scale),
+        **scalar_params,
+    )
 
 
 @dataclasses.dataclass
@@ -292,6 +349,11 @@ def run_parallel(
     part = partition or make_row_partition(
         platform, image, algorithm, params, variant, cost_model
     )
+    if obs is not None:
+        _stamp_run_meta(
+            obs, algorithm, variant, image, platform, part, params,
+            cost_model,
+        )
 
     program = _PROGRAMS[algorithm]
     program_kwargs = build_program_kwargs(algorithm, params, part)

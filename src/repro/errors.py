@@ -23,6 +23,7 @@ __all__ = [
     "CommunicationTimeout",
     "TransientNetworkError",
     "FaultPlanError",
+    "WhatIfPlanError",
     "DataError",
     "ShapeError",
     "ConvergenceError",
@@ -135,6 +136,10 @@ class TransientNetworkError(CommunicationError):
 
 class FaultPlanError(ConfigurationError):
     """A fault plan is malformed or inconsistent with the platform."""
+
+
+class WhatIfPlanError(ConfigurationError):
+    """A what-if plan is malformed or inconsistent with the trace."""
 
 
 class DataError(ReproError, ValueError):

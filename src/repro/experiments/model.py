@@ -33,7 +33,7 @@ from repro.perf.timers import PhaseBreakdown
 from repro.scheduling.static_part import RowPartition
 from repro.types import FloatArray
 
-__all__ = ["ModelResult", "model_run"]
+__all__ = ["ModelResult", "emit_op_program", "model_run"]
 
 #: Envelope overhead added per message, in values (mirrors the mailbox).
 _ENVELOPE = 8
@@ -54,6 +54,81 @@ class ModelResult:
     breakdown: PhaseBreakdown
     finish_times: FloatArray
     busy_times: FloatArray
+
+
+class _OpEmitter:
+    """Flattens an algorithm's schedule into a linear op program.
+
+    Ops are ``("compute", rank, mflops, sequential, label)`` and
+    ``("transfer", src, dst, values)`` tuples in the exact order the
+    scalar engine would execute them; collectives are expanded with the
+    same scatter/gather order and binomial trees as
+    ``repro.mpi.collectives``, so executing the emitted ops through
+    :class:`_ScalarEngine` is byte-identical to the pre-refactor
+    inline schedule.  The what-if replay engine consumes the same ops
+    to evaluate structural perturbations (worker add/remove, capacity
+    sweeps) that a recorded trace cannot express.
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.ops: list[tuple] = []
+
+    def compute(
+        self, rank: int, mflops: float, sequential: bool = False,
+        label: str = "",
+    ) -> None:
+        self.ops.append(("compute", rank, float(mflops), sequential, label))
+
+    def transfer(self, src: int, dst: int, values: float) -> None:
+        self.ops.append(("transfer", src, dst, float(values)))
+
+    # -- collective schedules (mirroring repro.mpi.collectives) ---------------------
+    def scatter(self, root: int, values_per_rank: FloatArray) -> None:
+        for dst in range(self.size):
+            if dst != root:
+                self.transfer(root, dst, float(values_per_rank[dst]))
+
+    def gather(self, root: int, values_per_rank: FloatArray) -> None:
+        for src in range(self.size):
+            if src != root:
+                self.transfer(src, root, float(values_per_rank[src]))
+
+    def bcast(self, root: int, values: float) -> None:
+        size = self.size
+        if size == 1:
+            return
+        # Binomial tree, depth-first: processing a child's forwards
+        # before the parent's next send preserves every rank's program
+        # order, which is all the clock arithmetic depends on.
+        def schedule(relative: int, mask: int) -> None:
+            mask >>= 1
+            while mask > 0:
+                child = relative + mask
+                if child < size:
+                    self.transfer(
+                        (relative + root) % size, (child + root) % size, values
+                    )
+                    schedule(child, mask)
+                mask >>= 1
+
+        schedule(0, 1 << (size - 1).bit_length())
+
+    def allreduce(self, root: int, values: float) -> None:
+        # Mirror of binomial_reduce: each non-root relative rank sends
+        # once to its parent, at the level of its lowest set bit.
+        size = self.size
+        if size == 1:
+            return
+        mask = 1
+        while mask < size:
+            for relative in range(size):
+                if relative & mask and not relative & (mask - 1):
+                    src = (relative + root) % size
+                    dst = ((relative ^ mask) + root) % size
+                    self.transfer(src, dst, values)
+            mask <<= 1
+        self.bcast(root, values)
 
 
 class _ScalarEngine:
@@ -101,52 +176,12 @@ class _ScalarEngine:
         if link is not None:
             self._link_free[link] = end
 
-    # -- collective schedules (mirroring repro.mpi.collectives) ---------------------
-    def scatter(self, root: int, values_per_rank: FloatArray) -> None:
-        for dst in range(self.platform.size):
-            if dst != root:
-                self.transfer(root, dst, float(values_per_rank[dst]))
-
-    def gather(self, root: int, values_per_rank: FloatArray) -> None:
-        for src in range(self.platform.size):
-            if src != root:
-                self.transfer(src, root, float(values_per_rank[src]))
-
-    def bcast(self, root: int, values: float) -> None:
-        size = self.platform.size
-        if size == 1:
-            return
-        # Binomial tree, depth-first: processing a child's forwards
-        # before the parent's next send preserves every rank's program
-        # order, which is all the clock arithmetic depends on.
-        def schedule(relative: int, mask: int) -> None:
-            mask >>= 1
-            while mask > 0:
-                child = relative + mask
-                if child < size:
-                    self.transfer(
-                        (relative + root) % size, (child + root) % size, values
-                    )
-                    schedule(child, mask)
-                mask >>= 1
-
-        schedule(0, 1 << (size - 1).bit_length())
-
-    def allreduce(self, root: int, values: float) -> None:
-        # Mirror of binomial_reduce: each non-root relative rank sends
-        # once to its parent, at the level of its lowest set bit.
-        size = self.platform.size
-        if size == 1:
-            return
-        mask = 1
-        while mask < size:
-            for relative in range(size):
-                if relative & mask and not relative & (mask - 1):
-                    src = (relative + root) % size
-                    dst = ((relative ^ mask) + root) % size
-                    self.transfer(src, dst, values)
-            mask <<= 1
-        self.bcast(root, values)
+    def execute(self, ops: list[tuple]) -> None:
+        for op in ops:
+            if op[0] == "compute":
+                self.compute(op[1], op[2], sequential=op[3])
+            else:
+                self.transfer(op[1], op[2], op[3])
 
     def result(self, master: int) -> ModelResult:
         total = float(self.clock.max())
@@ -177,6 +212,146 @@ def _block_values(partition: RowPartition, cols: int, bands: int, halo: int) -> 
     return values
 
 
+def emit_op_program(
+    algorithm: str,
+    platform: HeterogeneousPlatform,
+    partition: RowPartition,
+    rows: int,
+    cols: int,
+    bands: int,
+    params: Mapping[str, object] | None = None,
+    cost_model: CostModel | None = None,
+) -> list[tuple]:
+    """Flatten ``algorithm``'s schedule into the scalar-engine op list.
+
+    Returns ``("compute", rank, mflops, sequential, label)`` and
+    ``("transfer", src, dst, values)`` tuples in execution order, with
+    ``label`` the charged kernel's name (matching the ``kernel.*``
+    span names of a traced run).  :func:`model_run` executes exactly
+    this list; the what-if engine replays it under perturbations.
+    """
+    params = dict(params or {})
+    cost = cost_model or DEFAULT_COST_MODEL
+    master = platform.master_rank
+    p = platform.size
+    eng = _OpEmitter(p)
+    counts = partition.counts
+    n_local = counts * cols  # pixels per rank
+
+    if algorithm in ("atdca", "ufcls"):
+        t = int(params.get("n_targets", 18))
+        eng.compute(master, cost.scatter_pack(rows * cols * bands),
+                    sequential=True, label="scatter_pack")
+        eng.scatter(master, _block_values(partition, cols, bands, 0))
+        for rank in range(p):
+            eng.compute(rank, cost.brightest_search(int(n_local[rank]), bands),
+                        label="brightest_search")
+        eng.gather(master, np.full(p, bands + 2.0))
+        eng.compute(master, cost.brightest_search(p, bands),
+                    sequential=True, label="brightest_search")
+        eng.bcast(master, 1.0 * bands)
+        for k in range(1, t):
+            for rank in range(p):
+                if algorithm == "atdca":
+                    work = cost.osp_scores(int(n_local[rank]), bands, k)
+                    label = "osp_scores"
+                else:
+                    work = cost.fcls_scores(int(n_local[rank]), bands, k)
+                    label = "fcls_scores"
+                eng.compute(rank, work, label=label)
+            eng.gather(master, np.full(p, bands + 2.0))
+            if algorithm == "atdca":
+                sel = cost.master_osp_selection(bands, k, p)
+                label = "master_osp_selection"
+            else:
+                sel = cost.master_scls_selection(bands, k, p)
+                label = "master_scls_selection"
+            eng.compute(master, sel, sequential=True, label=label)
+            eng.bcast(master, float((k + 1) * bands))
+        return eng.ops
+
+    if algorithm == "pct":
+        c = int(params.get("n_classes", 24))
+        eng.compute(master, cost.scatter_pack(rows * cols * bands),
+                    sequential=True, label="scatter_pack")
+        eng.scatter(master, _block_values(partition, cols, bands, 0))
+        for rank in range(p):
+            eng.compute(rank, cost.unique_set_scan(int(n_local[rank]), bands, c),
+                        label="unique_set_scan")
+        # Typical per-worker unique-set size: the greedy scan saturates
+        # near the number of distinct scene signatures, ≈ c (the 4c cap
+        # is rarely approached).  Data-dependent, hence "model" not
+        # "mirror" for PCT — the validation test allows a few percent.
+        local_k = float(params.get("model_local_unique", c))
+        eng.gather(master, np.full(p, local_k * bands + local_k))
+        eng.compute(
+            master,
+            cost.dedup_unique_set(int(local_k * p), bands, kept=c),
+            sequential=True, label="dedup_unique_set",
+        )
+        eng.bcast(master, float(c * bands + c))
+        for rank in range(p):
+            eng.compute(rank, cost.covariance_accumulate(int(n_local[rank]), bands),
+                        label="covariance_accumulate")
+        eng.gather(master, np.full(p, bands + bands * bands + 1.0))
+        eng.compute(
+            master,
+            cost.covariance_accumulate(p, bands) + cost.eigendecomposition(bands),
+            sequential=True, label="eigendecomposition",
+        )
+        eng.bcast(master, float(bands + c * bands + bands))
+        for rank in range(p):
+            eng.compute(
+                rank,
+                cost.pct_projection(int(n_local[rank]), bands, c)
+                + cost.classify_by_sad(int(n_local[rank]), c, c),
+                label="pct_projection",
+            )
+        eng.allreduce(master, float(c))  # global reduced-space minimum
+        eng.gather(master, n_local.astype(float))  # label blocks
+        return eng.ops
+
+    if algorithm == "morph":
+        c = int(params.get("n_classes", 24))
+        iterations = int(params.get("iterations", 5))
+        se = params.get("se") or square(3)
+        exact_halo = bool(params.get("exact_halo", False))
+        halo = se.radius * (2 * iterations + 1) if exact_halo else se.radius
+        eng.compute(master, cost.scatter_pack(rows * cols * bands),
+                    sequential=True, label="scatter_pack")
+        eng.scatter(master, _block_values(partition, cols, bands, halo))
+        offsets = partition.offsets
+        for rank in range(p):
+            start = int(offsets[rank])
+            stop = start + int(counts[rank])
+            ext_rows = (
+                int(counts[rank]) + min(halo, start) + min(halo, rows - stop)
+            )
+            n_ext = ext_rows * cols
+            pool = min(int(n_local[rank]), 8 * c)
+            eng.compute(
+                rank,
+                cost.morph_iteration(n_ext, bands, se.size) * iterations
+                + cost.sad_pairs(pool * min(c, pool), bands),
+                label="morph_iteration",
+            )
+        eng.gather(master, np.full(p, c * bands + 2.0 * c))
+        eng.compute(
+            master, cost.dedup_unique_set(c * p, bands, kept=c),
+            sequential=True, label="dedup_unique_set",
+        )
+        eng.bcast(master, float(c * bands + 2 * c))
+        for rank in range(p):
+            eng.compute(
+                rank, cost.classify_by_sad(int(n_local[rank]), bands, c),
+                label="classify_by_sad",
+            )
+        eng.gather(master, 2.0 * n_local.astype(float))  # labels + MEI map
+        return eng.ops
+
+    raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+
+
 def model_run(
     algorithm: str,
     platform: HeterogeneousPlatform,
@@ -197,108 +372,11 @@ def model_run(
         params: algorithm parameters (as for ``run_parallel``).
         cost_model: flop/byte accounting (must match the engine run).
     """
-    params = dict(params or {})
     cost = cost_model or DEFAULT_COST_MODEL
+    ops = emit_op_program(
+        algorithm, platform, partition, rows, cols, bands,
+        params=params, cost_model=cost,
+    )
     eng = _ScalarEngine(platform, cost)
-    master = platform.master_rank
-    p = platform.size
-    counts = partition.counts
-    n_local = counts * cols  # pixels per rank
-
-    if algorithm in ("atdca", "ufcls"):
-        t = int(params.get("n_targets", 18))
-        eng.compute(master, cost.scatter_pack(rows * cols * bands), sequential=True)
-        eng.scatter(master, _block_values(partition, cols, bands, 0))
-        for rank in range(p):
-            eng.compute(rank, cost.brightest_search(int(n_local[rank]), bands))
-        eng.gather(master, np.full(p, bands + 2.0))
-        eng.compute(master, cost.brightest_search(p, bands), sequential=True)
-        eng.bcast(master, 1.0 * bands)
-        for k in range(1, t):
-            for rank in range(p):
-                if algorithm == "atdca":
-                    work = cost.osp_scores(int(n_local[rank]), bands, k)
-                else:
-                    work = cost.fcls_scores(int(n_local[rank]), bands, k)
-                eng.compute(rank, work)
-            eng.gather(master, np.full(p, bands + 2.0))
-            if algorithm == "atdca":
-                sel = cost.master_osp_selection(bands, k, p)
-            else:
-                sel = cost.master_scls_selection(bands, k, p)
-            eng.compute(master, sel, sequential=True)
-            eng.bcast(master, float((k + 1) * bands))
-        return eng.result(master)
-
-    if algorithm == "pct":
-        c = int(params.get("n_classes", 24))
-        eng.compute(master, cost.scatter_pack(rows * cols * bands), sequential=True)
-        eng.scatter(master, _block_values(partition, cols, bands, 0))
-        for rank in range(p):
-            eng.compute(rank, cost.unique_set_scan(int(n_local[rank]), bands, c))
-        # Typical per-worker unique-set size: the greedy scan saturates
-        # near the number of distinct scene signatures, ≈ c (the 4c cap
-        # is rarely approached).  Data-dependent, hence "model" not
-        # "mirror" for PCT — the validation test allows a few percent.
-        local_k = float(params.get("model_local_unique", c))
-        eng.gather(master, np.full(p, local_k * bands + local_k))
-        eng.compute(
-            master,
-            cost.dedup_unique_set(int(local_k * p), bands, kept=c),
-            sequential=True,
-        )
-        eng.bcast(master, float(c * bands + c))
-        for rank in range(p):
-            eng.compute(rank, cost.covariance_accumulate(int(n_local[rank]), bands))
-        eng.gather(master, np.full(p, bands + bands * bands + 1.0))
-        eng.compute(
-            master,
-            cost.covariance_accumulate(p, bands) + cost.eigendecomposition(bands),
-            sequential=True,
-        )
-        eng.bcast(master, float(bands + c * bands + bands))
-        for rank in range(p):
-            eng.compute(
-                rank,
-                cost.pct_projection(int(n_local[rank]), bands, c)
-                + cost.classify_by_sad(int(n_local[rank]), c, c),
-            )
-        eng.allreduce(master, float(c))  # global reduced-space minimum
-        eng.gather(master, n_local.astype(float))  # label blocks
-        return eng.result(master)
-
-    if algorithm == "morph":
-        c = int(params.get("n_classes", 24))
-        iterations = int(params.get("iterations", 5))
-        se = params.get("se") or square(3)
-        exact_halo = bool(params.get("exact_halo", False))
-        halo = se.radius * (2 * iterations + 1) if exact_halo else se.radius
-        eng.compute(master, cost.scatter_pack(rows * cols * bands), sequential=True)
-        eng.scatter(master, _block_values(partition, cols, bands, halo))
-        offsets = partition.offsets
-        for rank in range(p):
-            start = int(offsets[rank])
-            stop = start + int(counts[rank])
-            ext_rows = (
-                int(counts[rank]) + min(halo, start) + min(halo, rows - stop)
-            )
-            n_ext = ext_rows * cols
-            pool = min(int(n_local[rank]), 8 * c)
-            eng.compute(
-                rank,
-                cost.morph_iteration(n_ext, bands, se.size) * iterations
-                + cost.sad_pairs(pool * min(c, pool), bands),
-            )
-        eng.gather(master, np.full(p, c * bands + 2.0 * c))
-        eng.compute(
-            master, cost.dedup_unique_set(c * p, bands, kept=c), sequential=True
-        )
-        eng.bcast(master, float(c * bands + 2 * c))
-        for rank in range(p):
-            eng.compute(
-                rank, cost.classify_by_sad(int(n_local[rank]), bands, c)
-            )
-        eng.gather(master, 2.0 * n_local.astype(float))  # labels + MEI map
-        return eng.result(master)
-
-    raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+    eng.execute(ops)
+    return eng.result(platform.master_rank)

@@ -33,13 +33,14 @@ from repro.experiments.traced import (
     run_report,
     run_traced,
 )
+from repro.experiments.whatif import run_whatif
 from repro.hsi.scene import SceneConfig, make_wtc_scene
 
 __all__ = ["main", "EXPERIMENT_NAMES"]
 
 EXPERIMENT_NAMES = (
     "table3", "table4", "table5", "table6", "table7", "table8",
-    "figure1", "figure2",
+    "figure1", "figure2", "whatif",
 )
 _GRID_EXPERIMENTS = {"table5", "table6", "table7"}
 
@@ -101,6 +102,13 @@ def main(argv: list[str] | None = None) -> int:
                              "demo runs and the table5-7 grid cells; runs "
                              "go through the fault-tolerant driver, so "
                              "planned crashes recover onto the survivors")
+    parser.add_argument("--whatif", metavar="PLAN", default=None,
+                        help="replay the traced sim demo run under the JSON "
+                             "what-if plan (rank/op/link scaling, tier "
+                             "upgrades, cluster resizing): writes "
+                             "whatif_predict.json + whatif_causal.json + "
+                             "whatif_sweep.json next to the traces and "
+                             "prints the predicted makespan change")
     parser.add_argument("--jobs", type=int, default=None,
                         help="fan the table5-7 grid cells out over N worker "
                              "processes; results (and trace files) are "
@@ -127,11 +135,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--calibrate requires a directory name")
     if args.live == "":
         parser.error("--live requires a directory name")
+    if args.whatif == "":
+        parser.error("--whatif requires a plan file name")
     if (not args.experiments and args.trace is None and args.metrics is None
-            and args.report is None and args.calibrate is None):
+            and args.report is None and args.calibrate is None
+            and args.whatif is None):
         parser.error("nothing to do: name experiments and/or pass "
                      "--trace DIR / --metrics DIR / --report FILE / "
-                     "--calibrate DIR (--live attaches to those runs)")
+                     "--calibrate DIR / --whatif PLAN (--live attaches "
+                     "to those runs)")
 
     wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
         name for name in EXPERIMENT_NAMES if name in args.experiments
@@ -202,6 +214,31 @@ def main(argv: list[str] | None = None) -> int:
         calib_files = run_calibration(config, args.calibrate)
         print("  calibration -> "
               + ", ".join(p.name for p in calib_files))
+    if args.whatif is not None:
+        from repro.obs.whatif import load_whatif_plan
+
+        whatif_plan = load_whatif_plan(args.whatif)
+        print(f"what-if plan {whatif_plan.name!r}: "
+              f"{len(whatif_plan)} perturbations loaded", flush=True)
+        print("replaying the traced sim demo run under the plan...",
+              flush=True)
+        # A fault-injected trace may span several recovery attempts, so
+        # the replay baseline reuses the --trace run only when it was
+        # fault-free; otherwise a clean demo run is traced here.
+        whatif_result = run_whatif(
+            config,
+            plan=whatif_plan,
+            traced=sim_traced if fault_plan is None else None,
+            outdir=trace_dir if trace_dir is not None else outdir,
+            jobs=args.jobs,
+        )
+        doc = whatif_result.prediction
+        assert doc is not None
+        print(f"  baseline {doc['baseline_makespan_s']:.6f}s -> "
+              f"predicted {doc['predicted_makespan_s']:.6f}s "
+              f"({doc['delta_pct']:+.2f}%, speedup {doc['speedup']:.3f}x)")
+        print("  whatif json -> "
+              + ", ".join(p.name for p in whatif_result.files))
 
     scene = make_wtc_scene(config.scene)
     grid = None
@@ -231,6 +268,13 @@ def main(argv: list[str] | None = None) -> int:
             text = run_table8(config).to_text()
         elif name == "figure1":
             text = run_figure1(config, scene=scene, output_dir=outdir).to_text()
+        elif name == "whatif":
+            text = run_whatif(
+                config,
+                traced=sim_traced if fault_plan is None else None,
+                outdir=outdir,
+                jobs=args.jobs,
+            ).to_text()
         else:  # figure2
             text = run_figure2(config).to_text()
         sections.append(text)

@@ -227,6 +227,18 @@ def run_report(
     # post-recovery dense ranks back to original ids via the seam spans.
     platform = fully_heterogeneous()
     calibration = profile_trace(obs, platform)
+    # Capacity-plan section: deterministic what-if replay of the same
+    # trace at several cluster sizes.  Sim-exact replays only — a
+    # wall-clock trace has no exact replay, and a recovered run's
+    # trace spans several attempts.
+    sweep = None
+    if backend == "sim" and fault_plan is None:
+        from repro.obs.whatif import capacity_sweep, run_meta_of
+
+        if run_meta_of(obs) is not None:
+            sweep = capacity_sweep(
+                obs, platform, sizes=(4, 8, 12, 16, 24)
+            )
     subtitle = (
         f"{cfg.scene.rows}×{cfg.scene.cols}×{cfg.scene.bands} scene — "
         f"{platform.name} — {platform.size} ranks"
@@ -243,6 +255,7 @@ def run_report(
         calibration,
         title=f"{algorithm} — {backend} backend",
         subtitle=subtitle,
+        sweep=sweep,
     )
 
 

@@ -94,6 +94,19 @@ _LAZY = {
     "LatencySketch": "repro.obs.sketch",
     "P2Quantile": "repro.obs.sketch",
     "merge_sketches": "repro.obs.sketch",
+    "WhatIfPlan": "repro.obs.whatif",
+    "ReplayOp": "repro.obs.whatif",
+    "ReplayResult": "repro.obs.whatif",
+    "load_whatif_plan": "repro.obs.whatif",
+    "replay": "repro.obs.whatif",
+    "replay_ops_from_trace": "repro.obs.whatif",
+    "capacity_sweep": "repro.obs.whatif",
+    "whatif_predict": "repro.obs.whatif",
+    "CausalEntry": "repro.obs.causal",
+    "CausalProfile": "repro.obs.causal",
+    "causal_profile": "repro.obs.causal",
+    "provenance": "repro.obs.provenance",
+    "provenance_matches": "repro.obs.provenance",
 }
 
 
@@ -166,6 +179,19 @@ __all__ = [
     "write_jsonl",
     "write_metrics_json",
     "write_openmetrics",
+    "WhatIfPlan",
+    "ReplayOp",
+    "ReplayResult",
+    "load_whatif_plan",
+    "replay",
+    "replay_ops_from_trace",
+    "capacity_sweep",
+    "whatif_predict",
+    "CausalEntry",
+    "CausalProfile",
+    "causal_profile",
+    "provenance",
+    "provenance_matches",
 ]
 
 

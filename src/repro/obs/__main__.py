@@ -1,0 +1,75 @@
+"""Umbrella CLI for the observability toolbox.
+
+``python -m repro.obs`` lists the sub-tools; ``python -m repro.obs
+<tool> ...`` dispatches to the tool's own CLI with the remaining
+arguments, exactly as ``python -m repro.obs.<tool> ...`` would.  Each
+sub-CLI module is imported only when dispatched to, so ``--help`` stays
+instant and a broken optional dependency in one tool cannot take down
+the others.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import Sequence
+
+__all__ = ["main", "TOOLS"]
+
+#: tool name -> (module, one-line description shown by the listing).
+TOOLS: dict[str, tuple[str, str]] = {
+    "bench": (
+        "repro.obs.bench",
+        "run/compare benchmark suites and gate regressions",
+    ),
+    "profile": (
+        "repro.obs.profile",
+        "per-op cost-model profiles and calibration gates",
+    ),
+    "diff": (
+        "repro.obs.diff",
+        "structural + timing diff of two recorded traces",
+    ),
+    "live": (
+        "repro.obs.live",
+        "inspect live.json snapshots from streaming runs",
+    ),
+    "whatif": (
+        "repro.obs.whatif",
+        "what-if replay, causal profiles, capacity sweeps",
+    ),
+}
+
+
+def _usage() -> str:
+    lines = [
+        "usage: python -m repro.obs <tool> [args...]",
+        "",
+        "observability tools:",
+    ]
+    width = max(len(name) for name in TOOLS)
+    for name, (_module, description) in sorted(TOOLS.items()):
+        lines.append(f"  {name:<{width}}  {description}")
+    lines.append("")
+    lines.append(
+        "run `python -m repro.obs <tool> --help` for a tool's options"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(_usage())
+        return 0
+    tool = args[0]
+    entry = TOOLS.get(tool)
+    if entry is None:
+        print(f"error: unknown tool {tool!r}\n\n{_usage()}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(entry[0])
+    return int(module.main(args[1:]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

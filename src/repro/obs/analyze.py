@@ -30,6 +30,7 @@ from repro.obs.dag import (
     path_rank_attribution,
 )
 from repro.obs.export import spans_of
+from repro.obs.provenance import provenance
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.engine import SimulationResult
@@ -805,6 +806,7 @@ class TraceAnalysis:
         }
         if self.wea is not None:
             out["wea_attribution"] = self.wea.to_dict()
+        out["provenance"] = provenance()
         return out
 
     def to_json(self) -> str:

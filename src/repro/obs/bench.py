@@ -47,6 +47,7 @@ from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import variant_label
 from repro.hsi.scene import SceneConfig, make_wtc_scene
+from repro.obs.provenance import describe_mismatch, provenance, provenance_matches
 from repro.perf.imbalance import imbalance_of_run
 from repro.perf.report import format_table
 from repro.perf.timers import breakdown_of_run
@@ -306,6 +307,7 @@ def run_bench(
         "date": date,
         "config": config.to_dict(),
         "cells": cells,
+        "provenance": provenance(),
     }
 
 
@@ -367,6 +369,11 @@ def comparison_document(
         "baseline_date": baseline.get("date"),
         "candidate_date": candidate.get("date"),
         "config_match": baseline.get("config") == candidate.get("config"),
+        "provenance_match": provenance_matches(
+            baseline.get("provenance"), candidate.get("provenance")
+        ),
+        "baseline_provenance": baseline.get("provenance"),
+        "candidate_provenance": candidate.get("provenance"),
         "cells": [
             {
                 "cell_id": d.cell_id,
@@ -711,6 +718,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("warning: artifacts were produced with different "
                   "benchmark configs; cell-by-cell comparison may not be "
                   "meaningful", file=sys.stderr)
+        if provenance_matches(
+            baseline.get("provenance"), candidate.get("provenance")
+        ) is False:
+            print("warning: artifacts were produced in different "
+                  "environments:", file=sys.stderr)
+            for line in describe_mismatch(
+                baseline["provenance"], candidate["provenance"]
+            ):
+                print(f"  {line}", file=sys.stderr)
         diffs = compare_artifacts(
             baseline, candidate,
             sim_rtol=args.sim_rtol, wall_rtol=args.wall_rtol,

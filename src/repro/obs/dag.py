@@ -33,6 +33,7 @@ __all__ = [
     "HappensBeforeDag",
     "build_dag",
     "critical_path_nodes",
+    "node_slack",
     "path_increments",
     "path_rank_attribution",
 ]
@@ -244,6 +245,38 @@ def critical_path_nodes(
     untracked += max(path[-1].start, 0.0)  # time before the first activity
     path.reverse()
     return path, untracked
+
+
+def node_slack(dag: HappensBeforeDag) -> dict[str, float]:
+    """Per-node slack: how late each activity could finish without
+    extending the makespan.
+
+    A classic backward pass over the happens-before edges.  Each node's
+    *latest allowed end* is the makespan if nothing depends on it, else
+    the minimum over its successors of (successor's latest end minus
+    successor's duration); slack is that bound minus the actual end,
+    clamped at zero.  Nodes with zero slack form the critical
+    sub-DAG — exactly the activities whose virtual speedup moves the
+    end-to-end time, which is what the causal profiler cross-checks its
+    replay-measured gains against.
+
+    The sorted ``(start, end, key)`` order is a valid topological order
+    (every engine edge points from an earlier-starting node; ties are
+    simultaneous and edge-free on the engine), so its reverse drives
+    the backward pass without an explicit toposort.
+    """
+    order = sorted(dag.nodes.values(), key=lambda n: (n.start, n.end, n.key))
+    makespan = dag.makespan
+    latest_end = {node.key: makespan for node in order}
+    for node in reversed(order):
+        bound = latest_end[node.key] - node.duration
+        for pred_key in node.preds:
+            if bound < latest_end[pred_key]:
+                latest_end[pred_key] = bound
+    return {
+        node.key: max(0.0, latest_end[node.key] - node.end)
+        for node in order
+    }
 
 
 def nodes_of_rank(

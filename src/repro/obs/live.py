@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.obs.health import HealthConfig, HealthEvent, HealthMonitor
+from repro.obs.provenance import provenance
 from repro.obs.sketch import LatencySketch, merge_sketches
 from repro.obs.trace import Span
 
@@ -399,6 +400,7 @@ class LiveRuntime:
             "merged": merged,
             "recent": [_span_record(s) for s in self.recorder.ring_spans()],
             "health": self.health.state(),
+            "provenance": provenance(),
         }
 
     def write_snapshot(

@@ -29,6 +29,7 @@ for all text, and a selected dark mode via CSS custom properties.
 from __future__ import annotations
 
 import html
+import json
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -480,12 +481,38 @@ def _calibration_table(calibration: CalibrationReport) -> str:
     )
 
 
+def _sweep_table_html(sweep: Mapping[str, Any]) -> str:
+    recorded = float(sweep["recorded_makespan_s"])
+    rows = []
+    for point in sweep["points"]:
+        makespan = float(point["makespan_s"])
+        speedup = recorded / makespan if makespan else 0.0
+        marker = (
+            " class=\"current\""
+            if point["n_ranks"] == sweep["recorded_n_ranks"] else ""
+        )
+        rows.append(
+            f"<tr{marker}>"
+            f"<td>{point['n_ranks']}</td><td>{_fmt(makespan)}</td>"
+            f"<td>{point['throughput_pixels_per_s']:.1f}</td>"
+            f"<td>{speedup:.3f}×</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>ranks</th><th>predicted makespan s</th>"
+        "<th>throughput px/s</th><th>vs recorded</th></tr></thead><tbody>"
+        + "".join(rows)
+        + "</tbody></table>"
+    )
+
+
 def render_report(
     source: Any,
     analysis: TraceAnalysis,
     calibration: CalibrationReport | None = None,
     title: str = "Run report",
     subtitle: str = "",
+    sweep: Mapping[str, Any] | None = None,
 ) -> str:
     """Render one traced run as a self-contained HTML document.
 
@@ -496,6 +523,9 @@ def render_report(
             bytes are embedded verbatim for machine consumption.
         calibration: optional cost-model calibration to include.
         title, subtitle: report heading lines.
+        sweep: optional capacity-sweep document
+            (:func:`repro.obs.whatif.capacity_sweep`) rendered as a
+            predicted makespan/throughput-vs-cluster-size table.
     """
     spans = spans_of(source)
     if not spans:
@@ -570,6 +600,13 @@ def render_report(
             + _calibration_table(calibration)
             + "</section>"
         )
+    if sweep is not None:
+        sections.append(
+            "<section><h2>Capacity plan — predicted scaling "
+            "(what-if replay)</h2>"
+            + _sweep_table_html(sweep)
+            + "</section>"
+        )
 
     embeds = [
         '<script type="application/json" id="repro-analysis">'
@@ -580,6 +617,12 @@ def render_report(
         embeds.append(
             '<script type="application/json" id="repro-calibration">'
             + calibration.to_json()
+            + "</script>"
+        )
+    if sweep is not None:
+        embeds.append(
+            '<script type="application/json" id="repro-whatif-sweep">'
+            + json.dumps(sweep, sort_keys=True, separators=(",", ":"))
             + "</script>"
         )
 
@@ -605,13 +648,15 @@ def write_report(
     calibration: CalibrationReport | None = None,
     title: str = "Run report",
     subtitle: str = "",
+    sweep: Mapping[str, Any] | None = None,
 ) -> Path:
     """Render and write the HTML report; returns the written path."""
     out = Path(path)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(
         render_report(
-            source, analysis, calibration, title=title, subtitle=subtitle
+            source, analysis, calibration, title=title, subtitle=subtitle,
+            sweep=sweep,
         ),
         encoding="utf-8",
     )

@@ -43,10 +43,12 @@ from typing import Any, Callable, Iterator, Mapping
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER", "tracer_of"]
 
-#: Span categories understood by the exporters.
+#: Span categories understood by the exporters.  ``meta`` spans are
+#: zero-duration descriptors (the ``run.meta`` workload header consumed
+#: by :mod:`repro.obs.whatif`); they carry attributes, not time.
 SPAN_CATEGORIES = (
     "phase", "compute", "seq", "kernel", "transfer", "mpi", "fault",
-    "health",
+    "health", "meta",
 )
 
 

@@ -1,0 +1,1345 @@
+"""Deterministic what-if replay of recorded traces.
+
+A recorded sim trace fixes two things exactly: the *op program* (which
+compute charges and which messages, in which per-rank order) and the
+*happens-before structure* (per-rank program order plus serialized
+inter-segment links).  In the master-centric programs this repo runs,
+any two transfers that share a serial link are themselves
+happens-before ordered — scatter/gather are sequenced at the master and
+the binomial trees order parent before child — so the engine's
+link-claim order is determined by program structure, not by timing.
+That is the load-bearing fact of this module: a sequential scalar-clock
+replay that processes ops in any happens-before-topological order
+reproduces the engine's virtual times **exactly**, under *arbitrary*
+timing perturbations.  The recorded global span order
+``(start, rank, seq)`` is such an order (all durations are positive, so
+per-rank starts strictly increase).
+
+On top of that replay sit declarative perturbations
+(:class:`WhatIfPlan`): per-rank and per-op-class compute scaling, link
+capacity/latency edits, accelerator tier upgrades, and worker
+add/remove with WEA re-partitioning (the structural cases regenerate
+the op program analytically via
+:func:`repro.experiments.model.emit_op_program` from the trace's
+``run.meta`` descriptor).  Every perturbation that is also expressible
+as a fault plan or an edited platform table is *self-validating*: the
+replayed prediction must match an actual sim-engine run to 1e-9
+relative (``python -m repro.obs.whatif validate`` gates exactly that in
+CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.cluster.accelerator import AcceleratorSpec
+from repro.cluster.costs import CostModel
+from repro.cluster.perturb import extend_platform, upgrade_ranks
+from repro.cluster.platform import HeterogeneousPlatform
+from repro.errors import ConfigurationError, WhatIfPlanError
+from repro.obs.export import _JSON_KW, spans_of
+from repro.obs.provenance import provenance
+
+__all__ = [
+    "RankComputeScale",
+    "OpClassScale",
+    "LinkScale",
+    "LatencyScale",
+    "TierUpgrade",
+    "ResizeCluster",
+    "WhatIfPlan",
+    "load_whatif_plan",
+    "ReplayOp",
+    "ReplayResult",
+    "replay",
+    "replay_ops_from_trace",
+    "replay_ops_from_model",
+    "run_meta_of",
+    "predict",
+    "whatif_predict",
+    "capacity_sweep",
+    "run_validation",
+    "main",
+    "PREDICT_SCHEMA",
+    "SWEEP_SCHEMA",
+    "VALIDATE_SCHEMA",
+]
+
+PREDICT_SCHEMA = "repro.obs.whatif/1"
+SWEEP_SCHEMA = "repro.obs.whatif.sweep/1"
+VALIDATE_SCHEMA = "repro.obs.whatif.validate/1"
+
+#: Default validation tolerance (the calibration sim exactness bound).
+DEFAULT_REL_TOLERANCE = 1e-9
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise WhatIfPlanError(message)
+
+
+def _finite_window(start_s: float, end_s: float | None, kind: str) -> None:
+    _require(
+        math.isfinite(start_s) and start_s >= 0,
+        f"{kind}: start_s must be finite and >= 0, got {start_s}",
+    )
+    if end_s is not None:
+        _require(
+            math.isfinite(end_s) and end_s > start_s,
+            f"{kind}: end_s must be finite and > start_s, got {end_s}",
+        )
+
+
+def _in_window(start_s: float, end_s: float | None, t: float) -> bool:
+    return start_s <= t and (end_s is None or t < end_s)
+
+
+@dataclasses.dataclass(frozen=True)
+class RankComputeScale:
+    """Scale one rank's compute durations by ``factor`` in a window.
+
+    ``factor == 3.0`` with a full-run window is the what-if twin of the
+    fault plan's ``rank_slowdown``; ``factor == 0.5`` asks "what if
+    this node were twice as fast".  ``end_s = None`` means unbounded.
+    """
+
+    rank: int
+    factor: float
+    start_s: float = 0.0
+    end_s: float | None = None
+
+    kind = "rank_compute_scale"
+
+    def validate(self) -> None:
+        _require(self.rank >= 0,
+                 f"rank_compute_scale: rank must be >= 0, got {self.rank}")
+        _require(
+            math.isfinite(self.factor) and self.factor > 0,
+            f"rank_compute_scale: factor must be positive, got {self.factor}",
+        )
+        _finite_window(self.start_s, self.end_s, "rank_compute_scale")
+
+
+@dataclasses.dataclass(frozen=True)
+class OpClassScale:
+    """Scale every compute op of one kernel class by ``factor``.
+
+    ``op`` names a charged kernel (``"osp_scores"``,
+    ``"brightest_search"``, ...) as recorded in the trace's ``kernel.*``
+    spans / emitted op labels.
+    """
+
+    op: str
+    factor: float
+
+    kind = "op_class_scale"
+
+    def validate(self) -> None:
+        _require(bool(self.op), "op_class_scale: op name is required")
+        _require(
+            math.isfinite(self.factor) and self.factor > 0,
+            f"op_class_scale: factor must be positive, got {self.factor}",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkScale:
+    """Scale the capacity term of a segment pair in a window.
+
+    Mirrors the fault plan's ``link_degrade`` (latency unaffected);
+    ``segment_a == segment_b`` targets the intra-segment medium.
+    """
+
+    segment_a: str
+    segment_b: str
+    factor: float
+    start_s: float = 0.0
+    end_s: float | None = None
+
+    kind = "link_scale"
+
+    def validate(self) -> None:
+        _require(
+            bool(self.segment_a) and bool(self.segment_b),
+            "link_scale: both segment names are required",
+        )
+        _require(
+            math.isfinite(self.factor) and self.factor > 0,
+            f"link_scale: factor must be positive, got {self.factor}",
+        )
+        _finite_window(self.start_s, self.end_s, "link_scale")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        a, b = self.segment_a, self.segment_b
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyScale:
+    """Scale the fixed per-message latency of every transfer."""
+
+    factor: float
+
+    kind = "latency_scale"
+
+    def validate(self) -> None:
+        _require(
+            math.isfinite(self.factor) and self.factor >= 0,
+            f"latency_scale: factor must be >= 0, got {self.factor}",
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TierUpgrade:
+    """Replace the processors at ``ranks`` with an accelerator tier.
+
+    The accelerator keeps each node's memory and charges
+    ``launch_overhead_s + mflops * (device_cycle_time +
+    hd_transfer_s_per_mflop)`` per compute op — a pure function of the
+    charged megaflops, so the same upgrade is independently runnable on
+    the sim engine via :func:`repro.cluster.perturb.upgrade_ranks`.
+    """
+
+    ranks: tuple[int, ...]
+    device_cycle_time: float
+    name: str = "gpu"
+    launch_overhead_s: float = 0.0
+    hd_transfer_s_per_mflop: float = 0.0
+
+    kind = "tier_upgrade"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "ranks", tuple(int(r) for r in self.ranks))
+
+    def validate(self) -> None:
+        _require(len(self.ranks) > 0, "tier_upgrade: ranks must be non-empty")
+        _require(all(r >= 0 for r in self.ranks),
+                 "tier_upgrade: ranks must be >= 0")
+        _require(
+            math.isfinite(self.device_cycle_time)
+            and self.device_cycle_time > 0,
+            f"tier_upgrade: device_cycle_time must be positive, "
+            f"got {self.device_cycle_time}",
+        )
+        _require(
+            self.launch_overhead_s >= 0
+            and self.hd_transfer_s_per_mflop >= 0,
+            "tier_upgrade: overheads must be >= 0",
+        )
+
+    def accelerator(self) -> AcceleratorSpec:
+        return AcceleratorSpec(
+            name=self.name,
+            device_cycle_time=self.device_cycle_time,
+            launch_overhead_s=self.launch_overhead_s,
+            hd_transfer_s_per_mflop=self.hd_transfer_s_per_mflop,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ResizeCluster:
+    """Re-run the workload on a platform resized to ``n_ranks``.
+
+    Structural: the op program is regenerated analytically with a fresh
+    WEA partition over the resized platform (shrinking keeps the first
+    ``n_ranks`` ranks; growing clones workers round-robin).  Requires
+    the trace to carry a ``run.meta`` descriptor.
+    """
+
+    n_ranks: int
+
+    kind = "resize_cluster"
+
+    def validate(self) -> None:
+        _require(self.n_ranks >= 1,
+                 f"resize_cluster: n_ranks must be >= 1, got {self.n_ranks}")
+
+
+_WHATIF_KINDS = {
+    cls.kind: cls
+    for cls in (
+        RankComputeScale, OpClassScale, LinkScale, LatencyScale,
+        TierUpgrade, ResizeCluster,
+    )
+}
+
+Perturbation = (
+    RankComputeScale | OpClassScale | LinkScale | LatencyScale
+    | TierUpgrade | ResizeCluster
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class WhatIfPlan:
+    """An immutable, validated, ordered set of perturbations."""
+
+    perturbations: tuple[Perturbation, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "perturbations", tuple(self.perturbations))
+        for pert in self.perturbations:
+            if type(pert) not in _WHATIF_KINDS.values():
+                raise WhatIfPlanError(
+                    f"unknown perturbation object {pert!r} "
+                    f"in plan {self.name!r}"
+                )
+            pert.validate()
+
+    def __iter__(self) -> Iterable[Perturbation]:
+        return iter(self.perturbations)
+
+    def __len__(self) -> int:
+        return len(self.perturbations)
+
+    def of_kind(self, kind: str) -> tuple[Perturbation, ...]:
+        return tuple(p for p in self.perturbations if p.kind == kind)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"perturbations": []}
+        if self.name:
+            out["name"] = self.name
+        for pert in self.perturbations:
+            entry: dict[str, Any] = {"kind": pert.kind}
+            for field in dataclasses.fields(pert):
+                value = getattr(pert, field.name)
+                if value is not None:
+                    entry[field.name] = (
+                        list(value) if isinstance(value, tuple) else value
+                    )
+            out["perturbations"].append(entry)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def write_json(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(self.to_json(), encoding="utf-8")
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "WhatIfPlan":
+        if not isinstance(doc, Mapping) or "perturbations" not in doc:
+            raise WhatIfPlanError(
+                'what-if plan document needs a "perturbations" list'
+            )
+        perts = []
+        for i, entry in enumerate(doc["perturbations"]):
+            if not isinstance(entry, Mapping) or "kind" not in entry:
+                raise WhatIfPlanError(
+                    f'perturbation #{i} needs a "kind" field'
+                )
+            kind = entry["kind"]
+            pert_cls = _WHATIF_KINDS.get(kind)
+            if pert_cls is None:
+                raise WhatIfPlanError(
+                    f"perturbation #{i}: unknown kind {kind!r} "
+                    f"(expected one of {sorted(_WHATIF_KINDS)})"
+                )
+            fields = {f.name for f in dataclasses.fields(pert_cls)}
+            kwargs = {k: v for k, v in entry.items() if k != "kind"}
+            unknown = set(kwargs) - fields
+            if unknown:
+                raise WhatIfPlanError(
+                    f"perturbation #{i} ({kind}): "
+                    f"unknown fields {sorted(unknown)}"
+                )
+            try:
+                perts.append(pert_cls(**kwargs))
+            except TypeError as exc:
+                raise WhatIfPlanError(
+                    f"perturbation #{i} ({kind}): {exc}"
+                ) from exc
+        return cls(perturbations=tuple(perts), name=str(doc.get("name", "")))
+
+    def apply_platform(
+        self, platform: HeterogeneousPlatform
+    ) -> HeterogeneousPlatform:
+        """The platform with every ``tier_upgrade`` applied."""
+        for pert in self.of_kind("tier_upgrade"):
+            platform.processor(max(pert.ranks))  # range check
+            platform = upgrade_ranks(platform, pert.ranks, pert.accelerator())
+        return platform
+
+
+def load_whatif_plan(path: str | Path) -> WhatIfPlan:
+    """Read and validate a JSON what-if plan file."""
+    source = Path(path)
+    try:
+        doc = json.loads(source.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise WhatIfPlanError(
+            f"cannot read what-if plan {source}: {exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise WhatIfPlanError(
+            f"what-if plan {source} is not valid JSON: {exc}"
+        ) from exc
+    plan = WhatIfPlan.from_dict(doc)
+    if not plan.name:
+        plan = dataclasses.replace(plan, name=source.stem)
+    return plan
+
+
+# -- replay ops ---------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ReplayOp:
+    """One engine-visible op: a compute charge or a point-to-point send.
+
+    ``factor`` carries a fault dilation *recorded* in the source trace
+    (the engine stamps it on slowed compute spans), so replaying a
+    faulted trace without a plan reproduces the faulted run.
+    """
+
+    kind: str  # "compute" | "transfer"
+    rank: int  # src for transfers
+    dst: int = -1
+    mflops: float = 0.0
+    megabits: float = 0.0
+    factor: float = 1.0
+    sequential: bool = False
+    label: str = ""
+
+
+def run_meta_of(source: Any) -> dict[str, Any] | None:
+    """The trace's ``run.meta`` workload descriptor (last one wins)."""
+    meta = None
+    for span in spans_of(source):
+        if span.category == "meta" and span.name == "run.meta":
+            meta = dict(span.attrs)
+    return meta
+
+
+def _kernel_label(
+    kernels: Sequence[tuple[float, float, str]] | None, start: float,
+    end: float,
+) -> str:
+    """Innermost kernel interval containing ``[start, end]`` (else "")."""
+    if not kernels:
+        return ""
+    best, best_start = "", -math.inf
+    for k_start, k_end, name in kernels:
+        if k_start <= start and end <= k_end and k_start >= best_start:
+            best, best_start = name, k_start
+    return best
+
+
+def replay_ops_from_trace(
+    source: Any,
+) -> tuple[list[ReplayOp], dict[str, Any] | None]:
+    """Extract the replayable op program from a recorded trace.
+
+    Compute ops come from ``compute``/``seq`` spans (one per charge,
+    labelled by the innermost enclosing ``kernel.*`` span); transfers
+    from the *send*-side ``transfer`` spans (one per message, carrying
+    the wire megabits).  The returned list is in recorded
+    ``(start, rank, seq)`` order — a happens-before-topological order,
+    which is what :func:`replay` requires.
+    """
+    spans = spans_of(source)
+    kernels: dict[int, list[tuple[float, float, str]]] = {}
+    for s in spans:
+        if s.category == "kernel":
+            kernels.setdefault(s.rank, []).append(
+                (s.start, s.end, str(s.attrs.get("kernel", s.name)))
+            )
+    ops: list[ReplayOp] = []
+    for s in spans:
+        if s.category in ("compute", "seq"):
+            ops.append(ReplayOp(
+                kind="compute",
+                rank=s.rank,
+                mflops=float(s.attrs.get("mflops", 0.0)),
+                factor=float(s.attrs.get("factor", 1.0)),
+                sequential=s.category == "seq",
+                label=_kernel_label(kernels.get(s.rank), s.start, s.end),
+            ))
+        elif (
+            s.category == "transfer"
+            and s.attrs.get("direction") == "send"
+        ):
+            ops.append(ReplayOp(
+                kind="transfer",
+                rank=s.rank,
+                dst=int(s.attrs["peer"]),
+                megabits=float(s.attrs["megabits"]),
+            ))
+    if not ops:
+        raise ConfigurationError(
+            "trace has no replayable compute/transfer spans"
+        )
+    return ops, run_meta_of(source)
+
+
+def replay_ops_from_model(
+    algorithm: str,
+    platform: HeterogeneousPlatform,
+    partition: Any,
+    rows: int,
+    cols: int,
+    bands: int,
+    params: Mapping[str, Any] | None = None,
+    cost_model: CostModel | None = None,
+) -> list[ReplayOp]:
+    """Generate the op program analytically (for structural what-ifs).
+
+    Uses the scalar model's :func:`emit_op_program` — byte-identical to
+    what :func:`repro.experiments.model.model_run` executes, and (for
+    ATDCA/UFCLS) exactly what the engine itself would do.
+    """
+    from repro.cluster.costs import DEFAULT_COST_MODEL
+    from repro.experiments.model import _ENVELOPE, emit_op_program
+
+    cost = cost_model or DEFAULT_COST_MODEL
+    ops: list[ReplayOp] = []
+    for op in emit_op_program(
+        algorithm, platform, partition, rows, cols, bands,
+        params=params, cost_model=cost,
+    ):
+        if op[0] == "compute":
+            ops.append(ReplayOp(
+                kind="compute", rank=op[1], mflops=op[2],
+                sequential=op[3], label=op[4],
+            ))
+        else:
+            ops.append(ReplayOp(
+                kind="transfer", rank=op[1], dst=op[2],
+                megabits=cost.values_megabits(int(op[3]) + _ENVELOPE),
+            ))
+    return ops
+
+
+# -- the replay engine --------------------------------------------------------
+
+class _CompiledPlan:
+    """Plan → fast window-checked multiplicative factor lookups,
+    mirroring :class:`repro.faults.injector.FaultInjector` semantics
+    (factors of all matching windows multiply; windows are checked at
+    the op's replay *start* time)."""
+
+    def __init__(self, plan: WhatIfPlan | None) -> None:
+        plan = plan or WhatIfPlan()
+        self.rank_scales: dict[int, list[tuple[float, float, float | None]]]
+        self.rank_scales = {}
+        for p in plan.of_kind("rank_compute_scale"):
+            self.rank_scales.setdefault(p.rank, []).append(
+                (p.factor, p.start_s, p.end_s)
+            )
+        self.op_scales: dict[str, float] = {}
+        for p in plan.of_kind("op_class_scale"):
+            self.op_scales[p.op] = (
+                self.op_scales.get(p.op, 1.0) * p.factor
+            )
+        self.link_scales: dict[
+            tuple[str, str], list[tuple[float, float, float | None]]
+        ] = {}
+        for p in plan.of_kind("link_scale"):
+            self.link_scales.setdefault(p.pair, []).append(
+                (p.factor, p.start_s, p.end_s)
+            )
+        self.latency_factor = 1.0
+        for p in plan.of_kind("latency_scale"):
+            self.latency_factor *= p.factor
+        self.trivial = not (
+            self.rank_scales or self.op_scales or self.link_scales
+            or self.latency_factor != 1.0
+        )
+
+    def compute_factor(self, rank: int, label: str, t: float) -> float:
+        factor = 1.0
+        for value, start_s, end_s in self.rank_scales.get(rank, ()):
+            if _in_window(start_s, end_s, t):
+                factor *= value
+        if label:
+            factor *= self.op_scales.get(label, 1.0)
+        return factor
+
+    def link_factor(self, pair: tuple[str, str], t: float) -> float:
+        factor = 1.0
+        for value, start_s, end_s in self.link_scales.get(pair, ()):
+            if _in_window(start_s, end_s, t):
+                factor *= value
+        return factor
+
+
+@dataclasses.dataclass(frozen=True)
+class ReplayResult:
+    """Predicted timing of one replay.
+
+    Attributes:
+        makespan: predicted end-to-end virtual time.
+        finish_times: per-rank finish times.
+        rank_compute_s: per-rank compute-busy seconds.
+        op_compute_s: per-kernel-class compute-busy seconds.
+        link_busy_s: per-link transfer-busy seconds (keyed like the
+            engine's link labels: ``"s1|s2"`` or ``"intra:s1"``).
+    """
+
+    makespan: float
+    finish_times: tuple[float, ...]
+    rank_compute_s: Mapping[int, float]
+    op_compute_s: Mapping[str, float]
+    link_busy_s: Mapping[str, float]
+
+
+def replay(
+    ops: Sequence[ReplayOp],
+    platform: HeterogeneousPlatform,
+    plan: WhatIfPlan | None = None,
+    scales: Mapping[str, float] | None = None,
+) -> ReplayResult:
+    """Re-execute an op program with scalar clocks under a plan.
+
+    Duration rules are the engine's, bit for bit: compute
+    ``processor.compute_seconds(mflops)`` dilated by the recorded fault
+    factor, the plan's compute factor and the calibration compute
+    scale; transfers ``latency + capacity·megabits`` with sender /
+    receiver / serial-link readiness maxima, the plan's capacity factor
+    applied to the volume term only (exactly the fault injector's
+    formula), and the calibration transfer scale.  Neutral factors are
+    skipped so an unperturbed replay of a sim trace reproduces its
+    makespan *byte-identically*.
+
+    Note ``plan`` here must contain timing perturbations only —
+    structural kinds (``resize_cluster``) and platform edits
+    (``tier_upgrade``) are resolved by :func:`predict` before replay.
+    """
+    compiled = _CompiledPlan(plan)
+    scales = scales or {}
+    cscale = float(scales.get("compute", 1.0))
+    tscale = float(scales.get("transfer", 1.0))
+    n = platform.size
+    network = platform.network
+    processors = [platform.processor(r) for r in range(n)]
+    clock = [0.0] * n
+    link_free: dict[tuple[str, str], float] = {}
+    rank_compute: dict[int, float] = {}
+    op_compute: dict[str, float] = {}
+    link_busy: dict[str, float] = {}
+    for op in ops:
+        if op.kind == "compute":
+            rank = op.rank
+            if not 0 <= rank < n:
+                raise ConfigurationError(
+                    f"replay op references rank {rank} but the platform "
+                    f"has {n} ranks"
+                )
+            dt = processors[rank].compute_seconds(op.mflops)
+            if op.factor != 1.0:
+                dt *= op.factor
+            factor = compiled.compute_factor(rank, op.label, clock[rank])
+            if factor != 1.0:
+                dt *= factor
+            if cscale != 1.0:
+                dt *= cscale
+            clock[rank] += dt
+            rank_compute[rank] = rank_compute.get(rank, 0.0) + dt
+            if op.label:
+                op_compute[op.label] = op_compute.get(op.label, 0.0) + dt
+        else:
+            src, dst = op.rank, op.dst
+            if src == dst:
+                continue
+            if not (0 <= src < n and 0 <= dst < n):
+                raise ConfigurationError(
+                    f"replay transfer {src}->{dst} outside the platform's "
+                    f"{n} ranks"
+                )
+            start = max(clock[src], clock[dst])
+            link = network.link_resource(src, dst)
+            if link is not None:
+                start = max(start, link_free.get(link, 0.0))
+            duration = network.transfer_seconds(src, dst, op.megabits)
+            seg_a = network.segment_of(src)
+            seg_b = network.segment_of(dst)
+            pair = (seg_a, seg_b) if seg_a <= seg_b else (seg_b, seg_a)
+            cap_factor = compiled.link_factor(pair, start)
+            lat_factor = compiled.latency_factor
+            if cap_factor != 1.0 or lat_factor != 1.0:
+                duration = (
+                    lat_factor * network.latency_s
+                    + cap_factor * (duration - network.latency_s)
+                )
+            if tscale != 1.0:
+                duration *= tscale
+            end = start + duration
+            clock[src] = end
+            clock[dst] = end
+            if link is not None:
+                link_free[link] = end
+            label = "|".join(link) if link else f"intra:{seg_a}"
+            link_busy[label] = link_busy.get(label, 0.0) + duration
+    return ReplayResult(
+        makespan=max(clock),
+        finish_times=tuple(clock),
+        rank_compute_s=rank_compute,
+        op_compute_s=op_compute,
+        link_busy_s=link_busy,
+    )
+
+
+# -- meta decoding ------------------------------------------------------------
+
+_META_PARAM_KEYS = (
+    "n_targets", "n_classes", "iterations", "exact_halo", "threshold",
+    "dedup_threshold",
+)
+
+
+def _meta_required(meta: Mapping[str, Any] | None, why: str) -> Mapping[str, Any]:
+    if meta is None:
+        raise WhatIfPlanError(
+            f"{why} requires a trace with a run.meta span "
+            "(re-record the trace with this version)"
+        )
+    return meta
+
+
+def _cost_model_from_meta(meta: Mapping[str, Any]) -> CostModel:
+    return CostModel(
+        efficiency=float(meta["efficiency"]),
+        bytes_per_value=int(meta["bytes_per_value"]),
+        compute_scale=float(meta["compute_scale"]),
+        comm_scale=float(meta["comm_scale"]),
+    )
+
+
+def _params_from_meta(meta: Mapping[str, Any]) -> dict[str, Any]:
+    return {k: meta[k] for k in _META_PARAM_KEYS if k in meta}
+
+
+def _model_ops_for_platform(
+    meta: Mapping[str, Any], target: HeterogeneousPlatform
+) -> list[ReplayOp]:
+    """Regenerate the op program for a (possibly resized) platform with
+    a fresh WEA partition, exactly as a real run would derive it."""
+    from repro.core.runner import make_row_partition_for_dims
+
+    cost = _cost_model_from_meta(meta)
+    params = _params_from_meta(meta)
+    algorithm = str(meta["algorithm"])
+    variant = str(meta.get("variant", "hetero"))
+    rows, cols = int(meta["rows"]), int(meta["cols"])
+    bands = int(meta["bands"])
+    partition = make_row_partition_for_dims(
+        target, rows, cols, bands, algorithm, params,
+        variant=variant, cost_model=cost,
+    )
+    return replay_ops_from_model(
+        algorithm, target, partition, rows, cols, bands,
+        params=params, cost_model=cost,
+    )
+
+
+# -- prediction ---------------------------------------------------------------
+
+def predict(
+    source: Any,
+    platform: HeterogeneousPlatform,
+    plan: WhatIfPlan | None = None,
+    scales: Mapping[str, float] | None = None,
+) -> dict[str, Any]:
+    """Replay a trace under a plan → the prediction document.
+
+    The baseline is an *unperturbed* replay of the same ops on the
+    original platform (byte-identical to the recorded makespan for sim
+    traces), so predicted deltas are self-consistent even when
+    calibration scales are applied to both sides.
+    """
+    ops, meta = replay_ops_from_trace(source)
+    plan = plan or WhatIfPlan()
+    baseline = replay(ops, platform, scales=scales)
+    target = plan.apply_platform(platform)
+    resizes = plan.of_kind("resize_cluster")
+    if resizes:
+        target = extend_platform(target, resizes[-1].n_ranks)
+        replay_ops = _model_ops_for_platform(
+            _meta_required(meta, "resize_cluster"), target
+        )
+    else:
+        replay_ops = ops
+    predicted = replay(replay_ops, target, plan=plan, scales=scales)
+    base, pred = baseline.makespan, predicted.makespan
+    doc = {
+        "schema": PREDICT_SCHEMA,
+        "baseline_makespan_s": base,
+        "predicted_makespan_s": pred,
+        "delta_s": pred - base,
+        "delta_pct": (100.0 * (pred - base) / base) if base else 0.0,
+        "speedup": (base / pred) if pred else math.inf,
+        "n_ops": len(replay_ops),
+        "n_ranks": target.size,
+        "plan": plan.to_dict(),
+        "provenance": provenance(),
+    }
+    return doc
+
+
+#: Package-level alias (:mod:`repro.obs` re-exports it under this name;
+#: bare ``predict`` is too generic at package scope).
+whatif_predict = predict
+
+
+# -- capacity sweeps ----------------------------------------------------------
+
+def _sweep_point(
+    meta: Mapping[str, Any],
+    platform: HeterogeneousPlatform,
+    plan: WhatIfPlan | None,
+    scales: Mapping[str, float] | None,
+    n: int,
+) -> dict[str, Any]:
+    target = extend_platform(
+        (plan or WhatIfPlan()).apply_platform(platform), n
+    )
+    ops = _model_ops_for_platform(meta, target)
+    result = replay(ops, target, plan=plan, scales=scales)
+    pixels = int(meta["rows"]) * int(meta["cols"])
+    makespan = result.makespan
+    return {
+        "n_ranks": n,
+        "makespan_s": makespan,
+        "throughput_pixels_per_s": (pixels / makespan) if makespan else 0.0,
+        "n_ops": len(ops),
+    }
+
+
+#: Per-worker state for the pooled sweep path (grid.py's pattern).
+_POOL_STATE: dict[str, Any] | None = None
+
+
+def _sweep_pool_init(
+    meta: Mapping[str, Any],
+    platform: HeterogeneousPlatform,
+    plan: WhatIfPlan | None,
+    scales: Mapping[str, float] | None,
+) -> None:
+    global _POOL_STATE
+    _POOL_STATE = {
+        "meta": meta, "platform": platform, "plan": plan, "scales": scales,
+    }
+
+
+def _sweep_pool_point(n: int) -> dict[str, Any]:
+    assert _POOL_STATE is not None
+    return _sweep_point(
+        _POOL_STATE["meta"], _POOL_STATE["platform"], _POOL_STATE["plan"],
+        _POOL_STATE["scales"], n,
+    )
+
+
+def capacity_sweep(
+    source: Any,
+    platform: HeterogeneousPlatform,
+    sizes: Sequence[int],
+    plan: WhatIfPlan | None = None,
+    scales: Mapping[str, float] | None = None,
+    jobs: int | None = None,
+) -> dict[str, Any]:
+    """Predicted makespan/throughput vs cluster size.
+
+    Each point regenerates the analytic op program with a fresh WEA
+    partition on the resized platform (clone-extended above the
+    recorded size) and replays it under the optional timing plan.
+    Points are pure functions of their inputs, so ``jobs`` fans them
+    out with byte-identical results (``pool.map`` preserves order).
+    """
+    ops, meta = replay_ops_from_trace(source)
+    meta = _meta_required(meta, "capacity_sweep")
+    sizes = [int(n) for n in sizes]
+    if not sizes:
+        raise ConfigurationError("capacity sweep needs at least one size")
+    baseline = replay(ops, platform, scales=scales)
+    if jobs is not None and jobs > 1 and len(sizes) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(sizes)),
+            initializer=_sweep_pool_init,
+            initargs=(dict(meta), platform, plan, scales),
+        ) as pool:
+            points = list(pool.map(_sweep_pool_point, sizes))
+    else:
+        points = [
+            _sweep_point(meta, platform, plan, scales, n) for n in sizes
+        ]
+    return {
+        "schema": SWEEP_SCHEMA,
+        "algorithm": str(meta["algorithm"]),
+        "variant": str(meta.get("variant", "hetero")),
+        "scene": {
+            "rows": int(meta["rows"]), "cols": int(meta["cols"]),
+            "bands": int(meta["bands"]),
+        },
+        "recorded_n_ranks": platform.size,
+        "recorded_makespan_s": baseline.makespan,
+        "plan": (plan or WhatIfPlan()).to_dict(),
+        "points": points,
+        "provenance": provenance(),
+    }
+
+
+def sweep_table(doc: Mapping[str, Any]) -> str:
+    """Readable sweep table (also embedded in the HTML report)."""
+    lines = [
+        f"capacity sweep — {doc['algorithm']} "
+        f"({doc['scene']['rows']}x{doc['scene']['cols']}"
+        f"x{doc['scene']['bands']}, {doc['variant']})",
+        f"{'ranks':>6} {'makespan (s)':>14} {'throughput (px/s)':>18} "
+        f"{'vs recorded':>12}",
+    ]
+    recorded = float(doc["recorded_makespan_s"])
+    for point in doc["points"]:
+        speedup = (
+            recorded / point["makespan_s"] if point["makespan_s"] else 0.0
+        )
+        lines.append(
+            f"{point['n_ranks']:>6} {point['makespan_s']:>14.6f} "
+            f"{point['throughput_pixels_per_s']:>18.1f} "
+            f"{speedup:>11.3f}x"
+        )
+    return "\n".join(lines)
+
+
+# -- self-validation ----------------------------------------------------------
+
+def _rel_error(predicted: float, actual: float) -> float:
+    if actual == 0.0:
+        return abs(predicted - actual)
+    return abs(predicted - actual) / abs(actual)
+
+
+def run_validation(
+    rows: int = 48,
+    cols: int = 16,
+    bands: int = 24,
+    seed: int = 7,
+    tolerance: float | None = None,
+    baseline_path: str | Path = "benchmarks/baselines/whatif.json",
+) -> dict[str, Any]:
+    """Gate the replay engine against actual sim-engine runs.
+
+    Four perturbations that are independently runnable on the engine:
+
+    1. ``rank_compute_scale`` (rank 1 ×3) vs the canned
+       ``rank_slowdown`` fault plan — and the causal profile of the
+       faulted trace must rank rank 1 first;
+    2. ``link_scale`` (s1↔s4 ×2.5) vs a ``link_degrade`` fault plan;
+    3. ``resize_cluster`` (2 workers removed, WEA re-partition) vs an
+       actual run on the subset platform;
+    4. ``tier_upgrade`` (accelerator on ranks 2 and 5) vs an actual run
+       on the edited platform table (same partition).
+
+    Every case must match to the committed relative tolerance.
+    """
+    from repro.cluster.presets import fully_heterogeneous
+    from repro.core.runner import make_row_partition_for_dims, run_parallel
+    from repro.experiments.config import ExperimentConfig
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import FaultPlan, LinkDegrade, RankSlowdown
+    from repro.hsi.scene import SceneConfig, make_wtc_scene
+    from repro.obs import ObsSession
+    from repro.obs.causal import causal_profile
+
+    if tolerance is None:
+        tolerance = DEFAULT_REL_TOLERANCE
+        try:
+            doc = json.loads(
+                Path(baseline_path).read_text(encoding="utf-8")
+            )
+            tolerance = float(doc["rel_tolerance"])
+        except (OSError, KeyError, ValueError):
+            pass
+
+    cfg = ExperimentConfig(
+        scene=SceneConfig(rows=rows, cols=cols, bands=bands, seed=seed)
+    )
+    scene = make_wtc_scene(cfg.scene)
+    platform = fully_heterogeneous()
+    params = cfg.params_for("atdca")
+    cost = cfg.cost_model(cfg.scene)
+
+    obs = ObsSession.create()
+    clean = run_parallel(
+        "atdca", scene.image, platform, params=params, cost_model=cost,
+        obs=obs,
+    )
+    ops, meta = replay_ops_from_trace(obs)
+    cases: list[dict[str, Any]] = []
+
+    def case(name: str, predicted: float, actual: float) -> None:
+        rel = _rel_error(predicted, actual)
+        cases.append({
+            "case": name,
+            "predicted_makespan_s": predicted,
+            "actual_makespan_s": actual,
+            "rel_error": rel,
+            "pass": rel <= tolerance,
+        })
+
+    # Case 0: unperturbed replay must reproduce the recorded makespan.
+    case("identity_replay", replay(ops, platform).makespan, clean.makespan)
+
+    # Case 1: rank slowdown (the canned plan's parameters).
+    slow_plan = FaultPlan(
+        faults=(RankSlowdown(rank=1, factor=3.0, start_s=0.0, end_s=1e9),),
+        name="slowdown",
+    )
+    wplan = WhatIfPlan((
+        RankComputeScale(rank=1, factor=3.0, start_s=0.0, end_s=1e9),
+    ))
+    injector = FaultInjector(slow_plan)
+    slow_obs = ObsSession.create()
+    injector.attach(platform=platform, obs=slow_obs)
+    slow_run = run_parallel(
+        "atdca", scene.image, platform, params=params, cost_model=cost,
+        obs=slow_obs, faults=injector,
+    )
+    case(
+        "rank_slowdown",
+        replay(ops, platform, plan=wplan).makespan,
+        slow_run.makespan,
+    )
+
+    # Causal gate: inject a slowdown strong enough to *dominate* the
+    # run (a mild one just moves rank 1's slack; the causal profile
+    # correctly reports near-zero gain for it, as the rank_slowdown
+    # equivalence above shows) and require the faulted trace's causal
+    # profile to put the injected rank first.
+    hot_plan = FaultPlan(
+        faults=(RankSlowdown(rank=1, factor=50.0, start_s=0.0, end_s=1e9),),
+        name="hot-rank",
+    )
+    hot_injector = FaultInjector(hot_plan)
+    hot_obs = ObsSession.create()
+    hot_injector.attach(platform=platform, obs=hot_obs)
+    hot_run = run_parallel(
+        "atdca", scene.image, platform, params=params, cost_model=cost,
+        obs=hot_obs, faults=hot_injector,
+    )
+    # The hot run *does* move the makespan, so this equivalence also
+    # proves the perturbation is applied, not silently dropped.
+    hot_wplan = WhatIfPlan((
+        RankComputeScale(rank=1, factor=50.0, start_s=0.0, end_s=1e9),
+    ))
+    case(
+        "rank_slowdown_hot",
+        replay(ops, platform, plan=hot_wplan).makespan,
+        hot_run.makespan,
+    )
+    profile = causal_profile(hot_obs, platform)
+    top_rank = profile.top("rank")
+    causal_ok = top_rank is not None and top_rank.subject == "rank:1"
+    cases.append({
+        "case": "causal_top_rank",
+        "expected": "rank:1",
+        "got": top_rank.subject if top_rank is not None else None,
+        "pass": bool(causal_ok),
+    })
+
+    # Case 2: link degrade (inter-segment s1↔s4, capacity ×2.5).
+    degrade_plan = FaultPlan(
+        faults=(
+            LinkDegrade(
+                segment_a="s1", segment_b="s4", factor=2.5,
+                start_s=0.0, end_s=1e9,
+            ),
+        ),
+        name="link-degrade",
+    )
+    link_injector = FaultInjector(degrade_plan)
+    link_injector.attach(platform=platform)
+    link_run = run_parallel(
+        "atdca", scene.image, platform, params=params, cost_model=cost,
+        faults=link_injector,
+    )
+    link_wplan = WhatIfPlan((
+        LinkScale(
+            segment_a="s1", segment_b="s4", factor=2.5,
+            start_s=0.0, end_s=1e9,
+        ),
+    ))
+    case(
+        "link_degrade",
+        replay(ops, platform, plan=link_wplan).makespan,
+        link_run.makespan,
+    )
+
+    # Case 3: two workers removed, fresh WEA partition on the subset.
+    n_small = platform.size - 2
+    small = platform.subset(range(n_small))
+    small_ops = _model_ops_for_platform(
+        _meta_required(meta, "worker-removal validation"), small
+    )
+    small_run = run_parallel(
+        "atdca", scene.image, small, params=params, cost_model=cost
+    )
+    case(
+        "worker_removal",
+        replay(small_ops, small).makespan,
+        small_run.makespan,
+    )
+
+    # Case 4: accelerator tier upgrade including the bottleneck rank
+    # (recorded partition kept fixed so the op program is unchanged;
+    # upgrading the critical rank guarantees the makespan moves).
+    tier = TierUpgrade(
+        ranks=(2, 9), device_cycle_time=0.002,
+        launch_overhead_s=2e-4, hd_transfer_s_per_mflop=5e-4,
+        name="gpu",
+    )
+    tier_plan = WhatIfPlan((tier,))
+    upgraded = tier_plan.apply_platform(platform)
+    tier_run = run_parallel(
+        "atdca", scene.image, upgraded, params=params, cost_model=cost,
+        partition=clean.partition,
+    )
+    case(
+        "tier_upgrade",
+        replay(ops, upgraded).makespan,
+        tier_run.makespan,
+    )
+
+    ok = all(c["pass"] for c in cases)
+    return {
+        "schema": VALIDATE_SCHEMA,
+        "scene": {"rows": rows, "cols": cols, "bands": bands, "seed": seed},
+        "rel_tolerance": tolerance,
+        "cases": cases,
+        "pass": ok,
+        "provenance": provenance(),
+    }
+
+
+def validation_table(doc: Mapping[str, Any]) -> str:
+    lines = [
+        f"what-if validation — tolerance {doc['rel_tolerance']:g} relative",
+    ]
+    for c in doc["cases"]:
+        status = "PASS" if c["pass"] else "FAIL"
+        if "rel_error" in c:
+            lines.append(
+                f"  [{status}] {c['case']}: predicted "
+                f"{c['predicted_makespan_s']:.9f}s vs actual "
+                f"{c['actual_makespan_s']:.9f}s "
+                f"(rel {c['rel_error']:.3e})"
+            )
+        else:
+            lines.append(
+                f"  [{status}] {c['case']}: expected {c['expected']}, "
+                f"got {c['got']}"
+            )
+    lines.append("PASS" if doc["pass"] else "FAIL")
+    return "\n".join(lines)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def _platform_by_name(name: str) -> HeterogeneousPlatform:
+    from repro.cluster.presets import all_networks
+
+    platforms = all_networks()
+    if name not in platforms:
+        raise ConfigurationError(
+            f"unknown platform {name!r} (choose from {sorted(platforms)})"
+        )
+    return platforms[name]
+
+
+def _load_trace(path: str) -> Any:
+    from repro.obs.export import read_jsonl
+
+    return read_jsonl(path)
+
+
+def _scales_arg(path: str | None) -> dict[str, float] | None:
+    if path is None:
+        return None
+    from repro.obs.health import scales_from_calibration
+
+    return scales_from_calibration(path)
+
+
+def _write_doc(doc: Mapping[str, Any], path: str | None) -> None:
+    if path is None:
+        return
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, **_JSON_KW) + "\n", encoding="utf-8")
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    plan = load_whatif_plan(args.plan)
+    doc = predict(
+        _load_trace(args.trace),
+        _platform_by_name(args.platform),
+        plan=plan,
+        scales=_scales_arg(args.scales),
+    )
+    print(
+        f"baseline {doc['baseline_makespan_s']:.6f}s -> predicted "
+        f"{doc['predicted_makespan_s']:.6f}s "
+        f"({doc['delta_pct']:+.2f}%, speedup {doc['speedup']:.3f}x) "
+        f"under plan {plan.name or '<unnamed>'!r}"
+    )
+    _write_doc(doc, args.json)
+    return 0
+
+
+def _cmd_causal(args: argparse.Namespace) -> int:
+    from repro.obs.causal import causal_profile
+
+    profile = causal_profile(
+        _load_trace(args.trace),
+        _platform_by_name(args.platform),
+        speedup_pct=args.speedup,
+        scales=_scales_arg(args.scales),
+        jobs=args.jobs,
+    )
+    print(profile.to_text(top=args.top))
+    _write_doc(profile.to_dict(), args.json)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    plan = load_whatif_plan(args.plan) if args.plan else None
+    doc = capacity_sweep(
+        _load_trace(args.trace),
+        _platform_by_name(args.platform),
+        sizes,
+        plan=plan,
+        scales=_scales_arg(args.scales),
+        jobs=args.jobs,
+    )
+    print(sweep_table(doc))
+    _write_doc(doc, args.json)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    doc = run_validation(
+        rows=args.rows, cols=args.cols, bands=args.bands, seed=args.seed,
+        baseline_path=args.baseline,
+    )
+    print(validation_table(doc))
+    _write_doc(doc, args.json)
+    return 0 if doc["pass"] else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.whatif",
+        description="Deterministic what-if replay of recorded traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pred = sub.add_parser(
+        "predict", help="replay a trace under a what-if plan"
+    )
+    pred.add_argument("trace", help="JSONL trace file")
+    pred.add_argument("plan", help="what-if plan JSON file")
+    pred.add_argument(
+        "--platform", default="fully heterogeneous",
+        help="platform preset name (default: %(default)s)",
+    )
+    pred.add_argument(
+        "--scales", default=None,
+        help="calibration JSON providing compute/transfer scales",
+    )
+    pred.add_argument(
+        "--json", default=None, help="write the prediction document here"
+    )
+    pred.set_defaults(func=_cmd_predict)
+
+    causal = sub.add_parser(
+        "causal", help="ranked virtual-speedup (causal) profile"
+    )
+    causal.add_argument("trace", help="JSONL trace file")
+    causal.add_argument(
+        "--platform", default="fully heterogeneous",
+        help="platform preset name (default: %(default)s)",
+    )
+    causal.add_argument(
+        "--speedup", type=float, default=10.0,
+        help="virtual speedup percentage per subject (default: %(default)s)",
+    )
+    causal.add_argument(
+        "--top", type=int, default=12,
+        help="rows to print (default: %(default)s)",
+    )
+    causal.add_argument(
+        "--jobs", type=int, default=None,
+        help="replay subjects over N worker processes (same output)",
+    )
+    causal.add_argument("--scales", default=None,
+                        help="calibration JSON with compute/transfer scales")
+    causal.add_argument(
+        "--json", default=None, help="write the causal profile JSON here"
+    )
+    causal.set_defaults(func=_cmd_causal)
+
+    sweep = sub.add_parser(
+        "sweep", help="capacity-planning sweep (makespan vs cluster size)"
+    )
+    sweep.add_argument("trace", help="JSONL trace file (needs run.meta)")
+    sweep.add_argument(
+        "--sizes", default="4,8,12,16",
+        help="comma-separated rank counts (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--platform", default="fully heterogeneous",
+        help="platform preset name (default: %(default)s)",
+    )
+    sweep.add_argument(
+        "--plan", default=None,
+        help="optional what-if plan applied at every size",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="fan sweep points over N worker processes (same output)",
+    )
+    sweep.add_argument("--scales", default=None,
+                       help="calibration JSON with compute/transfer scales")
+    sweep.add_argument(
+        "--json", default=None, help="write the sweep document here"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    validate = sub.add_parser(
+        "validate",
+        help="gate replay predictions against actual sim-engine runs",
+    )
+    validate.add_argument("--rows", type=int, default=48)
+    validate.add_argument("--cols", type=int, default=16)
+    validate.add_argument("--bands", type=int, default=24)
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument(
+        "--baseline", default="benchmarks/baselines/whatif.json",
+        help="committed tolerance (default: %(default)s)",
+    )
+    validate.add_argument(
+        "--json", default=None, help="write the validation document here"
+    )
+    validate.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ConfigurationError, OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

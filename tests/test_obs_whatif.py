@@ -1,0 +1,503 @@
+"""The causal what-if engine: plan validation, engine-exact replay,
+self-validating perturbation equivalences, capacity sweeps, and the
+what-if / umbrella CLIs."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cluster import (
+    AcceleratorSpec,
+    fully_heterogeneous,
+    scale_latency,
+    upgrade_ranks,
+)
+from repro.core.runner import run_parallel
+from repro.errors import ConfigurationError, WhatIfPlanError
+from repro.experiments.config import ExperimentConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, LinkDegrade, RankSlowdown
+from repro.hsi import SceneConfig, make_wtc_scene
+from repro.obs import ObsSession, write_jsonl
+from repro.obs.provenance import (
+    describe_mismatch,
+    provenance,
+    provenance_matches,
+)
+from repro.obs.whatif import (
+    LatencyScale,
+    LinkScale,
+    OpClassScale,
+    RankComputeScale,
+    ReplayOp,
+    ResizeCluster,
+    TierUpgrade,
+    WhatIfPlan,
+    capacity_sweep,
+    load_whatif_plan,
+    main,
+    predict,
+    replay,
+    replay_ops_from_trace,
+    run_meta_of,
+    run_validation,
+)
+
+#: The self-validation contract: predicted == actual within this.
+REL_TOL = 1e-9
+
+_CFG = ExperimentConfig(
+    scene=SceneConfig(rows=32, cols=8, bands=16, seed=7)
+)
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / abs(b)
+
+
+@pytest.fixture(scope="module")
+def whatif_scene():
+    return make_wtc_scene(_CFG.scene)
+
+
+@pytest.fixture(scope="module")
+def clean_traced(whatif_scene, het_platform):
+    """One clean traced sim run shared by the replay tests."""
+    obs = ObsSession.create()
+    run = run_parallel(
+        "atdca", whatif_scene.image, het_platform,
+        params=_CFG.params_for("atdca"), obs=obs,
+    )
+    return run, obs
+
+
+class TestWhatIfPlan:
+    def test_round_trip_all_kinds(self):
+        plan = WhatIfPlan(
+            (
+                RankComputeScale(rank=1, factor=3.0, start_s=0.0, end_s=9.0),
+                OpClassScale(op="osp_scores", factor=0.5),
+                LinkScale(segment_a="s1", segment_b="s4", factor=2.0),
+                LatencyScale(factor=0.25),
+                TierUpgrade(ranks=(2, 5), device_cycle_time=0.002),
+                ResizeCluster(n_ranks=12),
+            ),
+            name="everything",
+        )
+        again = WhatIfPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert again == plan
+
+    def test_load_defaults_name_to_stem(self, tmp_path):
+        path = tmp_path / "double-net.json"
+        WhatIfPlan((LinkScale("s1", "s2", 0.5),)).write_json(path)
+        assert load_whatif_plan(path).name == "double-net"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"perturbations": [{"kind": "nope"}]},
+            {"perturbations": [{"kind": "rank_compute_scale"}]},
+            {"perturbations": [
+                {"kind": "latency_scale", "factor": 1.0, "oops": 2},
+            ]},
+            {"nope": []},
+        ],
+    )
+    def test_malformed_documents_raise(self, bad):
+        with pytest.raises(WhatIfPlanError):
+            WhatIfPlan.from_dict(bad)
+
+    @pytest.mark.parametrize(
+        "pert",
+        [
+            lambda: RankComputeScale(rank=-1, factor=2.0),
+            lambda: RankComputeScale(rank=0, factor=0.0),
+            lambda: RankComputeScale(rank=0, factor=2.0, start_s=5.0,
+                                     end_s=1.0),
+            lambda: OpClassScale(op="", factor=2.0),
+            lambda: LinkScale(segment_a="", segment_b="s1", factor=2.0),
+            lambda: LinkScale(segment_a="s1", segment_b="s2", factor=-1.0),
+            lambda: LatencyScale(factor=-0.5),
+            lambda: TierUpgrade(ranks=(), device_cycle_time=0.01),
+            lambda: TierUpgrade(ranks=(0,), device_cycle_time=0.0),
+            lambda: ResizeCluster(n_ranks=0),
+        ],
+    )
+    def test_invalid_perturbations_raise(self, pert):
+        with pytest.raises(WhatIfPlanError):
+            WhatIfPlan((pert(),))
+
+    def test_committed_demo_plan_loads(self):
+        plan = load_whatif_plan("benchmarks/plans/whatif_demo.json")
+        assert plan.name == "whatif-demo"
+        assert len(plan) == 2
+
+
+class TestReplayExactness:
+    """Every perturbation expressible as a fault plan or an edited
+    platform table must reproduce an actual engine run (acceptance
+    contract: 1e-9 relative, observed exact)."""
+
+    def test_run_meta_recorded(self, clean_traced, het_platform):
+        _, obs = clean_traced
+        meta = run_meta_of(obs)
+        assert meta is not None
+        assert meta["algorithm"] == "atdca"
+        assert (meta["rows"], meta["cols"]) == (32, 8)
+        assert meta["size"] == het_platform.size
+
+    def test_identity_replay_is_bitwise(self, clean_traced, het_platform):
+        run, obs = clean_traced
+        ops, _ = replay_ops_from_trace(obs)
+        result = replay(ops, het_platform)
+        assert result.makespan == run.makespan
+        assert max(result.finish_times) == run.makespan
+
+    def test_rank_slowdown_matches_fault_injection(
+        self, clean_traced, whatif_scene, het_platform
+    ):
+        _, obs = clean_traced
+        ops, _ = replay_ops_from_trace(obs)
+        injector = FaultInjector(FaultPlan(
+            faults=(RankSlowdown(rank=1, factor=40.0, start_s=0.0,
+                                 end_s=1e9),),
+            name="slow",
+        ))
+        injector.attach(platform=het_platform)
+        actual = run_parallel(
+            "atdca", whatif_scene.image, het_platform,
+            params=_CFG.params_for("atdca"), faults=injector,
+        )
+        plan = WhatIfPlan((
+            RankComputeScale(rank=1, factor=40.0, start_s=0.0, end_s=1e9),
+        ))
+        predicted = replay(ops, het_platform, plan=plan).makespan
+        assert _rel(predicted, actual.makespan) <= REL_TOL
+
+    def test_link_degrade_matches_fault_injection(
+        self, clean_traced, whatif_scene, het_platform
+    ):
+        _, obs = clean_traced
+        ops, _ = replay_ops_from_trace(obs)
+        injector = FaultInjector(FaultPlan(
+            faults=(LinkDegrade(segment_a="s1", segment_b="s4", factor=3.0,
+                                start_s=0.0, end_s=1e9),),
+            name="degrade",
+        ))
+        injector.attach(platform=het_platform)
+        actual = run_parallel(
+            "atdca", whatif_scene.image, het_platform,
+            params=_CFG.params_for("atdca"), faults=injector,
+        )
+        plan = WhatIfPlan((
+            LinkScale(segment_a="s1", segment_b="s4", factor=3.0,
+                      start_s=0.0, end_s=1e9),
+        ))
+        predicted = replay(ops, het_platform, plan=plan).makespan
+        assert _rel(predicted, actual.makespan) <= REL_TOL
+
+    def test_worker_removal_matches_subset_run(
+        self, clean_traced, whatif_scene, het_platform
+    ):
+        _, obs = clean_traced
+        doc = predict(obs, het_platform, WhatIfPlan((ResizeCluster(14),)))
+        small = het_platform.subset(range(14))
+        actual = run_parallel(
+            "atdca", whatif_scene.image, small,
+            params=_CFG.params_for("atdca"),
+        )
+        assert doc["n_ranks"] == 14
+        assert _rel(doc["predicted_makespan_s"], actual.makespan) <= REL_TOL
+
+    def test_tier_upgrade_matches_platform_edit(
+        self, clean_traced, whatif_scene, het_platform
+    ):
+        run, obs = clean_traced
+        ops, _ = replay_ops_from_trace(obs)
+        # A per-launch overhead dominates this tiny comm-bound scene,
+        # so the edit provably changes the makespan (the accelerator
+        # "hurts" here — exactly what a what-if should reveal).
+        tier = TierUpgrade(
+            ranks=(2, 9), device_cycle_time=0.001,
+            launch_overhead_s=0.01, hd_transfer_s_per_mflop=2e-4,
+        )
+        plan = WhatIfPlan((tier,))
+        upgraded = plan.apply_platform(het_platform)
+        actual = run_parallel(
+            "atdca", whatif_scene.image, upgraded,
+            params=_CFG.params_for("atdca"), partition=run.partition,
+        )
+        predicted = replay(ops, upgraded).makespan
+        assert _rel(predicted, actual.makespan) <= REL_TOL
+        assert predicted != run.makespan  # the upgrade must matter
+
+    def test_latency_scale_matches_edited_network(
+        self, clean_traced, whatif_scene, het_platform
+    ):
+        run, obs = clean_traced
+        ops, _ = replay_ops_from_trace(obs)
+        slow_net = scale_latency(het_platform, 4.0)
+        actual = run_parallel(
+            "atdca", whatif_scene.image, slow_net,
+            params=_CFG.params_for("atdca"), partition=run.partition,
+        )
+        plan = WhatIfPlan((LatencyScale(factor=4.0),))
+        predicted = replay(ops, het_platform, plan=plan).makespan
+        assert _rel(predicted, actual.makespan) <= REL_TOL
+
+    def test_op_class_scale_moves_only_that_class(
+        self, clean_traced, het_platform
+    ):
+        _, obs = clean_traced
+        ops, _ = replay_ops_from_trace(obs)
+        base = replay(ops, het_platform)
+        faster = replay(ops, het_platform, plan=WhatIfPlan((
+            OpClassScale(op="osp_scores", factor=0.5),
+        )))
+        assert faster.op_compute_s["osp_scores"] == pytest.approx(
+            base.op_compute_s["osp_scores"] * 0.5
+        )
+        untouched = set(base.op_compute_s) - {"osp_scores"}
+        for label in untouched:
+            assert faster.op_compute_s[label] == base.op_compute_s[label]
+        assert faster.makespan <= base.makespan
+
+    def test_recorded_fault_factor_replays_the_faulted_run(
+        self, whatif_scene, het_platform
+    ):
+        """A faulted trace carries its dilation; an unperturbed replay
+        of that trace reproduces the *faulted* makespan."""
+        injector = FaultInjector(FaultPlan(
+            faults=(RankSlowdown(rank=3, factor=10.0, start_s=0.0,
+                                 end_s=1e9),),
+            name="slow",
+        ))
+        obs = ObsSession.create()
+        injector.attach(platform=het_platform, obs=obs)
+        run = run_parallel(
+            "atdca", whatif_scene.image, het_platform,
+            params=_CFG.params_for("atdca"), obs=obs, faults=injector,
+        )
+        ops, _ = replay_ops_from_trace(obs)
+        assert replay(ops, het_platform).makespan == run.makespan
+
+
+class TestCapacitySweep:
+    def test_recorded_size_reproduces_recorded_makespan(
+        self, clean_traced, het_platform
+    ):
+        run, obs = clean_traced
+        doc = capacity_sweep(obs, het_platform, sizes=(16,))
+        point = doc["points"][0]
+        assert point["n_ranks"] == 16
+        assert _rel(point["makespan_s"], run.makespan) <= REL_TOL
+
+    def test_serial_and_pooled_sweeps_are_byte_identical(
+        self, clean_traced, het_platform
+    ):
+        _, obs = clean_traced
+        kw = {"sort_keys": True, "separators": (",", ":")}
+        serial = capacity_sweep(obs, het_platform, sizes=(4, 8, 12, 20))
+        pooled = capacity_sweep(
+            obs, het_platform, sizes=(4, 8, 12, 20), jobs=2
+        )
+        assert json.dumps(serial, **kw) == json.dumps(pooled, **kw)
+
+    def test_empty_sizes_rejected(self, clean_traced, het_platform):
+        _, obs = clean_traced
+        with pytest.raises(ConfigurationError):
+            capacity_sweep(obs, het_platform, sizes=())
+
+
+class TestPredictDocument:
+    def test_schema_and_delta_consistency(self, clean_traced, het_platform):
+        _, obs = clean_traced
+        plan = WhatIfPlan((RankComputeScale(rank=9, factor=0.5),))
+        doc = predict(obs, het_platform, plan)
+        assert doc["schema"] == "repro.obs.whatif/1"
+        assert doc["delta_s"] == pytest.approx(
+            doc["predicted_makespan_s"] - doc["baseline_makespan_s"]
+        )
+        assert doc["plan"] == plan.to_dict()
+        assert set(doc["provenance"]) == {
+            "git_sha", "numpy", "platform", "python",
+        }
+
+    def test_repeated_predictions_are_byte_identical(
+        self, clean_traced, het_platform
+    ):
+        _, obs = clean_traced
+        kw = {"sort_keys": True, "separators": (",", ":")}
+        plan = WhatIfPlan((LinkScale("s1", "s4", 2.0),))
+        one = json.dumps(predict(obs, het_platform, plan), **kw)
+        two = json.dumps(predict(obs, het_platform, plan), **kw)
+        assert one == two
+
+
+class TestValidationGate:
+    def test_full_validation_passes(self):
+        doc = run_validation(rows=32, cols=8, bands=16, seed=7)
+        assert doc["pass"], doc["cases"]
+        names = {c["case"] for c in doc["cases"]}
+        assert {
+            "identity_replay", "rank_slowdown", "rank_slowdown_hot",
+            "causal_top_rank", "link_degrade", "worker_removal",
+            "tier_upgrade",
+        } <= names
+        for case in doc["cases"]:
+            if "rel_error" in case:
+                assert case["rel_error"] <= doc["rel_tolerance"]
+
+    def test_committed_tolerance_is_loaded(self):
+        baseline = json.loads(
+            open("benchmarks/baselines/whatif.json").read()
+        )
+        assert baseline["rel_tolerance"] == REL_TOL
+
+
+class TestAcceleratorTier:
+    def test_compute_seconds_formula(self):
+        acc = AcceleratorSpec(
+            name="gpu", device_cycle_time=0.002,
+            launch_overhead_s=1e-3, hd_transfer_s_per_mflop=5e-4,
+        )
+        assert acc.compute_seconds(0.0) == 0.0
+        assert acc.compute_seconds(10.0) == pytest.approx(
+            1e-3 + 10.0 * (0.002 + 5e-4)
+        )
+        with pytest.raises(ConfigurationError):
+            acc.compute_seconds(-1.0)
+
+    def test_upgrade_preserves_memory_and_names(self, het_platform):
+        acc = AcceleratorSpec(name="gpu", device_cycle_time=0.001)
+        upgraded = upgrade_ranks(het_platform, (0, 3), acc)
+        for rank in (0, 3):
+            proc = upgraded.processor(rank)
+            assert proc.memory_mb == het_platform.processor(rank).memory_mb
+            assert proc.name.endswith("+gpu")
+        assert upgraded.processor(1) == het_platform.processor(1)
+
+
+class TestProvenance:
+    def test_header_is_stable_and_fresh(self):
+        a, b = provenance(), provenance()
+        assert a == b and a is not b
+        assert set(a) == {"git_sha", "numpy", "platform", "python"}
+
+    def test_matching_semantics(self):
+        a = {"git_sha": "x", "numpy": "1"}
+        assert provenance_matches(a, dict(a)) is True
+        assert provenance_matches(a, {"git_sha": "y", "numpy": "1"}) is False
+        assert provenance_matches(a, None) is None
+        assert provenance_matches({}, a) is None
+
+    def test_describe_mismatch_lists_only_differences(self):
+        lines = describe_mismatch(
+            {"git_sha": "x", "numpy": "1"}, {"git_sha": "y", "numpy": "1"}
+        )
+        assert lines == ["git_sha: 'x' != 'y'"]
+
+
+class TestWhatIfCli:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        scene = make_wtc_scene(_CFG.scene)
+        obs = ObsSession.create()
+        run_parallel(
+            "atdca", scene.image, fully_heterogeneous(),
+            params=_CFG.params_for("atdca"), obs=obs,
+        )
+        path = tmp_path_factory.mktemp("whatif") / "trace.jsonl"
+        write_jsonl(path, obs)
+        return path
+
+    def test_predict_command(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "predict.json"
+        rc = main([
+            "predict", str(trace_file), "benchmarks/plans/whatif_demo.json",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        assert "predicted" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro.obs.whatif/1"
+
+    def test_causal_command_jobs_determinism(
+        self, trace_file, tmp_path, capsys
+    ):
+        serial, pooled = tmp_path / "c1.json", tmp_path / "c2.json"
+        assert main(["causal", str(trace_file), "--json", str(serial)]) == 0
+        assert main([
+            "causal", str(trace_file), "--jobs", "2", "--json", str(pooled),
+        ]) == 0
+        capsys.readouterr()
+        assert serial.read_bytes() == pooled.read_bytes()
+
+    def test_sweep_command(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", str(trace_file), "--sizes", "8,16", "--json", str(out),
+        ])
+        assert rc == 0
+        assert "capacity sweep" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert [p["n_ranks"] for p in doc["points"]] == [8, 16]
+
+    def test_unknown_platform_is_an_error(self, trace_file, capsys):
+        rc = main([
+            "causal", str(trace_file), "--platform", "no-such-cluster",
+        ])
+        assert rc == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_missing_plan_file_is_an_error(self, trace_file, capsys):
+        rc = main(["predict", str(trace_file), "no-such-plan.json"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestUmbrellaCli:
+    def test_listing(self, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        assert obs_main([]) == 0
+        out = capsys.readouterr().out
+        for tool in ("bench", "profile", "diff", "live", "whatif"):
+            assert tool in out
+
+    def test_unknown_tool(self, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        assert obs_main(["no-such-tool"]) == 2
+        assert "unknown tool" in capsys.readouterr().err
+
+    def test_dispatch_reaches_subtool(self, capsys):
+        from repro.obs.__main__ import main as obs_main
+
+        with pytest.raises(SystemExit):
+            obs_main(["whatif", "--help"])
+        assert "predict" in capsys.readouterr().out
+
+
+class TestReplayOpExtraction:
+    def test_ops_carry_kernel_labels_and_transfers(self, clean_traced):
+        _, obs = clean_traced
+        ops, meta = replay_ops_from_trace(obs)
+        assert meta is not None
+        kinds = {op.kind for op in ops}
+        assert kinds == {"compute", "transfer"}
+        labels = {op.label for op in ops if op.kind == "compute" and op.label}
+        assert "osp_scores" in labels
+        assert all(op.dst >= 0 for op in ops if op.kind == "transfer")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replay_ops_from_trace([])
+
+    def test_replay_op_is_frozen(self):
+        op = ReplayOp(kind="compute", rank=0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            op.rank = 1
