@@ -27,6 +27,7 @@ from repro.errors import (
     CommunicationTimeout,
     ConfigurationError,
     RankFailedError,
+    RepartitionSignal,
     raise_root_cause,
 )
 from repro.types import Megaflops, Seconds
@@ -511,6 +512,13 @@ class SimulationEngine:
                     self.router.fail(rank)
                 else:
                     self.router.abort()
+            except RepartitionSignal as exc:
+                # Coordinated exit: every rank raises this at the same
+                # program point after the decision broadcast, so nobody
+                # is left blocked — retire without aborting (an abort
+                # could kill peers still forwarding inside the tree).
+                with failure_lock:
+                    failures.append((rank, exc))
             except BaseException as exc:  # noqa: BLE001 - reported to caller
                 with failure_lock:
                     failures.append((rank, exc))

@@ -22,10 +22,46 @@ from repro.errors import PlatformError
 
 __all__ = [
     "upgrade_ranks",
+    "scale_rank_compute",
     "scale_link_capacity",
     "scale_latency",
     "extend_platform",
 ]
+
+
+def scale_rank_compute(
+    platform: HeterogeneousPlatform,
+    rank: int,
+    factor: float,
+    name: str | None = None,
+) -> HeterogeneousPlatform:
+    """Scale one rank's modelled compute cost (cycle time) by ``factor``.
+
+    Factors above 1 downgrade the node's calibrated speed — the
+    adaptive repartitioner's response to a detected straggler: the WEA
+    fractions computed from the edited platform assign the slowed rank
+    proportionally fewer rows, while memory bounds and the network are
+    untouched.  The node is renamed ``<old>~x<factor>`` so partitions
+    and reports show which calibration entries were adapted.
+    """
+    if not 0 <= rank < platform.size:
+        raise PlatformError(f"rank {rank} outside [0, {platform.size})")
+    if factor <= 0 or not np.isfinite(factor):
+        raise PlatformError(
+            f"compute scale factor must be positive and finite, got {factor}"
+        )
+    procs = list(platform.processors)
+    procs[rank] = dataclasses.replace(
+        procs[rank],
+        name=f"{procs[rank].name}~x{factor:g}",
+        cycle_time=procs[rank].cycle_time * factor,
+    )
+    return HeterogeneousPlatform(
+        name=name or f"{platform.name} [rank {rank} ~x{factor:g}]",
+        processors=procs,
+        network=platform.network,
+        master_rank=platform.master_rank,
+    )
 
 
 def upgrade_ranks(

@@ -40,6 +40,7 @@ from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.adaptive import AdaptiveController
     from repro.faults.recovery import CheckpointStore
 
 __all__ = ["parallel_atdca_program"]
@@ -72,6 +73,7 @@ def parallel_atdca_program(
     n_targets: int,
     image: HyperspectralImage | None = None,
     checkpoint: "CheckpointStore | None" = None,
+    adaptive: "AdaptiveController | None" = None,
 ) -> TargetDetectionResult | None:
     """SPMD body of Hetero-ATDCA; returns the result at the master.
 
@@ -85,6 +87,11 @@ def parallel_atdca_program(
             state after every completed iteration; on restart the
             saved step is broadcast and extraction resumes mid-loop
             instead of from scratch.
+        adaptive: optional straggler controller; when set, every rank
+            runs one extra collective round after each checkpoint
+            (skipped after the final iteration — nothing left to
+            rebalance) and a positive decision raises
+            :class:`~repro.errors.RepartitionSignal` on all ranks.
     """
     if n_targets < 1:
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
@@ -153,6 +160,8 @@ def parallel_atdca_program(
             u_matrix = comm.bcast(u_matrix)
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
         start_k = 1
+        if adaptive is not None and n_targets > 1:
+            adaptive.sync(ctx, comm, step=1)
 
     # Per-rank incremental OSP state: each broadcast appends exactly one
     # row to ``u_matrix``, so the basis is carried across iterations and
@@ -202,6 +211,8 @@ def parallel_atdca_program(
                 # The broadcast grew U by exactly one row; fold it in.
                 osp.add_target(u_matrix[-1])
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
+        if adaptive is not None and k + 1 < n_targets:
+            adaptive.sync(ctx, comm, step=k + 1)
 
     if not comm.is_master:
         return None

@@ -32,6 +32,7 @@ from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.adaptive import AdaptiveController
     from repro.faults.recovery import CheckpointStore
 
 __all__ = ["parallel_ufcls_program"]
@@ -43,11 +44,14 @@ def parallel_ufcls_program(
     n_targets: int,
     image: HyperspectralImage | None = None,
     checkpoint: "CheckpointStore | None" = None,
+    adaptive: "AdaptiveController | None" = None,
 ) -> TargetDetectionResult | None:
     """SPMD body of Hetero-UFCLS; returns the result at the master.
 
     ``checkpoint`` enables master-side per-iteration checkpoints for
-    fault-tolerant restarts (see :func:`parallel_atdca_program`).
+    fault-tolerant restarts, and ``adaptive`` the straggler
+    repartition round after each checkpoint (see
+    :func:`parallel_atdca_program`).
     """
     if n_targets < 1:
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
@@ -116,6 +120,8 @@ def parallel_ufcls_program(
             targets = comm.bcast(targets)
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
         start_k = 1
+        if adaptive is not None and n_targets > 1:
+            adaptive.sync(ctx, comm, step=1)
 
     # Per-rank incremental FCLS state: every broadcast appends exactly
     # one row to ``targets``, so the cross-products and Gram inverse are
@@ -163,6 +169,8 @@ def parallel_ufcls_program(
                 # The broadcast grew the target set by one row; fold it in.
                 solver.add_target(targets[-1])
         _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
+        if adaptive is not None and k + 1 < n_targets:
+            adaptive.sync(ctx, comm, step=k + 1)
 
     if not comm.is_master:
         return None

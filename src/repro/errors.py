@@ -20,6 +20,7 @@ __all__ = [
     "TruncationError",
     "DeadlockError",
     "RankFailedError",
+    "RepartitionSignal",
     "CommunicationTimeout",
     "TransientNetworkError",
     "FaultPlanError",
@@ -102,6 +103,42 @@ class RankFailedError(CommunicationError):
         self.injected = bool(injected)
         self.secondary = bool(secondary)
         super().__init__(message or f"rank {rank} failed")
+
+
+class RepartitionSignal(ReproError):
+    """Cooperative mid-run exit: all ranks agreed to repartition.
+
+    Raised by every rank of an adaptive run at the same iteration
+    boundary after the master's repartition decision was broadcast (see
+    :mod:`repro.faults.adaptive`).  Unlike a crash, no rank is left
+    blocked — each rank raises this right after the decision broadcast
+    completes locally — so the backends retire the rank *without*
+    aborting the router (an abort could kill peers still forwarding
+    inside the broadcast tree, turning a clean coordinated exit into
+    nondeterministic secondary failures).
+
+    Attributes:
+        rank: dense rank id of the drifting rank (current numbering).
+        factor: estimated slowdown factor to fold into the model.
+        step: completed iteration count the run can resume from.
+        ewma: the detector's EWMA relative error at the decision.
+    """
+
+    #: Marker for the backends' failure handling: a cooperative signal
+    #: must not abort the router.
+    cooperative = True
+
+    def __init__(
+        self, rank: int, factor: float, step: int, ewma: float = 0.0
+    ) -> None:
+        self.rank = int(rank)
+        self.factor = float(factor)
+        self.step = int(step)
+        self.ewma = float(ewma)
+        super().__init__(
+            f"repartition requested at step {step}: rank {rank} drifted "
+            f"(estimated slowdown x{factor:.3g}, ewma={ewma:.4f})"
+        )
 
 
 class CommunicationTimeout(CommunicationError):

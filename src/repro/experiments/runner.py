@@ -109,10 +109,18 @@ def main(argv: list[str] | None = None) -> int:
                              "whatif_predict.json + whatif_causal.json + "
                              "whatif_sweep.json next to the traces and "
                              "prints the predicted makespan change")
+    parser.add_argument("--chaos-sweep", metavar="GRID", default=None,
+                        help="run the JSON chaos-sweep grid (crash x "
+                             "slowdown x link-degrade x delay cells through "
+                             "the adaptive fault-tolerant driver) and write "
+                             "sweep_<name>.json into --outdir; honors "
+                             "--jobs, artifacts are byte-identical at any "
+                             "job count")
     parser.add_argument("--jobs", type=int, default=None,
-                        help="fan the table5-7 grid cells out over N worker "
-                             "processes; results (and trace files) are "
-                             "identical to a serial run")
+                        help="fan the table5-7 grid cells (and chaos-sweep "
+                             "cells) out over N worker processes; results "
+                             "(and trace files) are identical to a serial "
+                             "run")
     parser.add_argument("--rows", type=int, default=96, help="scene rows")
     parser.add_argument("--cols", type=int, default=64, help="scene cols")
     parser.add_argument("--bands", type=int, default=48, help="scene bands")
@@ -137,13 +145,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--live requires a directory name")
     if args.whatif == "":
         parser.error("--whatif requires a plan file name")
+    if args.chaos_sweep == "":
+        parser.error("--chaos-sweep requires a grid file name")
     if (not args.experiments and args.trace is None and args.metrics is None
             and args.report is None and args.calibrate is None
-            and args.whatif is None):
+            and args.whatif is None and args.chaos_sweep is None):
         parser.error("nothing to do: name experiments and/or pass "
                      "--trace DIR / --metrics DIR / --report FILE / "
-                     "--calibrate DIR / --whatif PLAN (--live attaches "
-                     "to those runs)")
+                     "--calibrate DIR / --whatif PLAN / --chaos-sweep GRID "
+                     "(--live attaches to those runs)")
 
     wanted = list(EXPERIMENT_NAMES) if "all" in args.experiments else [
         name for name in EXPERIMENT_NAMES if name in args.experiments
@@ -239,6 +249,28 @@ def main(argv: list[str] | None = None) -> int:
               f"({doc['delta_pct']:+.2f}%, speedup {doc['speedup']:.3f}x)")
         print("  whatif json -> "
               + ", ".join(p.name for p in whatif_result.files))
+    if args.chaos_sweep is not None:
+        from repro.faults.sweep import (
+            load_sweep_grid,
+            run_sweep,
+            sweep_table,
+            write_sweep,
+        )
+
+        sweep_doc = load_sweep_grid(args.chaos_sweep)
+        n_cells = 1
+        for axis_options in (sweep_doc.get("axes") or {}).values():
+            n_cells *= max(len(axis_options), 1)
+        n_cells *= len(sweep_doc.get("algorithms", ["atdca"]))
+        n_cells *= len(sweep_doc.get("backends", ["sim"]))
+        print(f"chaos-sweeping grid {sweep_doc['name']!r} "
+              f"({n_cells} cells through adaptive recovery)...", flush=True)
+        sweep_result = run_sweep(sweep_doc, jobs=args.jobs)
+        print(sweep_table(sweep_result))
+        sweep_path = write_sweep(
+            sweep_result, outdir / f"sweep_{sweep_doc['name']}.json"
+        )
+        print(f"  sweep json -> {sweep_path}")
 
     scene = make_wtc_scene(config.scene)
     grid = None

@@ -1,30 +1,45 @@
 """Deterministic fault injection + fault tolerance (``repro.faults``).
 
-Three layers, shared by both MPI backends:
+Layers, shared by both MPI backends:
 
 1. **Plans** (:mod:`repro.faults.plan`) — declarative, seed-free fault
    schedules (:class:`RankCrash`, :class:`RankSlowdown`,
    :class:`LinkDegrade`, :class:`MessageDelay`, :class:`MessageDrop`)
    that serialize to JSON; the same plan file produces the same fault
    sequence on the virtual-time engine and the wall-clock backend.
-2. **Detection** (:mod:`repro.faults.detect`) — per-operation
+2. **Policies** (:mod:`repro.faults.policy`) — declarative
+   :class:`RetryPolicy`/:class:`DeadlinePolicy` resilience settings,
+   embeddable in a plan's ``policy`` block.
+3. **Detection** (:mod:`repro.faults.detect`) — per-operation
    deadlines, :func:`send_with_retry` with exponential backoff for
    transient losses, and a router-derived :class:`LivenessView`.
-3. **Recovery** (:mod:`repro.faults.recovery`) —
+4. **Recovery** (:mod:`repro.faults.recovery`) —
    :func:`run_with_recovery` re-runs WEA over the survivors after a
    confirmed rank loss and resumes iterative algorithms from in-memory
    master checkpoints (:class:`CheckpointStore`).
+5. **Adaptation** (:mod:`repro.faults.adaptive`) — the same
+   repartition seam driven by the online straggler detector:
+   slowed-but-alive ranks trigger a coordinated
+   :class:`RepartitionSignal` exit and a model-platform downgrade.
 
 The interpreter tying plans to execution is
 :class:`~repro.faults.injector.FaultInjector`; the wall-clock backend
 interposes it via :class:`~repro.faults.injector.FaultyCommunicator`.
+The chaos-sweep harness (:mod:`repro.faults.sweep`) and the umbrella
+CLI (``python -m repro.faults``) sit on top.
 """
 
+from repro.faults.adaptive import (
+    AdaptationEvent,
+    AdaptiveConfig,
+    AdaptiveController,
+    RepartitionSignal,
+)
 from repro.faults.detect import (
     DEFAULT_RETRY_POLICY,
     LivenessView,
-    RetryPolicy,
     liveness_of,
+    policy_of,
     recv_with_timeout,
     send_with_retry,
 )
@@ -37,6 +52,13 @@ from repro.faults.plan import (
     RankCrash,
     RankSlowdown,
     load_fault_plan,
+)
+from repro.faults.policy import (
+    DEFAULT_POLICY,
+    DeadlinePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    load_policy,
 )
 from repro.faults.recovery import (
     CheckpointStore,
@@ -58,9 +80,15 @@ __all__ = [
     "FaultInjector",
     "FaultyCommunicator",
     "injector_for",
-    # detection
+    # policies
     "RetryPolicy",
+    "DeadlinePolicy",
+    "ResiliencePolicy",
     "DEFAULT_RETRY_POLICY",
+    "DEFAULT_POLICY",
+    "load_policy",
+    "policy_of",
+    # detection
     "send_with_retry",
     "recv_with_timeout",
     "LivenessView",
@@ -70,4 +98,9 @@ __all__ = [
     "RecoveryAttempt",
     "RecoveredRun",
     "run_with_recovery",
+    # adaptation
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptationEvent",
+    "RepartitionSignal",
 ]

@@ -1,0 +1,254 @@
+"""Performance-adaptive repartitioning: respond to stragglers mid-run.
+
+PR 3's recovery driver reacts to *crashes*; this module extends the
+same repartition + rescatter seam to *slowed-but-alive* ranks, closing
+the ROADMAP's "crash-only → performance-adaptive" item.  The pieces:
+
+* The :class:`~repro.obs.health.HealthMonitor` (PR 6) already flags a
+  drifting rank deterministically — the bounded relative error of an op
+  slowed by factor ``f`` is ``(f-1)/f`` regardless of its absolute
+  duration, so the flag fires at the same subject-op index on the
+  virtual-time engine and the wall-clock backend.
+* At every iteration boundary of the checkpointed detectors (right
+  after the master saved its checkpoint), an adaptive run executes one
+  extra collective round: each rank gathers its *own* health flag to
+  the master, the master picks the lowest-ranked newly-drifted rank
+  (deterministic tie-breaking), and broadcasts the decision.
+* On a positive decision **every** rank raises
+  :class:`~repro.errors.RepartitionSignal` right after the broadcast
+  completes locally — a cooperative exit both backends retire without
+  aborting the router, so no in-flight tree forward is killed.
+* The recovery driver catches the signal, folds the estimated slowdown
+  into its *model* platform via
+  :func:`repro.cluster.perturb.scale_rank_compute` (the real platform —
+  and hence the engine's charging basis — is untouched: the node did
+  not change, our calibration of it did), re-runs WEA partitioning on
+  the edited model, and resumes from the checkpoint.
+
+The slowdown estimate inverts the monitor's *last* per-op relative
+error: for a constant factor ``f`` the last error is exactly
+``(f-1)/f``, so ``f = 1/(1 - last)`` recovers the factor exactly, where
+the still-converging EWMA would under-correct.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.errors import ConfigurationError, RepartitionSignal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.communicator import Communicator
+    from repro.obs.health import HealthMonitor
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptationEvent",
+    "AdaptiveController",
+    "RepartitionSignal",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptiveConfig:
+    """Tuning for the adaptive repartitioner.
+
+    Attributes:
+        min_factor: smallest estimated slowdown worth a repartition —
+            below this the imbalance costs less than the restart.
+        max_factor: cap on the folded-in slowdown estimate (guards the
+            ``1/(1-e)`` inversion as ``e -> 1``).
+        max_adaptations: total repartition budget for one run.
+    """
+
+    min_factor: float = 1.2
+    max_factor: float = 64.0
+    max_adaptations: int = 4
+
+    def __post_init__(self) -> None:
+        if self.min_factor <= 1.0:
+            raise ConfigurationError(
+                f"min_factor must be > 1, got {self.min_factor}"
+            )
+        if self.max_factor < self.min_factor:
+            raise ConfigurationError(
+                f"max_factor must be >= min_factor, got {self.max_factor}"
+            )
+        if self.max_adaptations < 1:
+            raise ConfigurationError(
+                f"max_adaptations must be >= 1, got {self.max_adaptations}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptationEvent:
+    """One committed repartition decision.
+
+    Attributes:
+        step: completed iteration count the run resumes from.
+        rank: ORIGINAL id of the drifting rank.
+        dense_rank: the rank's id in the attempt that detected it.
+        factor: slowdown factor folded into the model platform.
+        last_error: the per-op relative error the factor was inverted
+            from.
+    """
+
+    step: int
+    rank: int
+    dense_rank: int
+    factor: float
+    last_error: float
+
+
+class AdaptiveController:
+    """Coordinates iteration-boundary repartition decisions (SPMD-safe).
+
+    One controller spans a whole multi-attempt adaptive run; the
+    recovery driver calls :meth:`attach` before each attempt to bind
+    the health monitor and the attempt's dense→original rank mapping,
+    and the parallel programs call :meth:`sync` at iteration
+    boundaries.  All ranks share this object (both backends run ranks
+    as threads), but per-rank reads only touch the rank's own health
+    subject, so the gathered reports — and therefore the decision —
+    are deterministic.
+    """
+
+    def __init__(self, config: AdaptiveConfig | None = None) -> None:
+        self.config = config or AdaptiveConfig()
+        self._lock = threading.Lock()
+        self._monitor: "HealthMonitor | None" = None
+        self._rank_map: tuple[int, ...] | None = None
+        self._adapted: dict[int, float] = {}
+        self._events: list[AdaptationEvent] = []
+
+    # -- binding -------------------------------------------------------------
+    def attach(
+        self,
+        monitor: "HealthMonitor | None" = None,
+        rank_map: Sequence[int] | None = None,
+    ) -> "AdaptiveController":
+        """Bind the detector and the attempt's dense→original mapping
+        (``None`` = identity).  Called once per recovery attempt."""
+        with self._lock:
+            if monitor is not None:
+                self._monitor = monitor
+            self._rank_map = tuple(rank_map) if rank_map is not None else None
+        return self
+
+    def _original(self, dense_rank: int) -> int:
+        if self._rank_map is None:
+            return dense_rank
+        return self._rank_map[dense_rank]
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def events(self) -> list[AdaptationEvent]:
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def adapted(self) -> dict[int, float]:
+        """Original rank id → cumulative folded-in slowdown factor."""
+        with self._lock:
+            return dict(self._adapted)
+
+    # -- the decision procedure ----------------------------------------------
+    def estimate_factor(self, last_error: float) -> float:
+        """Invert the bounded relative error to a slowdown factor.
+
+        ``e = (f-1)/f  =>  f = 1/(1-e)``, clamped to
+        ``[1, max_factor]``.
+        """
+        cap = 1.0 - 1.0 / self.config.max_factor
+        e = min(max(float(last_error), 0.0), cap)
+        return 1.0 / (1.0 - e)
+
+    def self_report(self, rank: int) -> tuple[bool, float]:
+        """This rank's own ``(flagged, last_rel_error)`` health state.
+
+        Subject ``rank:<r>`` is only updated by rank ``r``'s own
+        compute observations, so a rank reading itself at an iteration
+        boundary sees the same state on both backends.
+        """
+        monitor = self._monitor
+        if monitor is None:
+            return (False, 0.0)
+        snap = monitor.subject_snapshot(f"rank:{rank}")
+        if snap is None:
+            return (False, 0.0)
+        return (bool(snap["flagged"]), float(snap["last_rel_error"]))
+
+    def decide(
+        self, reports: Sequence[tuple[bool, float]], step: int
+    ) -> tuple[int, float, float] | None:
+        """Master-side: pick the next rank to adapt, or ``None``.
+
+        ``reports[r]`` is dense rank ``r``'s self-report.  The winner
+        is the *lowest* dense rank that is flagged, not yet adapted
+        (by original id, so a rank is adapted at most once per run),
+        and whose estimated factor clears ``min_factor`` — a total
+        order, so the decision is deterministic.  Returns
+        ``(dense_rank, factor, last_error)``.
+        """
+        cfg = self.config
+        with self._lock:
+            if len(self._events) >= cfg.max_adaptations:
+                return None
+            for dense, (flagged, last_error) in enumerate(reports):
+                if not flagged:
+                    continue
+                orig = (
+                    dense if self._rank_map is None else self._rank_map[dense]
+                )
+                if orig in self._adapted:
+                    continue
+                factor = self.estimate_factor(last_error)
+                if factor < cfg.min_factor:
+                    continue
+                return (dense, factor, float(last_error))
+        return None
+
+    def commit(
+        self, dense_rank: int, factor: float, last_error: float, step: int
+    ) -> None:
+        """Record a decision as applied.  Called by the recovery driver
+        when it catches the signal — not by :meth:`sync` before the
+        broadcast — so a crash that preempts the coordinated exit
+        leaves no phantom adaptation behind."""
+        with self._lock:
+            orig = self._original(dense_rank)
+            self._adapted[orig] = self._adapted.get(orig, 1.0) * factor
+            self._events.append(
+                AdaptationEvent(
+                    step=step,
+                    rank=orig,
+                    dense_rank=dense_rank,
+                    factor=factor,
+                    last_error=last_error,
+                )
+            )
+
+    # -- the SPMD sync point ---------------------------------------------------
+    def sync(self, ctx: Any, comm: "Communicator", step: int) -> None:
+        """Iteration-boundary repartition round; all ranks must call.
+
+        Gathers per-rank self-reports to the master, broadcasts the
+        master's decision, and on a positive decision raises
+        :class:`RepartitionSignal` on *every* rank — after the
+        broadcast has completed locally, so no rank is left blocked
+        and the backends can retire the program without an abort.
+        """
+        report = self.self_report(ctx.rank)
+        gathered = comm.gather(report)
+        decision = None
+        if comm.is_master:
+            decision = self.decide(gathered, step)
+        decision = comm.bcast(decision)
+        if decision is None:
+            return
+        dense_rank, factor, last_error = decision
+        raise RepartitionSignal(
+            rank=dense_rank, factor=factor, step=step, ewma=last_error
+        )

@@ -5,11 +5,19 @@ configured budget or raises a specific :mod:`repro.errors` exception —
 no operation silently hangs.  On the virtual-time engine, deadlines and
 backoff are charged in virtual seconds, so detection behaviour is fully
 deterministic and shows up in exported traces.
+
+Budgets are declarative: helpers accept either a bare
+:class:`~repro.faults.policy.RetryPolicy` (legacy) or a full
+:class:`~repro.faults.policy.ResiliencePolicy` whose ``deadline`` block
+supplies the per-op timeouts, so a JSON policy file — standalone or
+embedded in a fault plan — configures the whole detection layer.
+Attempt accounting is surfaced through the session metrics
+(``fault.attempts`` / ``fault.retries`` / ``fault.backoff_s``) and a
+``fault``-category ``fault.retry`` span per backoff.
 """
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Any
 
 from repro.errors import (
@@ -17,9 +25,20 @@ from repro.errors import (
     ConfigurationError,
     TransientNetworkError,
 )
+from repro.faults.policy import (
+    DEFAULT_RETRY_POLICY,
+    DeadlinePolicy,
+    ResiliencePolicy,
+    RetryPolicy,
+    deadline_of,
+    retry_of,
+)
 
 __all__ = [
     "RetryPolicy",
+    "DeadlinePolicy",
+    "ResiliencePolicy",
+    "policy_of",
     "send_with_retry",
     "recv_with_timeout",
     "LivenessView",
@@ -27,36 +46,40 @@ __all__ = [
 ]
 
 
-@dataclasses.dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded retry with exponential backoff for transient faults.
+def _now_of(ctx: Any) -> float:
+    """Best-effort current time of a rank context (virtual seconds on
+    the engine, the injector's nominal clock inproc, else 0.0)."""
+    clock = getattr(ctx, "clock", None)
+    if clock is not None:
+        return float(clock.now)
+    nominal = getattr(ctx, "_nominal_s", None)
+    if nominal is not None:
+        return float(nominal)
+    return 0.0
 
-    Attributes:
-        max_attempts: total tries (first attempt included).
-        backoff_s: wait charged before the first retry.
-        backoff_factor: multiplier applied to the wait per retry.
+
+def policy_of(ctx: Any) -> ResiliencePolicy | None:
+    """The resilience policy travelling with the context's fault plan.
+
+    Unwraps the context chain looking for a fault injector whose plan
+    carries a ``policy`` block; returns ``None`` when there is none, so
+    callers can fall back to their defaults.
     """
-
-    max_attempts: int = 4
-    backoff_s: float = 0.01
-    backoff_factor: float = 2.0
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigurationError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_s < 0 or self.backoff_factor <= 0:
-            raise ConfigurationError(
-                f"invalid backoff ({self.backoff_s}s × {self.backoff_factor})"
-            )
-
-    def backoff_for(self, attempt: int) -> float:
-        """Backoff charged after failed attempt ``attempt`` (1-based)."""
-        return self.backoff_s * self.backoff_factor ** (attempt - 1)
-
-
-DEFAULT_RETRY_POLICY = RetryPolicy()
+    seen = set()
+    obj = ctx
+    while obj is not None and id(obj) not in seen:
+        seen.add(id(obj))
+        for name in ("injector", "faults"):
+            injector = getattr(obj, name, None)
+            policy = getattr(injector, "policy", None)
+            if policy is not None:
+                return policy
+        obj = (
+            getattr(obj, "context", None)
+            or getattr(obj, "_ctx", None)
+            or getattr(obj, "engine", None)
+        )
+    return None
 
 
 def send_with_retry(
@@ -64,45 +87,83 @@ def send_with_retry(
     dest: int,
     payload: Any,
     tag: int = 0,
-    policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+    policy: "RetryPolicy | ResiliencePolicy | None" = None,
     timeout_s: float | None = None,
 ) -> int:
     """Send, resending on :class:`TransientNetworkError` (lost message).
 
-    The backoff between attempts is charged to the sender's clock via
-    ``ctx.charge_seconds`` — virtual time on the engine (deterministic),
-    a modelled no-op on the wall-clock backend.  Returns the number of
-    attempts used; re-raises the last error when the budget is spent.
-    Non-transient errors (peer failed, timeout) propagate immediately.
+    ``policy`` may be a bare :class:`RetryPolicy` or a full
+    :class:`ResiliencePolicy`; when ``None``, the policy embedded in
+    the context's fault plan applies (falling back to the default
+    retry budget).  An explicit ``timeout_s`` overrides the policy's
+    ``send_timeout_s`` deadline.  The backoff between attempts is
+    charged to the sender's clock via ``ctx.charge_seconds`` — virtual
+    time on the engine (deterministic), a modelled no-op on the
+    wall-clock backend.  Returns the number of attempts used; re-raises
+    the last error when the budget is spent.  Non-transient errors
+    (peer failed, timeout) propagate immediately.
     """
+    if policy is None:
+        policy = policy_of(ctx)
+    retry = retry_of(policy)
+    if timeout_s is None:
+        timeout_s = deadline_of(policy).send_timeout_s
     kwargs: dict[str, Any] = {}
     if timeout_s is not None:
         kwargs["timeout_s"] = timeout_s
-    for attempt in range(1, policy.max_attempts + 1):
+    obs = getattr(ctx, "obs", None)
+    for attempt in range(1, retry.max_attempts + 1):
         try:
             ctx.send(dest, payload, tag, **kwargs)
+            if obs is not None:
+                obs.metrics.counter(
+                    "fault.attempts", rank=ctx.rank, peer=dest
+                ).inc(attempt)
             return attempt
         except TransientNetworkError:
-            obs = getattr(ctx, "obs", None)
             if obs is not None:
                 obs.metrics.counter(
                     "fault.retries", rank=ctx.rank, peer=dest
                 ).inc()
-            if attempt == policy.max_attempts:
+            if attempt == retry.max_attempts:
+                if obs is not None:
+                    obs.metrics.counter(
+                        "fault.attempts", rank=ctx.rank, peer=dest
+                    ).inc(attempt)
                 raise
-            ctx.charge_seconds(policy.backoff_for(attempt))
+            backoff = retry.backoff_for(attempt)
+            start = _now_of(ctx)
+            ctx.charge_seconds(backoff)
+            if obs is not None:
+                obs.metrics.counter(
+                    "fault.backoff_s", rank=ctx.rank
+                ).inc(backoff)
+                obs.tracer.add_span(
+                    "fault.retry", ctx.rank, start, start + backoff,
+                    category="fault", attempt=attempt, peer=dest, tag=tag,
+                )
     raise AssertionError("unreachable")  # pragma: no cover
 
 
 def recv_with_timeout(
-    ctx: Any, source: int, tag: int = -1, timeout_s: float | None = None
+    ctx: Any,
+    source: int,
+    tag: int = -1,
+    timeout_s: float | None = None,
+    policy: "ResiliencePolicy | None" = None,
 ) -> Any:
     """Receive with a per-operation deadline.
 
     Thin wrapper over ``ctx.recv(..., timeout_s=...)`` for contexts
-    that support deadlines; raises
+    that support deadlines; the deadline comes from ``timeout_s``, else
+    the policy's (or the fault plan's embedded policy's)
+    ``recv_timeout_s``.  Raises
     :class:`~repro.errors.CommunicationTimeout` on expiry.
     """
+    if timeout_s is None:
+        if policy is None:
+            policy = policy_of(ctx)
+        timeout_s = deadline_of(policy).recv_timeout_s
     if timeout_s is None:
         return ctx.recv(source, tag)
     return ctx.recv(source, tag, timeout_s=timeout_s)

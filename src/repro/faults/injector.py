@@ -245,6 +245,16 @@ class FaultInjector:
         with self._lock:
             return frozenset(self._fired_crashes)
 
+    @property
+    def policy(self) -> Any:
+        """The plan's embedded resilience policy (``None`` if absent).
+
+        Exposed so detection helpers can discover deadlines/retry
+        budgets from whatever context wraps this injector (see
+        :func:`repro.faults.detect.policy_of`).
+        """
+        return getattr(self.plan, "policy", None)
+
 
 class FaultyCommunicator:
     """Interposing wrapper applying a fault plan on the inproc backend.

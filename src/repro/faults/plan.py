@@ -24,7 +24,11 @@ wrapper on the wall-clock backend:
   :func:`repro.faults.send_with_retry`).
 
 Plans serialize to/from JSON (``{"faults": [{"kind": ...}, ...]}``)
-via :func:`load_fault_plan` / :meth:`FaultPlan.to_json`.
+via :func:`load_fault_plan` / :meth:`FaultPlan.to_json`.  A plan may
+additionally embed a ``"policy"`` block — a
+:class:`~repro.faults.policy.ResiliencePolicy` configuring retry
+budgets and per-op deadlines for the detection layer — which older
+plan files simply omit (parsing is backward compatible).
 """
 
 from __future__ import annotations
@@ -32,10 +36,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import sys
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.errors import FaultPlanError
+from repro.faults.policy import ResiliencePolicy
 
 __all__ = [
     "RankCrash",
@@ -45,6 +51,7 @@ __all__ = [
     "MessageDrop",
     "FaultPlan",
     "load_fault_plan",
+    "main",
 ]
 
 
@@ -225,10 +232,16 @@ Fault = RankCrash | RankSlowdown | LinkDegrade | MessageDelay | MessageDrop
 
 @dataclasses.dataclass(frozen=True)
 class FaultPlan:
-    """An immutable, validated, ordered set of fault specifications."""
+    """An immutable, validated, ordered set of fault specifications.
+
+    ``policy`` optionally attaches the resilience policy (retry +
+    deadline budgets) that detection helpers should apply while the
+    plan is active; ``None`` keeps the library defaults.
+    """
 
     faults: tuple[Fault, ...] = ()
     name: str = ""
+    policy: ResiliencePolicy | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "faults", tuple(self.faults))
@@ -278,6 +291,8 @@ class FaultPlan:
         out: dict[str, Any] = {"faults": []}
         if self.name:
             out["name"] = self.name
+        if self.policy is not None:
+            out["policy"] = self.policy.to_dict()
         for fault in self.faults:
             entry = {"kind": fault.kind}
             for field in dataclasses.fields(fault):
@@ -322,7 +337,14 @@ class FaultPlan:
                 faults.append(fault_cls(**kwargs))
             except TypeError as exc:
                 raise FaultPlanError(f"fault #{i} ({kind}): {exc}") from exc
-        return cls(faults=tuple(faults), name=str(doc.get("name", "")))
+        policy = None
+        if doc.get("policy") is not None:
+            policy = ResiliencePolicy.from_dict(doc["policy"])
+        return cls(
+            faults=tuple(faults),
+            name=str(doc.get("name", "")),
+            policy=policy,
+        )
 
 
 def load_fault_plan(path: str | Path) -> FaultPlan:
@@ -338,3 +360,56 @@ def load_fault_plan(path: str | Path) -> FaultPlan:
     if not plan.name:
         plan = dataclasses.replace(plan, name=source.stem)
     return plan
+
+
+def describe_plan(plan: FaultPlan) -> str:
+    """One-screen human-readable plan summary."""
+    lines = [f"fault plan {plan.name or '(unnamed)'}: {len(plan)} faults"]
+    for fault in plan:
+        fields = ", ".join(
+            f"{f.name}={getattr(fault, f.name)}"
+            for f in dataclasses.fields(fault)
+            if getattr(fault, f.name) is not None
+        )
+        lines.append(f"  {fault.kind}: {fields}")
+    if plan.policy is not None:
+        from repro.faults.policy import describe_policy
+
+        lines.append("  " + describe_policy(plan.policy).replace("\n", "\n  "))
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.faults plan <validate|show> FILE``"""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults plan",
+        description="Inspect and validate JSON fault plans.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_val = sub.add_parser("validate", help="exit 0 iff the plan parses")
+    p_val.add_argument("file")
+    p_val.add_argument("--ranks", type=int, default=None,
+                       help="also check the plan against a platform of "
+                            "this many ranks (master rank 0)")
+    p_show = sub.add_parser("show", help="parse a plan and print it")
+    p_show.add_argument("file")
+    args = parser.parse_args(argv)
+
+    try:
+        plan = load_fault_plan(args.file)
+        if args.command == "validate" and args.ranks is not None:
+            plan.check_platform(args.ranks)
+    except FaultPlanError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 1
+    if args.command == "validate":
+        print(f"ok: {describe_plan(plan)}")
+    else:
+        print(describe_plan(plan))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -28,8 +28,19 @@ from typing import TYPE_CHECKING, Any, Mapping
 from repro.cluster.costs import CostModel
 from repro.cluster.engine import SimulationEngine, SimulationResult
 from repro.cluster.mailbox import copy_payload
+from repro.cluster.perturb import scale_rank_compute
 from repro.cluster.platform import HeterogeneousPlatform
-from repro.errors import ConfigurationError, RankFailedError, ReproError
+from repro.errors import (
+    ConfigurationError,
+    RankFailedError,
+    RepartitionSignal,
+    ReproError,
+)
+from repro.faults.adaptive import (
+    AdaptationEvent,
+    AdaptiveConfig,
+    AdaptiveController,
+)
 from repro.faults.injector import FaultInjector, injector_for
 from repro.faults.plan import FaultPlan
 from repro.hsi.cube import HyperspectralImage
@@ -97,6 +108,10 @@ class RecoveryAttempt:
             (sim backend; 0.0 inproc).
         resumed_step: checkpoint step the attempt resumed from (0 =
             from scratch).
+        adapted_rank: original id of the drifting rank whose detection
+            ended this attempt (adaptive runs), else ``None``.
+        adapted_factor: the slowdown factor folded into the model for
+            ``adapted_rank``, else ``None``.
     """
 
     index: int
@@ -104,6 +119,8 @@ class RecoveryAttempt:
     crashed_rank: int | None
     clock_start: float
     resumed_step: int
+    adapted_rank: int | None = None
+    adapted_factor: float | None = None
 
 
 @dataclasses.dataclass
@@ -122,6 +139,12 @@ class RecoveredRun:
         sim / inproc: the final attempt's backend result.
         imbalance: ``D_all``/``D_minus`` re-computed for the
             post-recovery partition (sim backend; ``None`` inproc).
+        adaptations: committed straggler repartitions, in order
+            (adaptive runs; empty otherwise).
+        model_platform: the *model* platform the final partition was
+            computed from — the real platform with every adapted
+            rank's calibrated speed downgraded (``None`` unless the
+            run was adaptive).
     """
 
     algorithm: str
@@ -134,10 +157,16 @@ class RecoveredRun:
     sim: SimulationResult | None = None
     inproc: InprocResult | None = None
     imbalance: ImbalanceScores | None = None
+    adaptations: tuple[AdaptationEvent, ...] = ()
+    model_platform: HeterogeneousPlatform | None = None
 
     @property
     def recovered(self) -> bool:
         return bool(self.crashed_ranks)
+
+    @property
+    def adapted(self) -> bool:
+        return bool(self.adaptations)
 
     @property
     def makespan(self) -> float:
@@ -159,6 +188,7 @@ def run_with_recovery(
     max_recoveries: int | None = None,
     deadlock_grace_s: float = 0.25,
     repartition_overhead_s: float = 0.0,
+    adaptive: "AdaptiveController | AdaptiveConfig | bool | None" = None,
 ) -> RecoveredRun:
     """Run an algorithm, surviving planned/confirmed worker crashes.
 
@@ -187,6 +217,16 @@ def run_with_recovery(
         deadlock_grace_s: router grace period per attempt.
         repartition_overhead_s: modelled virtual seconds added at each
             recovery seam (sim backend).
+        adaptive: enable performance-adaptive repartitioning — pass
+            ``True`` (defaults), an :class:`AdaptiveConfig`, or a
+            pre-built :class:`AdaptiveController`.  Requires a
+            checkpointed detector (``atdca``/``ufcls``).  The health
+            monitor's straggler flag triggers a coordinated exit at
+            the next iteration boundary; the drifted rank's speed is
+            downgraded in a *model* copy of the platform (the engine
+            keeps charging the real specs — the node didn't change,
+            our calibration of it did), WEA re-partitions on the
+            model, and the run resumes from the checkpoint.
 
     Returns:
         A :class:`RecoveredRun`; ``imbalance`` carries the Table 7
@@ -213,12 +253,48 @@ def run_with_recovery(
         CheckpointStore() if algorithm in ("atdca", "ufcls") else None
     )
 
+    controller: AdaptiveController | None = None
+    if adaptive:
+        if isinstance(adaptive, AdaptiveController):
+            controller = adaptive
+        elif isinstance(adaptive, AdaptiveConfig):
+            controller = AdaptiveController(adaptive)
+        elif adaptive is True:
+            controller = AdaptiveController()
+        else:
+            raise ConfigurationError(
+                "adaptive must be True, an AdaptiveConfig, or an "
+                f"AdaptiveController, got {adaptive!r}"
+            )
+        if checkpoint is None:
+            raise ConfigurationError(
+                "adaptive repartitioning needs a checkpointed detector "
+                f"(atdca or ufcls), not {algorithm!r}"
+            )
+        # The controller reads the live health monitor; make sure one
+        # is observing the run.
+        if obs is None or obs.live is None:
+            from repro.obs import ObsSession
+            from repro.obs.live import LiveRuntime
+
+            if obs is None:
+                obs = ObsSession.create(live=LiveRuntime())
+            else:
+                obs.live = LiveRuntime()
+                obs.live.attach(obs)
+
     master_orig = platform.master_rank
     survivors = set(range(platform.size))
     identity = tuple(range(platform.size))
     attempts: list[RecoveryAttempt] = []
     crashed: list[int] = []
     clock_start = 0.0
+    # The *model* platform drives partitioning; adaptive repartitions
+    # edit only this copy.  The engine keeps charging the real
+    # ``platform`` — an injected slowdown multiplies on top of whatever
+    # the engine charges, so downgrading the charged spec too would
+    # double-penalize the drifted rank.
+    model_platform = platform
 
     while True:
         ordered = tuple(
@@ -231,12 +307,21 @@ def run_with_recovery(
             )
         if ordered == identity:
             run_platform = platform
+            model_run = model_platform
         else:
             run_platform = platform.subset(
                 ordered, name=f"{platform.name}[recovered:{len(ordered)}]"
             )
+            model_run = (
+                run_platform
+                if model_platform is platform
+                else model_platform.subset(
+                    ordered,
+                    name=f"{model_platform.name}[recovered:{len(ordered)}]",
+                )
+            )
         partition = make_row_partition(
-            run_platform, image, algorithm, params, variant, cost_model
+            model_run, image, algorithm, params, variant, cost_model
         )
         if injector is not None:
             injector.attach(
@@ -253,6 +338,12 @@ def run_with_recovery(
         program_kwargs = build_program_kwargs(algorithm, params, partition)
         if checkpoint is not None:
             program_kwargs["checkpoint"] = checkpoint
+        if controller is not None:
+            controller.attach(
+                monitor=obs.live.health,
+                rank_map=None if ordered == identity else ordered,
+            )
+            program_kwargs["adaptive"] = controller
         resumed_step = (checkpoint.step or 0) if checkpoint is not None else 0
         master = run_platform.master_rank
         kwargs_per_rank = [
@@ -296,6 +387,10 @@ def run_with_recovery(
                     crashed_ranks=tuple(crashed),
                     sim=sim,
                     imbalance=scores,
+                    adaptations=(
+                        tuple(controller.events) if controller else ()
+                    ),
+                    model_platform=model_run if controller else None,
                 )
             inproc = run_inproc(
                 run_platform.size,
@@ -325,6 +420,8 @@ def run_with_recovery(
                 attempts=tuple(attempts),
                 crashed_ranks=tuple(crashed),
                 inproc=inproc,
+                adaptations=tuple(controller.events) if controller else (),
+                model_platform=model_run if controller else None,
             )
         except RankFailedError as exc:
             lost_orig = ordered[exc.rank]
@@ -372,3 +469,45 @@ def run_with_recovery(
                     ranks=",".join(str(r) for r in next_ordered),
                 )
             # Loop: re-run WEA over the survivors and resume.
+        except RepartitionSignal as exc:
+            assert controller is not None  # only adaptive runs raise it
+            drifted_orig = ordered[exc.rank]
+            controller.commit(
+                exc.rank, exc.factor, last_error=exc.ewma, step=exc.step
+            )
+            attempts.append(
+                RecoveryAttempt(
+                    index=len(attempts),
+                    ranks=ordered,
+                    crashed_rank=None,
+                    clock_start=clock_start,
+                    resumed_step=resumed_step,
+                    adapted_rank=drifted_orig,
+                    adapted_factor=exc.factor,
+                )
+            )
+            model_platform = scale_rank_compute(
+                model_platform, drifted_orig, exc.factor
+            )
+            detected_at = clock_start
+            if engine is not None:
+                detected_at = max(c.now for c in engine.clocks)
+                clock_start = detected_at + repartition_overhead_s
+            if obs is not None:
+                obs.metrics.counter("adaptive.repartitions").inc()
+                obs.metrics.counter("recovery.attempts").inc()
+                obs.metrics.counter("recovery.repartition_s").inc(
+                    repartition_overhead_s
+                )
+                obs.tracer.add_span(
+                    "adaptive.repartition",
+                    master,
+                    detected_at,
+                    clock_start if backend == "sim" else detected_at,
+                    category="fault",
+                    drifted_rank=drifted_orig,
+                    factor=exc.factor,
+                    step=exc.step,
+                    ranks=",".join(str(r) for r in ordered),
+                )
+            # Loop: same ranks, WEA over the downgraded model.

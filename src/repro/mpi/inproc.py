@@ -17,7 +17,12 @@ import time
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.cluster.mailbox import OpDeadline, Router, payload_wire_megabits
-from repro.errors import ConfigurationError, RankFailedError, raise_root_cause
+from repro.errors import (
+    ConfigurationError,
+    RankFailedError,
+    RepartitionSignal,
+    raise_root_cause,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
@@ -233,6 +238,13 @@ def run_inproc(
                 router.fail(rank)
             else:
                 router.abort()
+        except RepartitionSignal as exc:
+            # Coordinated exit: every rank raises this at the same
+            # program point after the decision broadcast, so nobody is
+            # left blocked — retire without aborting (an abort could
+            # kill peers still forwarding inside the tree).
+            with lock:
+                failures.append((rank, exc))
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with lock:
                 failures.append((rank, exc))

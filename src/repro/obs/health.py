@@ -125,12 +125,18 @@ class HealthEvent:
 
 
 class _SubjectState:
-    __slots__ = ("ewma", "ops", "flagged")
+    __slots__ = ("ewma", "ops", "flagged", "last")
 
     def __init__(self) -> None:
         self.ewma = 0.0
         self.ops = 0
         self.flagged = False
+        #: Most recent per-op relative error.  For a rank slowed by a
+        #: constant factor ``f`` this is exactly ``(f - 1)/f`` on every
+        #: slowed op, which makes it the exact inverse estimator
+        #: ``f = 1/(1 - last)`` the adaptive repartitioner uses (the
+        #: EWMA lags the settled value while it is still converging).
+        self.last = 0.0
 
 
 def relative_error(predicted: float, observed: float) -> float:
@@ -206,6 +212,7 @@ class HealthMonitor:
             if state is None:
                 state = self._subjects[subject] = _SubjectState()
             state.ops += 1
+            state.last = error
             if state.ops == 1:
                 state.ewma = error
             else:
@@ -267,6 +274,26 @@ class HealthMonitor:
             state = self._subjects.get(subject)
             return state.ewma if state is not None else None
 
+    def subject_snapshot(self, subject: str) -> dict[str, Any] | None:
+        """One subject's current detector state (``None`` if unseen).
+
+        The adaptive controller reads a rank's own ``rank:<r>`` subject
+        at iteration boundaries; since that subject is only ever
+        updated by rank ``r``'s own compute observations, the snapshot
+        a rank takes of itself is deterministic on both backends.
+        """
+        with self._lock:
+            state = self._subjects.get(subject)
+            if state is None:
+                return None
+            return {
+                "subject": subject,
+                "ops": state.ops,
+                "ewma_rel_error": state.ewma,
+                "last_rel_error": state.last,
+                "flagged": state.flagged,
+            }
+
     def state(self) -> dict[str, Any]:
         """JSON-safe snapshot of all subjects and events."""
         with self._lock:
@@ -275,6 +302,7 @@ class HealthMonitor:
                     "subject": subject,
                     "ops": state.ops,
                     "ewma_rel_error": state.ewma,
+                    "last_rel_error": state.last,
                     "flagged": state.flagged,
                 }
                 for subject, state in sorted(self._subjects.items())
@@ -299,24 +327,59 @@ class HealthMonitor:
         }
 
 
+_IDENTITY_SCALES = {"compute": 1.0, "transfer": 1.0}
+
+
 def scales_from_calibration(
     source: str | Path | Mapping[str, Any],
     backend: str = "sim",
 ) -> dict[str, float]:
     """Calibrated ``{"compute": ..., "transfer": ...}`` scales for one
-    backend from the committed calibration baseline (missing block or
-    backend -> neutral 1.0 scales)."""
+    backend from the committed calibration baseline.
+
+    Degrades gracefully: a calibration document without a ``"scales"``
+    block (older exports), or with a malformed/non-numeric block, warns
+    via :mod:`warnings` and returns neutral 1.0 scales instead of
+    raising — detection should never be disabled by a stale baseline.
+    Only a *present and numeric but non-positive* scale raises, since
+    that indicates a corrupted fit rather than a missing one.
+    """
+    import warnings
+
     if isinstance(source, (str, Path)):
         data: Mapping[str, Any] = json.loads(
             Path(source).read_text(encoding="utf-8")
         )
     else:
         data = source
-    scales = data.get("scales", {}).get(backend, {})
-    out = {
-        "compute": float(scales.get("compute", 1.0)),
-        "transfer": float(scales.get("transfer", 1.0)),
-    }
+
+    def _degraded(reason: str) -> dict[str, float]:
+        warnings.warn(
+            f"calibration has no usable scales for backend {backend!r} "
+            f"({reason}); using neutral 1.0 scales",
+            stacklevel=2,
+        )
+        return dict(_IDENTITY_SCALES)
+
+    block = data.get("scales")
+    if block is None:
+        return _degraded('missing "scales" block')
+    if not isinstance(block, Mapping):
+        return _degraded(
+            f'"scales" is {type(block).__name__}, expected a mapping'
+        )
+    scales = block.get(backend, {})
+    if not isinstance(scales, Mapping):
+        return _degraded(
+            f'"scales.{backend}" is {type(scales).__name__}, '
+            "expected a mapping"
+        )
+    out = {}
+    for name in ("compute", "transfer"):
+        try:
+            out[name] = float(scales.get(name, 1.0))
+        except (TypeError, ValueError):
+            return _degraded(f'"scales.{backend}.{name}" is not a number')
     for name, value in out.items():
         if value <= 0:
             raise ConfigurationError(

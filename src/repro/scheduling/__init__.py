@@ -4,6 +4,7 @@ from repro.scheduling.dynamic import (
     WorkerResigned,
     dynamic_master_worker,
     fault_tolerant_master_worker,
+    speculative_master_worker,
 )
 from repro.scheduling.iterative import (
     iterative_makespan,
@@ -51,5 +52,6 @@ __all__ = [
     "network_aware_fractions",
     "per_rank_cost_estimate",
     "rows_from_fractions",
+    "speculative_master_worker",
     "wea_partition",
 ]

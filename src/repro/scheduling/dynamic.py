@@ -24,7 +24,12 @@ from repro.errors import (
 )
 from repro.mpi.communicator import MessageContext
 
-__all__ = ["dynamic_master_worker", "WorkerResigned", "fault_tolerant_master_worker"]
+__all__ = [
+    "dynamic_master_worker",
+    "WorkerResigned",
+    "fault_tolerant_master_worker",
+    "speculative_master_worker",
+]
 
 #: Control tags (inside the user tag space).
 _TAG_REQUEST = 101
@@ -226,3 +231,110 @@ def fault_tolerant_master_worker(
         except WorkerResigned:
             return None
         ctx.send(master, (ctx.rank, "result", (start, chunk_results)), _TAG_RESULT)
+
+
+def speculative_master_worker(
+    ctx: MessageContext,
+    tasks: Sequence[Any] | None,
+    process_task: Callable[[MessageContext, Any], Any],
+    chunk_size: int = 1,
+) -> list[Any] | None:
+    """Self-scheduling with speculative straggler re-execution (SPMD).
+
+    Like :func:`dynamic_master_worker` until the fresh-task queue
+    drains; from then on an idle worker asking for work receives a
+    *duplicate* of an outstanding chunk instead of an immediate stop —
+    the MapReduce "backup task" move for stragglers.  The candidate
+    order is deterministic: fewest current holders first, then the
+    lowest start index (the longest-outstanding chunk — the one a
+    slowed worker has been sitting on).  The first copy of a chunk to
+    come back wins; results from later copies are discarded, so the
+    result array is written exactly once per task and stays
+    byte-identical to the sequential reference regardless of which
+    copy won.  A straggler is never interrupted — it finishes its
+    (by then redundant) chunk and is stopped on its next request — but
+    the master's *result set* completes as soon as the fastest copy of
+    every chunk is in.
+
+    Accounting (when the backend carries an obs session): counters
+    ``spec.reissues`` (duplicates issued) and ``spec.duplicates``
+    (redundant results discarded).
+
+    Returns:
+        At the master: results in task order.  At workers: ``None``.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    master = ctx.master_rank
+    if ctx.rank != master:
+        # Workers are oblivious to speculation — the protocol is
+        # exactly the demand-driven one.
+        return dynamic_master_worker(ctx, tasks, process_task, chunk_size)
+
+    if tasks is None:
+        raise ConfigurationError("master must supply the task list")
+    obs = getattr(ctx, "obs", None)
+    metrics = obs.metrics if obs is not None else None
+    n_tasks = len(tasks)
+    results: list[Any] = [None] * n_tasks
+    n_workers = ctx.size - 1
+    if n_workers == 0:
+        return [process_task(ctx, t) for t in tasks]
+
+    cursor = 0
+    stopped = 0
+    chunks: dict[int, tuple[int, int]] = {}  # start -> (start, stop)
+    holders: dict[int, list[int]] = {}  # start -> workers holding a copy
+    completed: set[int] = set()
+
+    def speculation_candidate(worker: int) -> int | None:
+        """Deterministic pick: fewest holders, then lowest start (the
+        longest-outstanding chunk), never a chunk this worker already
+        holds."""
+        best: int | None = None
+        best_key: tuple[int, int] | None = None
+        for start in chunks:
+            if start in completed:
+                continue
+            held_by = holders.get(start, [])
+            if worker in held_by:
+                continue
+            key = (len(held_by), start)
+            if best_key is None or key < best_key:
+                best, best_key = start, key
+        return best
+
+    while stopped < n_workers:
+        worker, kind, body = ctx.recv(ANY_SOURCE, -1)
+        if kind == "result":
+            start, chunk_results = body
+            held_by = holders.get(start)
+            if held_by is not None and worker in held_by:
+                held_by.remove(worker)
+            if start in completed:
+                # A slower copy of an already-finished chunk.
+                if metrics is not None:
+                    metrics.counter("spec.duplicates").inc()
+            else:
+                completed.add(start)
+                for offset, value in enumerate(chunk_results):
+                    results[start + offset] = value
+        # Every message doubles as a work request.
+        if cursor < n_tasks:
+            start, stop = cursor, min(cursor + chunk_size, n_tasks)
+            cursor = stop
+            chunks[start] = (start, stop)
+            holders[start] = [worker]
+            ctx.send(worker, (start, list(tasks[start:stop])), _TAG_WORK)
+            continue
+        candidate = speculation_candidate(worker)
+        if candidate is not None:
+            start, stop = chunks[candidate]
+            holders[start].append(worker)
+            if metrics is not None:
+                metrics.counter("spec.reissues").inc()
+            ctx.send(worker, (start, list(tasks[start:stop])), _TAG_WORK)
+            continue
+        ctx.send(worker, None, _TAG_STOP)
+        stopped += 1
+    return results

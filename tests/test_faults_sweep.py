@@ -1,0 +1,275 @@
+"""Chaos-sweep harness: grid validation, deterministic enumeration,
+what-if twins, gating, and byte-identical parallel artifacts."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.sweep import (
+    AXES,
+    GATE_SCHEMA,
+    SWEEP_SCHEMA,
+    enumerate_cells,
+    load_sweep_grid,
+    main,
+    plan_of_cell,
+    run_sweep,
+    sweep_gate,
+    sweep_table,
+    validate_grid,
+    whatif_twin,
+    write_sweep,
+)
+from repro.obs.whatif import LinkScale, RankComputeScale, WhatIfPlan
+
+REPO = Path(__file__).resolve().parent.parent
+SMOKE_GRID = REPO / "benchmarks" / "plans" / "sweep_smoke.json"
+GATE_FILE = REPO / "benchmarks" / "baselines" / "sweep_gate.json"
+
+
+def tiny_grid(**overrides):
+    """A 2-cell grid small enough to run inside a test."""
+    doc = {
+        "schema": SWEEP_SCHEMA,
+        "name": "tiny",
+        "scene": {"rows": 32, "cols": 16, "bands": 16, "seed": 7},
+        "params": {"n_targets": 6},
+        "algorithms": ["atdca"],
+        "backends": ["sim"],
+        "adaptive": {"min_factor": 1.2, "max_adaptations": 4},
+        "axes": {
+            "slowdown": [
+                None,
+                {"rank": 1, "factor": 4.0, "start_s": 0.0, "end_s": 1e9},
+            ],
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestGridValidation:
+    def test_committed_smoke_grid_is_valid(self):
+        doc = load_sweep_grid(SMOKE_GRID)
+        assert doc["name"] == "sweep_smoke"
+        cells = enumerate_cells(doc)
+        assert len(cells) == 32  # atdca x {sim,inproc} x 2^4 axes
+        assert doc["policy"]["retry"]["max_attempts"] == 4
+
+    def test_committed_gate_file_is_current_schema(self):
+        thresholds = json.loads(GATE_FILE.read_text())
+        assert thresholds["schema"] == GATE_SCHEMA
+        assert thresholds["max_adaptive_over_predicted"] < 1.0
+
+    @pytest.mark.parametrize("mutation,needle", [
+        ({"schema": "bogus/9"}, "schema"),
+        ({"algorithms": ["pct"]}, "adaptive-capable"),
+        ({"backends": ["mpi4py"]}, "backend"),
+        ({"axes": {"meteor": [None]}}, "axis"),
+        ({"axes": {"slowdown": "x4"}}, "list"),
+        ({"axes": {"slowdown": [42]}}, "objects or null"),
+        ({"policy": {"bogus": 1}}, "policy"),
+    ])
+    def test_rejects_malformed_grids(self, mutation, needle):
+        with pytest.raises(FaultPlanError, match=needle):
+            validate_grid(tiny_grid(**mutation))
+
+    def test_rejects_non_object_document(self):
+        with pytest.raises(FaultPlanError, match="object"):
+            validate_grid([1, 2, 3])
+
+    def test_validation_exercises_every_cell_plan(self):
+        # A structurally fine list whose option is missing a required
+        # key fails at validation time, not mid-sweep.
+        bad = tiny_grid(axes={"slowdown": [{"factor": 4.0}]})
+        with pytest.raises((FaultPlanError, KeyError)):
+            validate_grid(bad)
+
+
+class TestEnumeration:
+    def test_order_is_algorithms_backends_then_axes(self):
+        doc = validate_grid(tiny_grid(backends=["sim", "inproc"]))
+        cells = enumerate_cells(doc)
+        assert [(c["backend"], c["slowdown"] is None) for c in cells] == [
+            ("sim", True), ("sim", False),
+            ("inproc", True), ("inproc", False),
+        ]
+        for cell in cells:
+            assert set(cell) == {"algorithm", "backend", *AXES}
+
+    def test_empty_axes_yield_single_clean_cell(self):
+        cells = enumerate_cells(validate_grid(tiny_grid(axes={})))
+        assert len(cells) == 1
+        assert all(cells[0][axis] is None for axis in AXES)
+
+
+class TestPlanOfCell:
+    def test_clean_cell_without_policy_is_none(self):
+        doc = validate_grid(tiny_grid())
+        assert plan_of_cell(enumerate_cells(doc)[0], doc) is None
+
+    def test_policy_rides_on_every_cell(self):
+        doc = validate_grid(tiny_grid(
+            policy={"retry": {"max_attempts": 7}},
+        ))
+        clean, slow = enumerate_cells(doc)
+        clean_plan = plan_of_cell(clean, doc)
+        assert clean_plan is not None and len(clean_plan.faults) == 0
+        assert clean_plan.policy.retry.max_attempts == 7
+        slow_plan = plan_of_cell(slow, doc)
+        assert [f.kind for f in slow_plan.faults] == ["rank_slowdown"]
+        assert slow_plan.policy == clean_plan.policy
+
+    def test_four_axis_cell_builds_all_faults(self):
+        doc = load_sweep_grid(SMOKE_GRID)
+        full = [
+            c for c in enumerate_cells(doc)
+            if all(c[axis] is not None for axis in AXES)
+        ]
+        assert len(full) == 2  # one per backend
+        plan = plan_of_cell(full[0], doc)
+        assert sorted(f.kind for f in plan.faults) == [
+            "link_degrade", "message_delay", "rank_crash", "rank_slowdown",
+        ]
+        assert plan.policy is not None
+
+
+class TestWhatIfTwin:
+    def test_slowdown_maps_to_open_compute_scale(self):
+        doc = validate_grid(tiny_grid())
+        plan = plan_of_cell(enumerate_cells(doc)[1], doc)
+        twin = whatif_twin(plan)
+        (p,) = twin.perturbations
+        assert isinstance(p, RankComputeScale)
+        assert (p.rank, p.factor) == (1, 4.0)
+        assert p.end_s is None  # 1e9 sentinel -> open window
+
+    def test_windowed_slowdown_keeps_its_end(self):
+        doc = validate_grid(tiny_grid(axes={"slowdown": [
+            {"rank": 1, "factor": 2.0, "start_s": 0.01, "end_s": 0.05},
+        ]}))
+        plan = plan_of_cell(enumerate_cells(doc)[0], doc)
+        (p,) = whatif_twin(plan).perturbations
+        assert (p.start_s, p.end_s) == (0.01, 0.05)
+
+    def test_link_degrade_maps_to_link_scale(self):
+        doc = validate_grid(tiny_grid(axes={"link_degrade": [
+            {"segment_a": "s1", "segment_b": "s1", "factor": 2.0,
+             "start_s": 0.0, "end_s": 1e9},
+        ]}))
+        plan = plan_of_cell(enumerate_cells(doc)[0], doc)
+        (p,) = whatif_twin(plan).perturbations
+        assert isinstance(p, LinkScale)
+        assert p.end_s is None
+
+    def test_crash_and_delay_have_no_twin(self):
+        doc = load_sweep_grid(SMOKE_GRID)
+        for axis in ("crash", "delay"):
+            cell = next(
+                c for c in enumerate_cells(doc)
+                if c[axis] is not None
+                and all(c[a] is None for a in AXES if a != axis)
+            )
+            assert whatif_twin(plan_of_cell(cell, doc)) is None
+
+    def test_no_plan_twins_to_empty_whatif(self):
+        twin = whatif_twin(None)
+        assert isinstance(twin, WhatIfPlan)
+        assert twin.perturbations == ()
+
+
+class TestRunSweepAndGate:
+    @pytest.fixture(scope="class")
+    def tiny_result(self):
+        return run_sweep(validate_grid(tiny_grid()))
+
+    def test_every_cell_ok_and_equal(self, tiny_result):
+        assert tiny_result["summary"] == {
+            "n_cells": 2, "n_ok": 2, "n_result_equal": 2, "n_adapted": 1,
+        }
+        clean, slow = tiny_result["cells"]
+        assert not clean["adaptations"]
+        assert slow["adaptations"][0]["rank"] == 1
+
+    def test_predictions_are_exact(self, tiny_result):
+        for record in tiny_result["cells"]:
+            assert record["prediction_rel_error"] == pytest.approx(
+                0.0, abs=1e-12
+            )
+
+    def test_parallel_artifact_is_byte_identical(self, tiny_result, tmp_path):
+        parallel = run_sweep(validate_grid(tiny_grid()), jobs=2)
+        a = write_sweep(tiny_result, tmp_path / "serial.json")
+        b = write_sweep(parallel, tmp_path / "jobs2.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_gate_passes_on_honest_result(self, tiny_result):
+        assert sweep_gate(tiny_result, {
+            "schema": GATE_SCHEMA,
+            "max_prediction_rel_error": 1e-9,
+            "max_adaptive_over_predicted": 2.0,
+            "min_adapted_cells": 1,
+        }) == []
+
+    def test_gate_flags_tampering_and_shortfalls(self, tiny_result):
+        tampered = json.loads(json.dumps(tiny_result))
+        tampered["cells"][1]["result_equal"] = False
+        tampered["cells"][1]["prediction_rel_error"] = 0.5
+        violations = sweep_gate(tampered, {
+            "max_prediction_rel_error": 1e-9,
+            "min_adapted_cells": 5,
+        })
+        assert any("sequential reference" in v for v in violations)
+        assert any("what-if prediction" in v for v in violations)
+        assert any("min 5" in v for v in violations)
+
+    def test_gate_rejects_unknown_schema(self, tiny_result):
+        with pytest.raises(FaultPlanError, match="gate schema"):
+            sweep_gate(tiny_result, {"schema": "nope/0"})
+
+    def test_table_renders_every_cell(self, tiny_result):
+        table = sweep_table(tiny_result)
+        assert table.count("\n") == len(tiny_result["cells"]) + 1
+        assert "slowdown=on" in table
+
+
+class TestSweepCLI:
+    def test_run_out_and_gate_round_trip(self, tmp_path, capsys):
+        grid = tmp_path / "tiny.json"
+        grid.write_text(json.dumps(tiny_grid()))
+        out = tmp_path / "result.json"
+        gate = tmp_path / "gate.json"
+        gate.write_text(json.dumps({
+            "schema": GATE_SCHEMA,
+            "max_prediction_rel_error": 1e-9,
+            "max_adaptive_over_predicted": 2.0,
+            "min_adapted_cells": 1,
+        }))
+        assert main(["run", str(grid), "--out", str(out),
+                     "--gate", str(gate)]) == 0
+        assert "gate: PASS" in capsys.readouterr().out
+        assert out.exists()
+        assert main(["gate", str(out), str(gate)]) == 0
+        capsys.readouterr()
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps({"min_adapted_cells": 99}))
+        assert main(["gate", str(out), str(strict)]) == 1
+        capsys.readouterr()
+
+    def test_bad_inputs_fail_cleanly(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "missing.json")]) == 1
+        assert "invalid sweep input" in capsys.readouterr().err
+        not_json = tmp_path / "grid.json"
+        not_json.write_text("not json")
+        assert main(["cells", str(not_json)]) == 1
+        assert "invalid sweep input" in capsys.readouterr().err
+
+    def test_cells_lists_labels(self, capsys):
+        assert main(["cells", str(SMOKE_GRID)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 32
+        assert out[0] == (
+            "atdca/sim/crash=off/slowdown=off/link_degrade=off/delay=off"
+        )

@@ -227,14 +227,44 @@ class TestHealthMonitor:
                 "benchmarks/baselines/calibration.json", backend=backend
             )
             assert scales == {"compute": 1.0, "transfer": 1.0}
-        # Missing block -> neutral scales; bad values rejected.
-        assert scales_from_calibration({}, backend="sim") == {
-            "compute": 1.0, "transfer": 1.0
-        }
+        # Missing block -> neutral scales (warns); bad values rejected.
+        with pytest.warns(UserWarning):
+            assert scales_from_calibration({}, backend="sim") == {
+                "compute": 1.0, "transfer": 1.0
+            }
         with pytest.raises(ConfigurationError):
             scales_from_calibration(
                 {"scales": {"sim": {"compute": -1.0}}}, backend="sim"
             )
+
+    @pytest.mark.parametrize("doc,reason", [
+        ({}, 'missing "scales" block'),
+        ({"scales": [1.0, 2.0]}, "expected a mapping"),
+        ({"scales": {"sim": "fast"}}, "expected a mapping"),
+        ({"scales": {"sim": {"compute": "quick"}}}, "is not a number"),
+    ])
+    def test_stale_baselines_warn_and_degrade(self, doc, reason):
+        """Older or malformed calibration exports must not disable
+        detection: they warn once and fall back to neutral scales."""
+        with pytest.warns(UserWarning, match="no usable scales") as record:
+            scales = scales_from_calibration(doc, backend="sim")
+        assert scales == {"compute": 1.0, "transfer": 1.0}
+        assert reason in str(record[0].message)
+
+    def test_missing_backend_key_is_silent_identity(self):
+        """A calibration fitted only for the other backend is not
+        stale — its absence for this backend is the identity, no
+        warning."""
+        import warnings
+
+        doc = {"scales": {"inproc": {"compute": 2.0, "transfer": 3.0}}}
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scales = scales_from_calibration(doc, backend="sim")
+        assert scales == {"compute": 1.0, "transfer": 1.0}
+        assert scales_from_calibration(doc, backend="inproc") == {
+            "compute": 2.0, "transfer": 3.0
+        }
 
 
 class TestCrossBackendDeterminism:

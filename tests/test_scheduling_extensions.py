@@ -252,3 +252,133 @@ class TestNFindrAndSAM:
             rejection_threshold=1e-6,
         )
         assert result.rejected_fraction > 0.5  # nearly everything noisy
+
+
+class TestSpeculativeScheduler:
+    """speculative_master_worker: MapReduce-style backup tasks for
+    stragglers, first-result-wins, byte-identical results."""
+
+    def _straggler_program(self, tasks, slow_rank=3, chunk_size=1):
+        from repro.scheduling import speculative_master_worker
+
+        def program(ctx):
+            def process(c, t):
+                c.charge_seconds(0.05 if c.rank == slow_rank else 0.001)
+                return t * t
+
+            return speculative_master_worker(
+                ctx, tasks if ctx.rank == ctx.master_rank else None,
+                process, chunk_size=chunk_size,
+            )
+
+        return program
+
+    def test_results_match_plain_dynamic_inproc(self):
+        from repro.scheduling import (
+            dynamic_master_worker,
+            speculative_master_worker,
+        )
+
+        tasks = list(range(20))
+
+        def spec_program(ctx):
+            return speculative_master_worker(
+                ctx, tasks if ctx.rank == ctx.master_rank else None,
+                lambda c, t: t * t, chunk_size=3,
+            )
+
+        def dyn_program(ctx):
+            return dynamic_master_worker(
+                ctx, tasks if ctx.rank == ctx.master_rank else None,
+                lambda c, t: t * t, chunk_size=3,
+            )
+
+        spec = run_inproc(4, spec_program)
+        dyn = run_inproc(4, dyn_program)
+        assert spec.return_values[0] == dyn.return_values[0]
+        assert spec.return_values[0] == [t * t for t in tasks]
+
+    def test_straggler_triggers_reissue_on_engine(self, tiny_platform):
+        from repro.cluster.engine import run_program
+        from repro.obs import ObsSession
+
+        tasks = list(range(12))
+        obs = ObsSession.create()
+        result = run_program(
+            tiny_platform, self._straggler_program(tasks), obs=obs
+        )
+        assert result.return_values[0] == [t * t for t in tasks]
+        # The slow rank's chunk was re-issued to an idle fast worker,
+        # and the straggler's late copy came back redundant.
+        assert obs.metrics.total("spec.reissues") >= 1.0
+        assert obs.metrics.total("spec.duplicates") >= 1.0
+
+    def test_speculation_is_result_safe_and_cheap(self, tiny_platform):
+        from repro.cluster import CostModel
+        from repro.cluster.engine import run_program
+        from repro.scheduling import dynamic_master_worker
+
+        tasks = list(range(12))
+        # Make communication negligible so compute dominates: the
+        # straggler's one chunk is the whole critical path.
+        cheap_comm = CostModel(comm_scale=1e-6)
+
+        def dyn_program(ctx):
+            def process(c, t):
+                c.charge_seconds(0.05 if c.rank == 3 else 0.001)
+                return t * t
+
+            return dynamic_master_worker(
+                ctx, tasks if ctx.rank == ctx.master_rank else None,
+                process, chunk_size=1,
+            )
+
+        spec = run_program(
+            tiny_platform, self._straggler_program(tasks),
+            cost_model=cheap_comm,
+        )
+        dyn = run_program(tiny_platform, dyn_program, cost_model=cheap_comm)
+        assert spec.return_values[0] == dyn.return_values[0]
+        # The straggler is never interrupted, and the master cannot
+        # know which requester is slow — so at worst the straggler
+        # itself picks up one backup chunk (0.05s here) before being
+        # stopped.  Speculation never costs more than that one chunk.
+        assert max(spec.finish_times) <= max(dyn.finish_times) + 0.05 + 0.01
+
+    def test_results_stable_regardless_of_winning_copy(self, tiny_platform):
+        """Which requester receives a backup chunk depends on
+        ANY_SOURCE arrival races between equally-advanced ranks, so
+        timing may vary run to run — but first-result-wins keeps the
+        result array byte-identical to the reference every time."""
+        from repro.cluster.engine import run_program
+        from repro.obs import ObsSession
+
+        tasks = list(range(12))
+        expected = [t * t for t in tasks]
+        for _ in range(3):
+            obs = ObsSession.create()
+            result = run_program(
+                tiny_platform, self._straggler_program(tasks), obs=obs
+            )
+            assert result.return_values[0] == expected
+            assert obs.metrics.total("spec.reissues") >= 1.0
+
+    def test_single_rank_runs_inline(self):
+        from repro.scheduling import speculative_master_worker
+
+        def program(ctx):
+            return speculative_master_worker(ctx, [1, 2, 3], lambda c, t: -t)
+
+        result = run_inproc(1, program)
+        assert result.return_values[0] == [-1, -2, -3]
+
+    def test_chunk_size_validated(self):
+        from repro.scheduling import speculative_master_worker
+
+        def program(ctx):
+            return speculative_master_worker(
+                ctx, [1], lambda c, t: t, chunk_size=0
+            )
+
+        with pytest.raises(Exception):
+            run_inproc(2, program, deadlock_grace_s=0.05)
