@@ -121,6 +121,12 @@ def main(argv: list[str] | None = None) -> int:
                              "cells) out over N worker processes; results "
                              "(and trace files) are identical to a serial "
                              "run")
+    parser.add_argument("--history", metavar="LEDGER", default=None,
+                        help="append this invocation's artifacts (traced "
+                             "demo analysis, calibration drift, chaos-sweep "
+                             "ratios, live health summary) to the "
+                             "longitudinal run ledger "
+                             "(`python -m repro.obs.history`)")
     parser.add_argument("--rows", type=int, default=96, help="scene rows")
     parser.add_argument("--cols", type=int, default=64, help="scene cols")
     parser.add_argument("--bands", type=int, default=48, help="scene bands")
@@ -147,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--whatif requires a plan file name")
     if args.chaos_sweep == "":
         parser.error("--chaos-sweep requires a grid file name")
+    if args.history == "":
+        parser.error("--history requires a ledger file name")
     if (not args.experiments and args.trace is None and args.metrics is None
             and args.report is None and args.calibrate is None
             and args.whatif is None and args.chaos_sweep is None):
@@ -174,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
         live_dir.mkdir(parents=True, exist_ok=True)
     trace_dir = None
     sim_traced = None
+    sweep_result = None
     metrics_dir = Path(args.metrics) if args.metrics is not None else None
     if args.trace is not None:
         trace_dir = Path(args.trace)
@@ -317,6 +326,49 @@ def main(argv: list[str] | None = None) -> int:
         transcript = outdir / "experiments.txt"
         transcript.write_text("\n\n".join(sections) + "\n", encoding="utf-8")
         print(f"transcript written to {transcript}")
+
+    if args.history is not None:
+        import json as _json
+
+        from repro.obs.history import (
+            append_entries,
+            entries_from_analysis,
+            entries_from_calibration,
+            entries_from_health_summary,
+            entries_from_sweep,
+        )
+
+        entries = []
+        if trace_dir is not None:
+            for backend in ("sim", "inproc"):
+                analysis_path = trace_dir / f"atdca_{backend}.analysis.json"
+                if analysis_path.exists():
+                    doc = _json.loads(
+                        analysis_path.read_text(encoding="utf-8")
+                    )
+                    entries += entries_from_analysis(
+                        doc, label=f"atdca_{backend}", backend=backend
+                    )
+        if args.calibrate is not None:
+            for backend in ("sim", "inproc"):
+                calib_path = Path(args.calibrate) / f"calibration_{backend}.json"
+                if calib_path.exists():
+                    doc = _json.loads(calib_path.read_text(encoding="utf-8"))
+                    entries += entries_from_calibration(doc, backend=backend)
+        if args.chaos_sweep is not None and sweep_result is not None:
+            entries += entries_from_sweep(sweep_result)
+        if live_dir is not None:
+            health_path = live_dir / "health_summary.json"
+            if health_path.exists():
+                doc = _json.loads(health_path.read_text(encoding="utf-8"))
+                entries += entries_from_health_summary(doc)
+        if entries:
+            n = append_entries(args.history, entries)
+            print(f"{n} ledger entries -> {args.history}")
+        else:
+            print("history: nothing recorded (no recordable artifacts "
+                  "were produced; combine --history with --trace, "
+                  "--calibrate, --chaos-sweep, or --live)")
     return 0
 
 

@@ -62,10 +62,12 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKET_BOUNDS,
+    DEFAULT_SUMMARY_QUANTILES,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, tracer_of
 
@@ -107,6 +109,15 @@ _LAZY = {
     "causal_profile": "repro.obs.causal",
     "provenance": "repro.obs.provenance",
     "provenance_matches": "repro.obs.provenance",
+    "LedgerEntry": "repro.obs.history",
+    "Ledger": "repro.obs.history",
+    "append_entries": "repro.obs.history",
+    "read_ledger": "repro.obs.history",
+    "series_trend": "repro.obs.history",
+    "changepoint_indices": "repro.obs.history",
+    "control_band": "repro.obs.history",
+    "gate_entries": "repro.obs.history",
+    "render_dashboard": "repro.obs.history",
 }
 
 
@@ -129,8 +140,10 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "MetricsRegistry",
     "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_SUMMARY_QUANTILES",
     "BlockedTimeReport",
     "CriticalPathReport",
     "FaultWindow",
@@ -192,6 +205,15 @@ __all__ = [
     "causal_profile",
     "provenance",
     "provenance_matches",
+    "LedgerEntry",
+    "Ledger",
+    "append_entries",
+    "read_ledger",
+    "series_trend",
+    "changepoint_indices",
+    "control_band",
+    "gate_entries",
+    "render_dashboard",
 ]
 
 

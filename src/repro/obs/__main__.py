@@ -38,6 +38,10 @@ TOOLS: dict[str, tuple[str, str]] = {
         "repro.obs.whatif",
         "what-if replay, causal profiles, capacity sweeps",
     ),
+    "history": (
+        "repro.obs.history",
+        "run ledger, trends/changepoints, adaptive gates, fleet dashboard",
+    ),
 }
 
 

@@ -47,7 +47,12 @@ from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.grid import variant_label
 from repro.hsi.scene import SceneConfig, make_wtc_scene
-from repro.obs.provenance import describe_mismatch, provenance, provenance_matches
+from repro.obs.provenance import (
+    describe_mismatch,
+    provenance,
+    provenance_matches,
+    warn_if_unstamped,
+)
 from repro.perf.imbalance import imbalance_of_run
 from repro.perf.report import format_table
 from repro.perf.timers import breakdown_of_run
@@ -325,6 +330,7 @@ def load_artifact(path: str | Path) -> dict[str, Any]:
             f"{path}: unsupported benchmark schema {schema!r} "
             f"(expected {SCHEMA!r})"
         )
+    warn_if_unstamped(doc, path)
     return doc
 
 
@@ -547,6 +553,11 @@ def _add_run_parser(sub: Any) -> None:
                    help="fan sim cells out over N worker processes; the "
                         "artifact is byte-identical to a serial run "
                         "(inproc cells always run serially)")
+    p.add_argument("--record", metavar="LEDGER", default=None,
+                   help="also append the run's cells to the longitudinal "
+                        "run ledger (see `python -m repro.obs.history`); "
+                        "sim makespans land as gated virtual-time series, "
+                        "wall medians are quarantined")
 
 
 def _add_microbench_parser(sub: Any) -> None:
@@ -586,6 +597,17 @@ def _add_microbench_parser(sub: Any) -> None:
                    default=None,
                    help="fail (exit 1) when any measured speedup is below "
                         "the committed floors file (default: %(const)s)")
+    p.add_argument("--record", metavar="LEDGER", default=None,
+                   help="also append kernel speedups to the longitudinal "
+                        "run ledger (wall-derived, quarantined: trended "
+                        "but never gated by `history gate`)")
+
+
+def _record_to_ledger(ledger: str, entries: Any) -> None:
+    from repro.obs.history import append_entries
+
+    n = append_entries(ledger, entries)
+    print(f"{n} ledger entries -> {ledger}")
 
 
 def _run_microbench_command(args: argparse.Namespace) -> int:
@@ -619,6 +641,10 @@ def _run_microbench_command(args: argparse.Namespace) -> int:
         out.write_text(json.dumps(artifact, **_JSON_KW) + "\n",
                        encoding="utf-8")
         print(f"{len(artifact['kernels'])} kernels -> {out}")
+    if args.record is not None:
+        from repro.obs.history import entries_from_microbench
+
+        _record_to_ledger(args.record, entries_from_microbench(artifact))
     if args.gate is not None:
         try:
             floors = json.loads(Path(args.gate).read_text(encoding="utf-8"))
@@ -709,6 +735,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         write_artifact(artifact, out)
         print(f"{len(artifact['cells'])} cells -> {out}")
+        if args.record is not None:
+            from repro.obs.history import entries_from_bench
+
+            _record_to_ledger(args.record, entries_from_bench(artifact))
         if args.trace_dir is not None:
             n_traced = sum(
                 1 for cell in artifact["cells"].values()

@@ -223,12 +223,15 @@ def _om_float(value: float) -> str:
 def openmetrics_text(source: Any) -> str:
     """The registry in OpenMetrics text exposition format.
 
-    Counters become ``<name>_total`` samples, gauges plain samples, and
+    Counters become ``<name>_total`` samples, gauges plain samples,
     histograms the standard ``_bucket``/``_sum``/``_count`` triple with
-    cumulative *le*-labelled buckets.  Families are emitted sorted by
-    name and samples sorted by labels, so the exposition is
-    deterministic and diffable; the document ends with the mandated
-    ``# EOF`` marker and is scrapeable by standard Prometheus tooling.
+    cumulative *le*-labelled buckets, and summaries
+    (:class:`~repro.obs.metrics.Summary`, sketch-backed) one
+    ``{quantile="q"}`` sample per reported quantile plus
+    ``_sum``/``_count``.  Families are emitted sorted by name and
+    samples sorted by labels, so the exposition is deterministic and
+    diffable; the document ends with the mandated ``# EOF`` marker and
+    is scrapeable by standard Prometheus tooling.
     """
     records = metrics_records(source)
     by_family: dict[str, list[dict[str, Any]]] = {}
@@ -255,6 +258,19 @@ def openmetrics_text(source: Any) -> str:
             elif kind == "gauge":
                 lines.append(
                     f"{om}{_om_labels(labels)} {_om_float(record['value'])}"
+                )
+            elif kind == "summary":
+                for q, estimate in record["quantiles"]:
+                    lines.append(
+                        f"{om}{_om_labels(labels, (('quantile', _om_float(q)),))} "
+                        f"{_om_float(estimate)}"
+                    )
+                lines.append(
+                    f"{om}_sum{_om_labels(labels)} "
+                    f"{_om_float(record['total'])}"
+                )
+                lines.append(
+                    f"{om}_count{_om_labels(labels)} {record['count']}"
                 )
             else:  # histogram
                 for bound, cumulative in record["buckets"]:
@@ -322,14 +338,17 @@ def parse_openmetrics(text: str) -> list[dict[str, Any]]:
     """Parse :func:`openmetrics_text` output back into metric records.
 
     The inverse of the exporter for everything it emits — counters
-    (``_total``), gauges, and histograms (cumulative *le* buckets
-    ending at the explicit ``+Inf`` bucket, plus ``_sum``/``_count``) —
-    shaped like :meth:`~repro.obs.metrics.MetricsRegistry.records`
-    (histogram bucket bounds re-encoded with ``"+Inf"`` for the
-    overflow, matching the snapshot convention).  Raises
-    :class:`ValueError` on a missing ``# EOF`` terminator, an unknown
-    family kind, or a sample without a ``# TYPE`` — the round-trip test
-    pins exporter spec-compliance with this parser.
+    (``_total``), gauges, histograms (cumulative *le* buckets ending at
+    the explicit ``+Inf`` bucket, plus ``_sum``/``_count``), and
+    summaries (``quantile``-labelled estimates plus
+    ``_sum``/``_count``) — shaped like
+    :meth:`~repro.obs.metrics.MetricsRegistry.records` (histogram
+    bucket bounds re-encoded with ``"+Inf"`` for the overflow, matching
+    the snapshot convention).  Raises :class:`ValueError` on a missing
+    ``# EOF`` terminator, an unknown family kind, a sample without a
+    ``# TYPE``, a histogram lacking its ``+Inf`` bucket, or a summary
+    lacking its ``_sum``/``_count`` pair — the round-trip test pins
+    exporter spec-compliance with this parser.
     """
     lines = text.splitlines()
     if not lines or lines[-1].strip() != "# EOF":
@@ -359,7 +378,8 @@ def parse_openmetrics(text: str) -> list[dict[str, Any]]:
         if line.startswith("#"):
             parts = line.split()
             if len(parts) >= 4 and parts[1] == "TYPE":
-                if parts[3] not in ("counter", "gauge", "histogram"):
+                if parts[3] not in ("counter", "gauge", "histogram",
+                                    "summary"):
                     raise ValueError(
                         f"line {lineno}: unsupported metric kind {parts[3]!r}"
                     )
@@ -375,13 +395,17 @@ def parse_openmetrics(text: str) -> list[dict[str, Any]]:
             name, _, value_token = line.partition(" ")
             labels = {}
         value = _om_parse_value(value_token.split()[0])
-        for suffix in ("_total", "_bucket", "_sum", "_count"):
+        _SUFFIX_KINDS = {
+            "_total": ("counter",),
+            "_bucket": ("histogram",),
+            "_sum": ("histogram", "summary"),
+            "_count": ("histogram", "summary"),
+        }
+        for suffix, expected in _SUFFIX_KINDS.items():
             base = name[: -len(suffix)]
-            if name.endswith(suffix) and base in kinds:
-                expected = "counter" if suffix == "_total" else "histogram"
-                if kinds[base] == expected:
-                    name = base
-                    break
+            if name.endswith(suffix) and kinds.get(base) in expected:
+                name = base
+                break
         else:
             suffix = ""
         if name not in kinds:
@@ -393,6 +417,20 @@ def parse_openmetrics(text: str) -> list[dict[str, Any]]:
             sample_record(name, labels)["value"] = value
         elif kind == "gauge":
             sample_record(name, labels)["value"] = value
+        elif kind == "summary":
+            if suffix == "_sum":
+                sample_record(name, labels)["total"] = value
+            elif suffix == "_count":
+                sample_record(name, labels)["count"] = int(value)
+            elif "quantile" in labels:
+                q = _om_parse_value(labels.pop("quantile"))
+                record = sample_record(name, labels)
+                record.setdefault("quantiles", []).append([q, value])
+            else:
+                raise ValueError(
+                    f"line {lineno}: summary sample {name!r} has neither "
+                    "a quantile label nor a _sum/_count suffix"
+                )
         else:  # histogram
             if suffix == "_bucket":
                 le = labels.pop("le")
@@ -417,6 +455,12 @@ def parse_openmetrics(text: str) -> list[dict[str, Any]]:
                 raise ValueError(
                     f"histogram {family!r}{dict(key)!r} lacks the "
                     "explicit +Inf bucket"
+                )
+        elif record["kind"] == "summary":
+            if "count" not in record or "total" not in record:
+                raise ValueError(
+                    f"summary {family!r}{dict(key)!r} lacks its "
+                    "_sum/_count pair"
                 )
     return [families[family][key] for family, key in order]
 

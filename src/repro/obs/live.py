@@ -44,7 +44,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.obs.health import HealthConfig, HealthEvent, HealthMonitor
-from repro.obs.provenance import provenance
+from repro.obs.provenance import provenance, warn_if_unstamped
 from repro.obs.sketch import LatencySketch, merge_sketches
 from repro.obs.trace import Span
 
@@ -454,6 +454,7 @@ def read_snapshot(target: str | Path) -> dict[str, Any]:
             f"unsupported live snapshot schema {schema!r} "
             f"(expected {LIVE_SCHEMA!r})"
         )
+    warn_if_unstamped(data, path)
     return data
 
 

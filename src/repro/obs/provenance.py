@@ -18,12 +18,18 @@ from __future__ import annotations
 import functools
 import platform as _platform
 import subprocess
+import warnings
 from pathlib import Path
 from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["provenance", "provenance_matches", "describe_mismatch"]
+__all__ = [
+    "provenance",
+    "provenance_matches",
+    "describe_mismatch",
+    "warn_if_unstamped",
+]
 
 
 @functools.lru_cache(maxsize=1)
@@ -64,6 +70,29 @@ def provenance_matches(
         return None
     keys = set(a) | set(b)
     return all(a.get(k) == b.get(k) for k in keys)
+
+
+def warn_if_unstamped(
+    doc: Mapping[str, Any], source: Any = "artifact"
+) -> bool:
+    """Warn (once per call site semantics aside, a plain
+    :class:`UserWarning`) when a loaded artifact carries no provenance
+    block; returns True when the block is present.
+
+    Readers call this instead of hard-failing: artifacts written before
+    the header existed — or hand-stripped ones — stay loadable, but the
+    gap is surfaced because a gate failure on such an artifact cannot
+    name the commit that produced the numbers.
+    """
+    if doc.get("provenance"):
+        return True
+    warnings.warn(
+        f"{source}: no provenance block "
+        "(pre-provenance artifact or stripped header); regressions in it "
+        "cannot be traced to a commit",
+        stacklevel=2,
+    )
+    return False
 
 
 def describe_mismatch(

@@ -1,0 +1,562 @@
+"""Longitudinal observability: run ledger, trends/changepoints,
+adaptive regression gates, fleet dashboard, and the OpenMetrics
+summary export that backs the trend CLI."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.obs.bench import BenchConfig, run_bench
+from repro.obs.history import (
+    DEFAULT_LEDGER,
+    HISTORY_SCHEMA,
+    Ledger,
+    LedgerEntry,
+    append_entries,
+    changepoint_indices,
+    control_band,
+    entries_from_bench,
+    entries_from_calibration,
+    entries_from_health_summary,
+    entries_from_microbench,
+    entries_from_sweep,
+    gate_entries,
+    gate_last,
+    main,
+    read_ledger,
+    render_dashboard,
+    series_trend,
+)
+
+TINY = BenchConfig(
+    algorithms=("atdca",),
+    variants=("hetero", "homo"),
+    networks=("fully heterogeneous",),
+    rows=96,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_artifact():
+    return run_bench(TINY, date="2026-01-01")
+
+
+def _entry(series="s", value=1.0, date="d0", sha="a" * 40, **kw):
+    defaults = dict(
+        series=series, kind="bench", unit="virtual_s",
+        value=value, run={"date": date, "source": "test"},
+        provenance={"git_sha": sha, "numpy": "0", "platform": "t",
+                    "python": "0"},
+    )
+    defaults.update(kw)
+    return LedgerEntry(**defaults)
+
+
+def _ledger_of(*entries):
+    return Ledger(path=None, entries=tuple(entries))
+
+
+class TestLedgerIO:
+    def test_append_creates_header_and_roundtrips(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        entries = [_entry(value=1.0), _entry(value=2.0, date="d1")]
+        assert append_entries(path, entries) == 2
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {
+            "type": "header", "schema": HISTORY_SCHEMA,
+        }
+        ledger = read_ledger(path)
+        assert len(ledger) == 2
+        assert ledger.entries[0].value == 1.0
+        assert ledger.entries[1].run["date"] == "d1"
+
+    def test_second_append_does_not_duplicate_header(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entries(path, [_entry()])
+        append_entries(path, [_entry(date="d1")])
+        lines = path.read_text().splitlines()
+        assert sum(1 for l in lines if json.loads(l)["type"] == "header") == 1
+        assert len(read_ledger(path)) == 2
+
+    def test_entry_dict_roundtrip_preserves_wall_and_detail(self):
+        entry = _entry(
+            value=None, wall={"value": 3.5, "repeats": 5},
+            detail={"label": "x"}, deterministic=False,
+        )
+        back = LedgerEntry.from_dict(entry.to_dict())
+        assert back == entry
+        assert back.plot_value() == 3.5
+
+    def test_recording_is_byte_stable(self, tmp_path, tiny_artifact):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        append_entries(a, entries_from_bench(tiny_artifact))
+        append_entries(b, entries_from_bench(tiny_artifact))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"type":"mystery"}\n')
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unknown ledger record"):
+            read_ledger(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"type":"header","schema":"bogus/9"}\n')
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="unsupported ledger schema"):
+            read_ledger(path)
+
+    def test_headerless_file_warns_but_loads(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        line = json.dumps(_entry().to_dict())
+        path.write_text(line + "\n")
+        with pytest.warns(UserWarning, match="no schema header"):
+            ledger = read_ledger(path)
+        assert len(ledger) == 1
+
+
+class TestExtractors:
+    def test_bench_sim_cells_are_gated_virtual_series(self, tiny_artifact):
+        entries = entries_from_bench(tiny_artifact)
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry.series.startswith("bench/atdca/")
+            assert entry.series.endswith("/makespan")
+            assert entry.deterministic and entry.value is not None
+            assert entry.unit == "virtual_s" and entry.direction == "lower"
+            assert entry.run["date"] == "2026-01-01"
+            assert set(entry.detail) >= {"com", "seq", "par", "d_all"}
+
+    def test_microbench_speedups_are_quarantined(self):
+        doc = {"schema": "x", "date": "d", "kernels": {
+            "k": {"speedup": 2.5, "fast_s": 0.1, "reference_s": 0.25,
+                  "verified": True},
+        }}
+        (entry,) = entries_from_microbench(doc)
+        assert entry.value is None  # wall-derived: never gated
+        assert entry.wall["value"] == 2.5
+        assert entry.direction == "higher"
+
+    def test_calibration_gate_thresholds_are_informational(self):
+        doc = json.loads(
+            open("benchmarks/baselines/calibration.json").read()
+        )
+        entries = entries_from_calibration(doc)
+        assert {e.series for e in entries} == {
+            "calibration/sim/max_median_phase_rel_error",
+            "calibration/inproc/max_median_phase_rel_error",
+        }
+        assert all(e.direction == "info" for e in entries)
+
+    def test_calibration_report_needs_backend(self):
+        from repro.errors import ReproError
+
+        doc = {"schema": "repro.obs.profile/1",
+               "median_phase_rel_error": 0.01}
+        with pytest.raises(ReproError, match="explicit backend"):
+            entries_from_calibration(doc)
+        (entry,) = entries_from_calibration(doc, backend="sim")
+        assert entry.deterministic and entry.value == 0.01
+        (entry,) = entries_from_calibration(doc, backend="inproc")
+        assert not entry.deterministic
+
+    def test_sweep_result_max_ratios(self):
+        doc = {
+            "schema": "repro.faults.sweep/1", "name": "g",
+            "cells": [
+                {"prediction_rel_error": 0.1, "ratio_vs_predicted": 1.2},
+                {"prediction_rel_error": 0.3, "ratio_vs_predicted": 0.8},
+                {"prediction_rel_error": None, "ratio_vs_predicted": None},
+            ],
+            "summary": {"n_cells": 3, "n_adapted": 2, "n_result_equal": 3},
+        }
+        entries = {e.series: e for e in entries_from_sweep(doc)}
+        assert entries["sweep/g/max_prediction_rel_error"].value == 0.3
+        assert entries["sweep/g/max_ratio_vs_predicted"].value == 1.2
+        assert entries["sweep/g/adapted_cells"].value == 2.0
+
+    def test_sweep_gate_thresholds_are_informational(self):
+        doc = json.loads(open("benchmarks/baselines/sweep_gate.json").read())
+        entries = entries_from_sweep(doc)
+        assert entries and all(e.direction == "info" for e in entries)
+
+    def test_health_summary_counts(self):
+        doc = {"schema": "repro.obs.live.summary/1", "cells": {
+            "a": {"flagged_ranks": [1], "flagged_links": [], "n_events": 3},
+            "b": {"flagged_ranks": [], "flagged_links": [], "n_events": 0},
+        }}
+        entries = {e.series: e for e in entries_from_health_summary(doc)}
+        assert entries["health/flagged_cells"].value == 1.0
+        assert entries["health/events"].value == 3.0
+
+
+class TestChangepoints:
+    def test_single_step_found(self):
+        values = [1.0] * 5 + [2.0] * 5
+        assert changepoint_indices(values) == [5]
+
+    def test_flat_series_has_no_steps(self):
+        assert changepoint_indices([3.0] * 12) == []
+
+    def test_noise_alone_is_not_a_step(self):
+        values = [10.0, 10.2, 9.8, 10.1, 9.9, 10.05, 9.95, 10.1]
+        assert changepoint_indices(values) == []
+
+    def test_step_clearing_noise_is_found(self):
+        values = [10.0, 10.2, 9.8, 10.1, 20.0, 20.2, 19.8, 20.1]
+        assert changepoint_indices(values) == [4]
+
+    def test_trailing_single_entry_step_is_found(self):
+        # min segment size 1: a lone doctored trailing entry counts.
+        values = [5.0] * 6 + [6.0]
+        assert changepoint_indices(values) == [6]
+
+    def test_two_steps(self):
+        values = [1.0] * 4 + [3.0] * 4 + [9.0] * 4
+        assert changepoint_indices(values) == [4, 8]
+
+    def test_short_series(self):
+        assert changepoint_indices([1.0]) == []
+        assert changepoint_indices([]) == []
+
+
+class TestTrend:
+    def test_statistics_and_segments(self):
+        entries = [
+            _entry(value=v, date=f"d{i}")
+            for i, v in enumerate([1.0] * 4 + [2.0] * 4)
+        ]
+        trend = series_trend("s", entries)
+        assert trend.n == 8
+        assert trend.last == 2.0
+        assert [s[2] for s in trend.segments] == [1.0, 2.0]
+        (cp,) = trend.changepoints
+        assert cp.index == 4
+        assert cp.before_median == 1.0 and cp.after_median == 2.0
+        assert cp.shift_pct == pytest.approx(100.0)
+        assert "d4" in cp.origin and "aaaaaaaaaaaa" in cp.origin
+
+    def test_wall_entries_trend_but_do_not_gate(self):
+        entries = [
+            _entry(value=None, wall={"value": v}, deterministic=False,
+                   date=f"d{i}")
+            for i, v in enumerate([1.0, 1.1, 0.9])
+        ]
+        trend = series_trend("s", entries)
+        assert trend.n == 3 and not trend.gated
+
+    def test_empty_series_is_none(self):
+        assert series_trend("s", [_entry(value=None)]) is None
+
+    def test_drift_pct_relative_to_current_segment(self):
+        entries = [_entry(value=v) for v in [1.0, 1.0, 1.0, 2.0, 2.2]]
+        trend = series_trend("s", entries)
+        # current regime [2.0, 2.2], median 2.1; last 2.2 → ~+4.76%
+        assert trend.segments[-1][2] == pytest.approx(2.1)
+        assert trend.drift_pct == pytest.approx(100.0 * 0.1 / 2.1)
+
+
+class TestControlBand:
+    def test_deterministic_band_is_tight(self):
+        trend = series_trend("s", [_entry(value=50.0)] * 3)
+        band = control_band(trend)
+        assert band.center == 50.0
+        assert band.hi - band.lo == pytest.approx(2 * 1e-9 * 50.0)
+
+    def test_band_recenters_after_step(self):
+        entries = [_entry(value=v) for v in [1.0] * 4 + [9.0] * 4]
+        band = control_band(series_trend("s", entries))
+        assert band.center == 9.0 and band.segment_start == 4
+
+    def test_noisy_band_has_relative_floor(self):
+        entries = [
+            _entry(value=None, wall={"value": v}, deterministic=False)
+            for v in [10.0, 10.0, 10.0]
+        ]
+        band = control_band(series_trend("s", entries))
+        assert band.hi >= 12.5  # 25% floor despite zero observed spread
+
+
+class TestGate:
+    def test_clean_candidate_passes(self, tiny_artifact):
+        history = entries_from_bench(tiny_artifact)
+        report = gate_entries(_ledger_of(*history), history)
+        assert report.exit_status == 0
+        assert {r.status for r in report.results} == {"ok"}
+
+    def test_injected_regression_caught_and_named(self, tiny_artifact):
+        history = entries_from_bench(tiny_artifact)
+        regressed = dataclasses.replace(
+            history[0],
+            value=history[0].value * 1.5,
+            provenance=dict(history[0].provenance, git_sha="f" * 40),
+            run={"date": "2026-02-01", "source": "test"},
+        )
+        report = gate_entries(
+            _ledger_of(*history), [regressed, *history[1:]]
+        )
+        assert report.exit_status == 1
+        (fail,) = report.failing
+        assert fail.series == history[0].series
+        # the step arrived with the candidate → candidate is offender
+        assert fail.offender["where"] == "candidate"
+        assert "ffffffffffff" in fail.offender["origin"]
+        others = [r for r in report.results if r.status == "ok"]
+        assert len(others) == len(history) - 1
+
+    def test_offender_in_ledger_is_named(self):
+        # regression entered the ledger 3 runs ago; the candidate
+        # continues the bad regime → the gate names the FIRST bad entry.
+        good = [_entry(value=10.0, date=f"d{i}") for i in range(5)]
+        bad = [
+            _entry(value=13.0, date=f"d{5 + i}", sha="b" * 40)
+            for i in range(3)
+        ]
+        # The band derives from the last (bad) segment, so a candidate
+        # extending it passes; one regressing *further* is caught and
+        # blamed on the first entry of its regime.
+        candidate = _entry(value=16.0, date="d9", sha="c" * 40)
+        report = gate_entries(_ledger_of(*good, *bad), [candidate])
+        (fail,) = report.failing
+        assert fail.status == "regression"
+        assert fail.offender["where"] == "candidate"
+        # now a candidate equal to the bad plateau: passes (band
+        # re-centred), which is the adaptive-gate contract
+        ok = gate_entries(
+            _ledger_of(*good, *bad), [_entry(value=13.0, date="d9")]
+        )
+        assert ok.exit_status == 0
+
+    def test_gate_last_catches_doctored_trailing_entry(self):
+        good = [_entry(value=10.0, date=f"d{i}") for i in range(4)]
+        doctored = _entry(value=12.5, date="doctored", sha="d" * 40)
+        report = gate_last(_ledger_of(*good, doctored))
+        (fail,) = report.failing
+        assert fail.offender["origin"].startswith("git dddddddddddd")
+        assert "doctored" in fail.offender["origin"]
+
+    def test_gate_last_clean_ledger_passes(self):
+        entries = [_entry(value=10.0, date=f"d{i}") for i in range(4)]
+        assert gate_last(_ledger_of(*entries)).exit_status == 0
+
+    def test_higher_is_better_direction(self):
+        history = [_entry(value=5.0, direction="higher")] * 3
+        low = _entry(value=2.0, direction="higher")
+        high = _entry(value=8.0, direction="higher")
+        report = gate_entries(_ledger_of(*history), [low, high])
+        assert [r.status for r in report.results] == [
+            "regression", "improvement",
+        ]
+
+    def test_new_and_skipped(self):
+        ledger = _ledger_of(_entry(series="known", value=1.0))
+        wall = _entry(series="w", value=None, wall={"value": 2.0},
+                      deterministic=False)
+        info = _entry(series="i", value=3.0, direction="info")
+        fresh = _entry(series="fresh", value=4.0)
+        report = gate_entries(ledger, [wall, info, fresh])
+        assert [r.status for r in report.results] == [
+            "skipped", "skipped", "new",
+        ]
+        assert report.exit_status == 0
+
+    def test_report_document_shape(self):
+        history = [_entry(value=1.0)] * 2
+        doc = gate_entries(_ledger_of(*history), [_entry(value=1.0)]).to_dict()
+        assert doc["schema"] == "repro.obs.history.gate/1"
+        assert doc["summary"]["ok"] == 1
+        assert doc["exit_status"] == 0
+        assert set(doc["provenance"]) == {
+            "git_sha", "numpy", "platform", "python",
+        }
+
+
+class TestDashboard:
+    @pytest.fixture(scope="class")
+    def seed_ledger(self):
+        return read_ledger(DEFAULT_LEDGER)
+
+    def test_committed_seed_renders(self, seed_ledger):
+        html = render_dashboard(seed_ledger)
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html and "series-card" in html
+        assert "prefers-color-scheme: dark" in html
+        # every recorded series appears
+        for name in seed_ledger.series():
+            assert name in html
+
+    def test_render_is_deterministic(self, seed_ledger):
+        assert render_dashboard(seed_ledger) == render_dashboard(seed_ledger)
+
+    def test_zero_external_dependencies(self, seed_ledger):
+        html = render_dashboard(seed_ledger)
+        for marker in ("http://", "https://", "<script src",
+                       "@import", "url("):
+            assert marker not in html
+
+    def test_changepoint_markers_rendered(self, tmp_path):
+        entries = [
+            _entry(value=v, date=f"d{i}")
+            for i, v in enumerate([1.0] * 4 + [2.0] * 4)
+        ]
+        html = render_dashboard(_ledger_of(*entries))
+        assert "spark-cp" in html and "chip-step" in html
+
+
+class TestCLI:
+    def test_record_list_trend_gate_dashboard(self, tmp_path, capsys):
+        ledger = str(tmp_path / "ledger.jsonl")
+        base = "benchmarks/baselines"
+        assert main(["--ledger", ledger, "record",
+                     "--bench", f"{base}/BENCH_baseline.json",
+                     "--microbench", f"{base}/MICROBENCH_baseline.json",
+                     "--calibration", f"{base}/calibration.json",
+                     "--sweep", f"{base}/sweep_gate.json"]) == 0
+        assert "17 entries" in capsys.readouterr().out
+
+        assert main(["--ledger", ledger, "list"]) == 0
+        assert "17 series" in capsys.readouterr().out
+
+        json_out = tmp_path / "trend.json"
+        prom_out = tmp_path / "trend.prom"
+        assert main(["--ledger", ledger, "trend", "bench/",
+                     "--json", str(json_out), "--prom",
+                     str(prom_out)]) == 0
+        doc = json.loads(json_out.read_text())
+        assert doc["schema"] == "repro.obs.history.trend/1"
+        assert len(doc["series"]) == 8
+        assert "# TYPE history_series summary" in prom_out.read_text()
+
+        assert main(["--ledger", ledger, "gate",
+                     "--bench", f"{base}/BENCH_baseline.json"]) == 0
+        out = capsys.readouterr().out
+        assert "8 series gated: 8 ok" in out
+
+        dash = tmp_path / "fleet.html"
+        assert main(["--ledger", ledger, "dashboard",
+                     "--out", str(dash)]) == 0
+        assert dash.read_text().startswith("<!DOCTYPE html>")
+
+    def test_gate_doctored_ledger_exits_nonzero(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        append_entries(
+            ledger, [_entry(value=10.0, date=f"d{i}") for i in range(3)]
+        )
+        append_entries(
+            ledger, [_entry(value=12.0, date="doctored", sha="d" * 40)]
+        )
+        assert main(["--ledger", str(ledger), "gate", "--last"]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out and "doctored" in out
+
+    def test_record_requires_artifacts(self, tmp_path, capsys):
+        assert main(["--ledger", str(tmp_path / "l.jsonl"), "record"]) == 2
+        assert "nothing to record" in capsys.readouterr().err
+
+    def test_missing_ledger_is_graceful(self, tmp_path, capsys):
+        assert main(["--ledger", str(tmp_path / "nope.jsonl"), "list"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_umbrella_cli_knows_history(self):
+        from repro.obs.__main__ import TOOLS
+
+        assert TOOLS["history"][0] == "repro.obs.history"
+
+    def test_help_smoke(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+        assert "record" in capsys.readouterr().out
+
+
+class TestBenchRecordFlag:
+    def test_run_record_appends_gated_series(self, tmp_path):
+        from repro.obs.bench import main as bench_main
+
+        ledger = tmp_path / "ledger.jsonl"
+        out = tmp_path / "BENCH_x.json"
+        assert bench_main([
+            "run", "--out", str(out), "--date", "2026-01-01",
+            "--algorithms", "atdca", "--variants", "hetero",
+            "--networks", "fully heterogeneous", "--rows", "96",
+            "--record", str(ledger),
+        ]) == 0
+        ledger_doc = read_ledger(ledger)
+        assert len(ledger_doc) == 1
+        (entry,) = ledger_doc.entries
+        assert entry.series.endswith("/makespan")
+        assert entry.deterministic and entry.value is not None
+
+
+class TestSummaryOpenMetrics:
+    """Satellite: LatencySketch quantiles export as OpenMetrics
+    summary families and parse_openmetrics round-trips them."""
+
+    def test_summary_family_round_trips(self):
+        from repro.obs.export import openmetrics_text, parse_openmetrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        summary = registry.summary("op.latency_seconds", rank=0)
+        summary.observe_many([0.001, 0.002, 0.01, 0.05, 0.2])
+        text = openmetrics_text(registry)
+        assert "# TYPE op_latency_seconds summary" in text
+        assert 'quantile="0.5"' in text
+        parsed = parse_openmetrics(text)
+        (record,) = [r for r in parsed if r["kind"] == "summary"]
+        assert record["count"] == 5
+        assert record["total"] == pytest.approx(0.263)
+        quantiles = dict(record["quantiles"])
+        snap = dict(summary.snapshot()["quantiles"])
+        for q, estimate in snap.items():
+            assert quantiles[q] == pytest.approx(estimate)
+
+    def test_summary_estimates_within_sketch_bound(self):
+        from repro.obs.metrics import Summary
+
+        summary = Summary()
+        # stay inside the sketch's default [1e-9, 1e4] range
+        values = [0.001 * (1.1 ** i) for i in range(120)]
+        summary.observe_many(values)
+        rel_bound = summary.sketch.relative_error_bound
+        ordered = sorted(values)
+        for q, estimate in summary.snapshot()["quantiles"]:
+            exact = ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+            assert abs(estimate - exact) / exact <= 2 * rel_bound + 0.02
+
+    def test_quantile_config_conflict_raises(self):
+        from repro.errors import ConfigurationError
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.summary("s", quantiles=(0.5, 0.9))
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.summary("s", quantiles=(0.5, 0.99))
+
+    def test_invalid_quantiles_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.obs.metrics import Summary
+
+        with pytest.raises(ConfigurationError):
+            Summary(quantiles=())
+        with pytest.raises(ConfigurationError):
+            Summary(quantiles=(0.9, 0.5))
+        with pytest.raises(ConfigurationError):
+            Summary(quantiles=(-0.1,))
+
+    def test_trend_prom_export_parses(self):
+        from repro.obs.export import parse_openmetrics
+        from repro.obs.history import ledger_trends, trends_openmetrics
+
+        entries = [_entry(value=float(v)) for v in range(1, 6)]
+        trends = ledger_trends(_ledger_of(*entries))
+        text = trends_openmetrics(trends)
+        records = parse_openmetrics(text)
+        summaries = [r for r in records if r["kind"] == "summary"]
+        assert summaries and summaries[0]["count"] == 5
