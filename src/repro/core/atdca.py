@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError, ShapeError
 from repro.hsi.cube import HyperspectralImage
-from repro.linalg.osp import IncrementalOSP, brightest_pixel_index
+from repro.linalg.osp import brightest_pixel_index
+from repro.tuning.registry import resolve
 from repro.types import FloatArray, IntArray
 
 __all__ = ["TargetDetectionResult", "atdca_pixels", "atdca"]
@@ -62,12 +63,24 @@ def _check_inputs(pixels: FloatArray, n_targets: int) -> FloatArray:
     return pix
 
 
-def atdca_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
+def atdca_pixels(
+    pixels: FloatArray,
+    n_targets: int,
+    osp_variant: str = "incremental",
+) -> TargetDetectionResult:
     """Run ATDCA on a flat ``(n, bands)`` pixel matrix.
 
     Returns targets in extraction order; ties in the argmax resolve to
     the lowest pixel index (numpy convention), making results
     deterministic.
+
+    ``osp_variant`` names the ``osp_step`` registry variant to dispatch
+    through: ``"incremental"`` (default) carries the orthonormal basis
+    of span(U) across iterations — one Gram–Schmidt step per new target
+    instead of a full QR per iteration, O(n·bands) amortized per target
+    — while ``"reference"`` recomputes from scratch each query (the
+    rank-tolerant baseline the planner routes degenerate inputs to).
+    Both variants pick identical targets.
     """
     pix = _check_inputs(pixels, n_targets)
     indices: list[int] = []
@@ -77,10 +90,7 @@ def atdca_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
     indices.append(first)
     scores.append(float(pix[first] @ pix[first]))
 
-    # Fast path: the orthonormal basis of span(U) is carried across
-    # iterations (one Gram–Schmidt step per new target) instead of a
-    # full QR per iteration — O(n·bands) amortized per target.
-    osp = IncrementalOSP(pix)
+    osp = resolve("osp_step", osp_variant).implementation()(pix)
     osp.add_target(pix[first])
     for k in range(1, n_targets):
         energy = osp.residual_energy()
@@ -98,9 +108,13 @@ def atdca_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
     )
 
 
-def atdca(image: HyperspectralImage, n_targets: int) -> TargetDetectionResult:
+def atdca(
+    image: HyperspectralImage,
+    n_targets: int,
+    osp_variant: str = "incremental",
+) -> TargetDetectionResult:
     """Run ATDCA on an image cube; adds (row, col) positions."""
-    result = atdca_pixels(image.flatten_pixels(), n_targets)
+    result = atdca_pixels(image.flatten_pixels(), n_targets, osp_variant)
     rows, cols = np.divmod(result.flat_indices, image.cols)
     return dataclasses.replace(
         result, positions=np.stack([rows, cols], axis=1)

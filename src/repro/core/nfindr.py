@@ -146,7 +146,10 @@ class NFindrResult:
 
 
 def nfindr_pixels(
-    pixels: FloatArray, n_endmembers: int, max_sweeps: int = 10
+    pixels: FloatArray,
+    n_endmembers: int,
+    max_sweeps: int = 10,
+    screen_variant: str = "batched",
 ) -> NFindrResult:
     """Run N-FINDR on an ``(n, bands)`` pixel matrix.
 
@@ -156,7 +159,13 @@ def nfindr_pixels(
         pixels: the data.
         n_endmembers: simplex vertex count ``k`` (≥ 2).
         max_sweeps: sweep cap (convergence is typically 2-4 sweeps).
+        screen_variant: ``nfindr_screen`` registry variant for the
+            replacement sweep — ``"batched"`` (default, the cofactor
+            screen) or ``"reference"`` (the scalar sweep); the two
+            visit replacements in the same order and are bit-identical.
     """
+    from repro.tuning.registry import resolve
+
     pix = np.asarray(pixels, dtype=float)
     if pix.ndim != 2:
         raise ShapeError(f"expected (n, bands), got {pix.shape}")
@@ -180,13 +189,12 @@ def nfindr_pixels(
     volume = simplex_volume(reduced[current])
 
     aug = np.hstack([np.ones((pix.shape[0], 1)), reduced])  # (n, k)
+    screen = resolve("nfindr_screen", screen_variant).implementation()
     sweeps = 0
     improved = True
     while improved and sweeps < max_sweeps:
         sweeps += 1
-        current, volume, improved = _replacement_sweep(
-            reduced, aug, current, volume, k
-        )
+        current, volume, improved = screen(reduced, aug, current, volume, k)
     return NFindrResult(
         flat_indices=current,
         signatures=pix[current].copy(),
@@ -196,7 +204,12 @@ def nfindr_pixels(
 
 
 def nfindr(
-    image: HyperspectralImage, n_endmembers: int, max_sweeps: int = 10
+    image: HyperspectralImage,
+    n_endmembers: int,
+    max_sweeps: int = 10,
+    screen_variant: str = "batched",
 ) -> NFindrResult:
     """Run N-FINDR on a cube."""
-    return nfindr_pixels(image.flatten_pixels(), n_endmembers, max_sweeps)
+    return nfindr_pixels(
+        image.flatten_pixels(), n_endmembers, max_sweeps, screen_variant
+    )

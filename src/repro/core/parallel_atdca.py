@@ -34,10 +34,10 @@ from repro.core.parallel_common import (
 )
 from repro.errors import ConfigurationError
 from repro.hsi.cube import HyperspectralImage
-from repro.linalg.osp import IncrementalOSP
 from repro.mpi.communicator import Communicator, MessageContext
 from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
+from repro.tuning.registry import resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.adaptive import AdaptiveController
@@ -74,6 +74,8 @@ def parallel_atdca_program(
     image: HyperspectralImage | None = None,
     checkpoint: "CheckpointStore | None" = None,
     adaptive: "AdaptiveController | None" = None,
+    osp_variant: str = "incremental",
+    checkpoint_every: int = 1,
 ) -> TargetDetectionResult | None:
     """SPMD body of Hetero-ATDCA; returns the result at the master.
 
@@ -92,9 +94,21 @@ def parallel_atdca_program(
             (skipped after the final iteration — nothing left to
             rebalance) and a positive decision raises
             :class:`~repro.errors.RepartitionSignal` on all ranks.
+        osp_variant: ``osp_step`` registry variant for the per-rank
+            scoring state (``"incremental"`` default; ``"reference"``
+            is the rank-tolerant scratch baseline).  Both variants pick
+            identical targets, and the choice is uniform across ranks.
+        checkpoint_every: save the master checkpoint every this many
+            completed iterations (the final iteration always saves).
+            The predicate is a function of the step number only, so
+            every rank agrees on the collective schedule.
     """
     if n_targets < 1:
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
+    if checkpoint_every < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
     tracer = tracer_of(ctx)
@@ -158,16 +172,21 @@ def parallel_atdca_program(
             else:
                 u_matrix = None
             u_matrix = comm.bcast(u_matrix)
-        _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
+        if 1 % checkpoint_every == 0 or n_targets == 1:
+            _save_checkpoint(
+                checkpoint, comm, indices, signatures, scores, u_matrix
+            )
         start_k = 1
         if adaptive is not None and n_targets > 1:
             adaptive.sync(ctx, comm, step=1)
 
-    # Per-rank incremental OSP state: each broadcast appends exactly one
-    # row to ``u_matrix``, so the basis is carried across iterations and
-    # only the newest row is orthogonalized (checkpoint resumes replay
-    # the saved rows in order — the same arithmetic as a live run).
-    osp = IncrementalOSP(local) if n_local else None
+    # Per-rank OSP state (registry-dispatched): each broadcast appends
+    # exactly one row to ``u_matrix``; the incremental variant carries
+    # the basis across iterations and orthogonalizes only the newest row
+    # (checkpoint resumes replay the saved rows in order — the same
+    # arithmetic as a live run).
+    osp_impl = resolve("osp_step", osp_variant).implementation()
+    osp = osp_impl(local) if n_local else None
     if osp is not None and u_matrix is not None:
         for row in np.atleast_2d(u_matrix):
             osp.add_target(row)
@@ -210,7 +229,10 @@ def parallel_atdca_program(
             if osp is not None:
                 # The broadcast grew U by exactly one row; fold it in.
                 osp.add_target(u_matrix[-1])
-        _save_checkpoint(checkpoint, comm, indices, signatures, scores, u_matrix)
+        if (k + 1) % checkpoint_every == 0 or k + 1 == n_targets:
+            _save_checkpoint(
+                checkpoint, comm, indices, signatures, scores, u_matrix
+            )
         if adaptive is not None and k + 1 < n_targets:
             adaptive.sync(ctx, comm, step=k + 1)
 

@@ -25,11 +25,11 @@ from repro.core.parallel_common import (
     save_detection_checkpoint as _save_checkpoint,
 )
 from repro.errors import ConfigurationError
-from repro.linalg.fcls import IncrementalFCLS
 from repro.hsi.cube import HyperspectralImage
 from repro.mpi.communicator import Communicator, MessageContext
 from repro.obs.trace import tracer_of
 from repro.scheduling.static_part import RowPartition
+from repro.tuning.registry import resolve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.adaptive import AdaptiveController
@@ -45,16 +45,25 @@ def parallel_ufcls_program(
     image: HyperspectralImage | None = None,
     checkpoint: "CheckpointStore | None" = None,
     adaptive: "AdaptiveController | None" = None,
+    fcls_variant: str = "incremental",
+    checkpoint_every: int = 1,
 ) -> TargetDetectionResult | None:
     """SPMD body of Hetero-UFCLS; returns the result at the master.
 
-    ``checkpoint`` enables master-side per-iteration checkpoints for
-    fault-tolerant restarts, and ``adaptive`` the straggler
-    repartition round after each checkpoint (see
-    :func:`parallel_atdca_program`).
+    ``checkpoint`` enables master-side checkpoints (saved every
+    ``checkpoint_every`` completed iterations; the final iteration
+    always saves) for fault-tolerant restarts, and ``adaptive`` the
+    straggler repartition round after each iteration (see
+    :func:`parallel_atdca_program`).  ``fcls_variant`` names the
+    ``fcls_solve`` registry variant for the per-rank solver state,
+    uniform across ranks; both variants pick identical targets.
     """
     if n_targets < 1:
         raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
+    if checkpoint_every < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
     comm = Communicator(ctx)
     cost = cost_model_of(ctx)
     tracer = tracer_of(ctx)
@@ -118,16 +127,21 @@ def parallel_ufcls_program(
             else:
                 targets = None
             targets = comm.bcast(targets)
-        _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
+        if 1 % checkpoint_every == 0 or n_targets == 1:
+            _save_checkpoint(
+                checkpoint, comm, indices, signatures, scores, targets
+            )
         start_k = 1
         if adaptive is not None and n_targets > 1:
             adaptive.sync(ctx, comm, step=1)
 
-    # Per-rank incremental FCLS state: every broadcast appends exactly
-    # one row to ``targets``, so the cross-products and Gram inverse are
-    # carried across iterations (checkpoint resumes replay the saved
-    # rows in order — the same arithmetic as a live run).
-    solver = IncrementalFCLS(local) if n_local else None
+    # Per-rank FCLS state (registry-dispatched): every broadcast appends
+    # exactly one row to ``targets``; the incremental variant carries
+    # the cross-products and Gram inverse across iterations (checkpoint
+    # resumes replay the saved rows in order — the same arithmetic as a
+    # live run).
+    solver_impl = resolve("fcls_solve", fcls_variant).implementation()
+    solver = solver_impl(local) if n_local else None
     if solver is not None and targets is not None:
         for row in np.atleast_2d(targets):
             solver.add_target(row)
@@ -168,7 +182,10 @@ def parallel_ufcls_program(
             if solver is not None:
                 # The broadcast grew the target set by one row; fold it in.
                 solver.add_target(targets[-1])
-        _save_checkpoint(checkpoint, comm, indices, signatures, scores, targets)
+        if (k + 1) % checkpoint_every == 0 or k + 1 == n_targets:
+            _save_checkpoint(
+                checkpoint, comm, indices, signatures, scores, targets
+            )
         if adaptive is not None and k + 1 < n_targets:
             adaptive.sync(ctx, comm, step=k + 1)
 

@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.injector import FaultInjector
     from repro.faults.recovery import CheckpointStore
     from repro.obs import ObsSession
+    from repro.tuning.planner import TuningPlan
 
 __all__ = [
     "ALGORITHM_NAMES",
@@ -212,17 +213,28 @@ def build_program_kwargs(
     algorithm: str,
     params: Mapping[str, Any],
     partition: RowPartition,
+    kernels: Mapping[str, str] | None = None,
 ) -> dict[str, Any]:
     """Translate user ``params`` into the program's keyword arguments.
 
     Shared by :func:`run_parallel` and the fault-tolerant driver
     (:func:`repro.faults.recovery.run_with_recovery`), which re-invokes
     programs on survivor subsets with a fresh partition.
+
+    ``kernels`` (kernel name → registry variant name, as a
+    :class:`repro.tuning.planner.TuningPlan` carries) adds the kernel
+    dispatch arguments the iterative detectors accept; classifier
+    programs dispatch through the registry defaults and ignore it.
     """
     _check_algorithm(algorithm)
     program_kwargs: dict[str, Any] = {"partition": partition}
     if algorithm in ("atdca", "ufcls"):
         program_kwargs["n_targets"] = int(params.get("n_targets", 18))
+        if kernels:
+            if algorithm == "atdca" and "osp_step" in kernels:
+                program_kwargs["osp_variant"] = kernels["osp_step"]
+            if algorithm == "ufcls" and "fcls_solve" in kernels:
+                program_kwargs["fcls_variant"] = kernels["fcls_solve"]
     else:
         program_kwargs["n_classes"] = int(params.get("n_classes", 24))
         if algorithm == "morph":
@@ -247,6 +259,7 @@ def _stamp_run_meta(
     partition: RowPartition,
     params: Mapping[str, Any],
     cost_model: CostModel | None,
+    plan: "TuningPlan | None" = None,
 ) -> None:
     """Record the run's workload descriptor as a zero-length span.
 
@@ -256,12 +269,37 @@ def _stamp_run_meta(
     — required for structural perturbations like worker add/remove and
     capacity sweeps.  Category ``"meta"`` is outside the activity
     categories, so analyzers, the DAG, and the gantt ignore it.
+
+    Auto-planned runs additionally carry scalar ``plan_*`` attributes
+    (chosen variant, prediction, kernel choices, calibration-scale
+    provenance) so every planner decision is auditable from the trace —
+    :func:`repro.obs.analyze.analyze_trace` surfaces them in
+    ``analysis.json``.
     """
     cost = cost_model or DEFAULT_COST_MODEL
     scalar_params = {
         k: v for k, v in params.items()
         if isinstance(v, (int, float, str, bool))
     }
+    plan_attrs: dict[str, Any] = {}
+    if plan is not None:
+        plan_attrs = {
+            "plan_partition_variant": plan.partition_variant,
+            "plan_predicted_s": float(plan.predicted_makespan_s),
+            "plan_default_variant": plan.default_variant,
+            "plan_default_predicted_s": float(plan.default_predicted_s),
+            "plan_kernels": ",".join(
+                f"{k}={v}" for k, v in sorted(plan.kernels.items())
+            ),
+            "plan_checkpoint_every": int(plan.checkpoint_every),
+            "plan_scales_compute": float(plan.scales["compute"]),
+            "plan_scales_transfer": float(plan.scales["transfer"]),
+        }
+        if plan.scale_provenance is not None:
+            for key in ("git_sha", "date", "source"):
+                value = plan.scale_provenance.get(key)
+                if value is not None:
+                    plan_attrs[f"plan_scales_{key}"] = str(value)
     obs.tracer.add_span(
         "run.meta", platform.master_rank, 0.0, 0.0, category="meta",
         algorithm=algorithm, variant=variant,
@@ -273,6 +311,7 @@ def _stamp_run_meta(
         bytes_per_value=int(cost.bytes_per_value),
         compute_scale=float(cost.compute_scale),
         comm_scale=float(cost.comm_scale),
+        **plan_attrs,
         **scalar_params,
     )
 
@@ -316,6 +355,7 @@ def run_parallel(
     obs: "ObsSession | None" = None,
     faults: "FaultInjector | None" = None,
     checkpoint: "CheckpointStore | None" = None,
+    plan: "TuningPlan | None" = None,
 ) -> ParallelRun:
     """Run one algorithm end to end on a platform.
 
@@ -338,6 +378,11 @@ def run_parallel(
             :func:`repro.faults.recovery.run_with_recovery`.
         checkpoint: master checkpoint store for the iterative target
             detectors (ignored by pct/morph).
+        plan: a :class:`repro.tuning.planner.TuningPlan` to dispatch
+            through — sets the partition variant/counts, the kernel
+            variants, and the checkpoint cadence the planner chose.
+            Explicit ``partition`` overrides still win.  The plan must
+            match this run's algorithm, scene dimensions, and platform.
 
     Returns:
         A :class:`ParallelRun` with the master's output and timing.
@@ -346,19 +391,44 @@ def run_parallel(
     params = dict(params or {})
     if backend not in ("sim", "inproc"):
         raise ConfigurationError(f"unknown backend {backend!r}")
+    if plan is not None:
+        mismatches = [
+            f"{what}: plan has {got!r}, run has {want!r}"
+            for what, got, want in (
+                ("algorithm", plan.algorithm, algorithm),
+                ("rows", plan.rows, int(image.rows)),
+                ("cols", plan.cols, int(image.cols)),
+                ("bands", plan.bands, int(image.bands)),
+                ("platform size", plan.platform_size, int(platform.size)),
+            )
+            if got != want
+        ]
+        if mismatches:
+            raise ConfigurationError(
+                "tuning plan does not match this run — "
+                + "; ".join(mismatches)
+            )
+        variant = plan.partition_variant
+        if partition is None:
+            partition = plan.row_partition()
     part = partition or make_row_partition(
         platform, image, algorithm, params, variant, cost_model
     )
     if obs is not None:
         _stamp_run_meta(
             obs, algorithm, variant, image, platform, part, params,
-            cost_model,
+            cost_model, plan=plan,
         )
 
     program = _PROGRAMS[algorithm]
-    program_kwargs = build_program_kwargs(algorithm, params, part)
+    program_kwargs = build_program_kwargs(
+        algorithm, params, part,
+        kernels=plan.kernels if plan is not None else None,
+    )
     if checkpoint is not None and algorithm in ("atdca", "ufcls"):
         program_kwargs["checkpoint"] = checkpoint
+        if plan is not None:
+            program_kwargs["checkpoint_every"] = int(plan.checkpoint_every)
 
     master = platform.master_rank
     kwargs_per_rank = [

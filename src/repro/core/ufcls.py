@@ -15,12 +15,9 @@ import numpy as np
 
 from repro.core.atdca import TargetDetectionResult, _check_inputs
 from repro.hsi.cube import HyperspectralImage
-from repro.linalg.fcls import (
-    IncrementalFCLS,
-    fcls_abundances,
-    reconstruction_error,
-)
+from repro.linalg.fcls import fcls_abundances, reconstruction_error
 from repro.linalg.osp import brightest_pixel_index
+from repro.tuning.registry import resolve
 from repro.types import FloatArray
 
 __all__ = ["ufcls_pixels", "ufcls", "fcls_error_image"]
@@ -37,8 +34,22 @@ def fcls_error_image(pixels: FloatArray, targets: FloatArray) -> FloatArray:
     return reconstruction_error(pixels, targets, abundances)
 
 
-def ufcls_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
-    """Run UFCLS on a flat ``(n, bands)`` pixel matrix."""
+def ufcls_pixels(
+    pixels: FloatArray,
+    n_targets: int,
+    fcls_variant: str = "incremental",
+) -> TargetDetectionResult:
+    """Run UFCLS on a flat ``(n, bands)`` pixel matrix.
+
+    ``fcls_variant`` names the ``fcls_solve`` registry variant:
+    ``"incremental"`` (default) carries cross-products and the
+    regularized Gram inverse across iterations (one gemv + a rank-1
+    bordering update per new target — see
+    :class:`repro.linalg.fcls.IncrementalFCLS`), while ``"reference"``
+    rebuilds the design matrix each round (the rank-tolerant baseline
+    the planner routes degenerate inputs to).  Both variants pick
+    identical targets.
+    """
     pix = _check_inputs(pixels, n_targets)
     indices: list[int] = []
     scores: list[float] = []
@@ -47,11 +58,7 @@ def ufcls_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
     indices.append(first)
     scores.append(float(pix[first] @ pix[first]))
 
-    # Fast path: cross-products and the regularized Gram inverse are
-    # carried across iterations (one gemv + a rank-1 bordering update
-    # per new target) instead of rebuilding the design matrix each
-    # round — see :class:`repro.linalg.fcls.IncrementalFCLS`.
-    solver = IncrementalFCLS(pix)
+    solver = resolve("fcls_solve", fcls_variant).implementation()(pix)
     solver.add_target(pix[first])
     for k in range(1, n_targets):
         error = solver.error_image()
@@ -69,9 +76,13 @@ def ufcls_pixels(pixels: FloatArray, n_targets: int) -> TargetDetectionResult:
     )
 
 
-def ufcls(image: HyperspectralImage, n_targets: int) -> TargetDetectionResult:
+def ufcls(
+    image: HyperspectralImage,
+    n_targets: int,
+    fcls_variant: str = "incremental",
+) -> TargetDetectionResult:
     """Run UFCLS on an image cube; adds (row, col) positions."""
-    result = ufcls_pixels(image.flatten_pixels(), n_targets)
+    result = ufcls_pixels(image.flatten_pixels(), n_targets, fcls_variant)
     rows, cols = np.divmod(result.flat_indices, image.cols)
     return dataclasses.replace(
         result, positions=np.stack([rows, cols], axis=1)

@@ -26,6 +26,7 @@ from repro.types import FloatArray, IntArray
 __all__ = [
     "UniqueSet",
     "greedy_unique",
+    "greedy_unique_reference",
     "reduce_to_count",
     "diversity_select",
     "merge_unique_sets",
@@ -111,6 +112,40 @@ def greedy_unique(
             latest = int(survivors[0])
             kept_rows.append(latest)
             survivors = survivors[1:]
+    idx = np.asarray(kept_rows)
+    return UniqueSet(signatures=pix[idx].copy(), indices=idx)
+
+
+def greedy_unique_reference(
+    pixels: FloatArray,
+    threshold: float,
+    max_keep: int | None = None,
+) -> UniqueSet:
+    """The one-candidate-at-a-time scan :func:`greedy_unique` batches.
+
+    Walks the pool in pixel order and keeps candidate ``i`` iff its SAD
+    to *every* kept signature exceeds ``threshold`` — the literal
+    reading of the paper's step.  O(k·n·bands) like the vectorized
+    filter but with a Python-level loop over candidates; registered as
+    the ``unique_filter`` reference the microbench verifies the
+    vectorized survivor filtering against (the per-pair angle test is
+    identical, so the kept sets match bit for bit).
+    """
+    pix = np.asarray(pixels, dtype=float)
+    if pix.ndim != 2 or pix.shape[0] == 0:
+        raise DataError(f"expected non-empty (n, bands), got {pix.shape}")
+    if threshold < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+    if max_keep is not None and max_keep < 1:
+        raise ConfigurationError(f"max_keep must be >= 1, got {max_keep}")
+    limit = pix.shape[0] if max_keep is None else max_keep
+    kept_rows: list[int] = [0]
+    for i in range(1, pix.shape[0]):
+        if len(kept_rows) >= limit:
+            break
+        angles = sad_to_references(pix[i : i + 1], pix[kept_rows])
+        if bool((angles[0] > threshold).all()):
+            kept_rows.append(i)
     idx = np.asarray(kept_rows)
     return UniqueSet(signatures=pix[idx].copy(), indices=idx)
 

@@ -97,6 +97,16 @@ def main(argv: list[str] | None = None) -> int:
                              "recorder ring, streaming latency percentiles, "
                              "online health detections) under DIR; tail any "
                              "of them with `python -m repro.obs.live watch`")
+    parser.add_argument("--plan", metavar="MODE", default=None,
+                        help="configure the traced demo runs through the "
+                             "autotuning planner: 'auto' plans kernel "
+                             "variants, WEA partition, and checkpoint "
+                             "cadence from the calibrated cost model; "
+                             "'default' keeps the static configuration; "
+                             "any other value is read as a serialized "
+                             "plan JSON file; planned runs export "
+                             "<stem>.plan.json with the makespan "
+                             "prediction")
     parser.add_argument("--fault-plan", metavar="FILE", default=None,
                         help="inject the JSON fault plan into the traced "
                              "demo runs and the table5-7 grid cells; runs "
@@ -155,6 +165,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--chaos-sweep requires a grid file name")
     if args.history == "":
         parser.error("--history requires a ledger file name")
+    if args.plan == "":
+        parser.error("--plan requires 'auto', 'default', or a plan file")
+    if (args.plan is not None and args.plan not in ("auto", "default")
+            and not Path(args.plan).exists()):
+        parser.error(f"--plan file not found: {args.plan}")
     if (not args.experiments and args.trace is None and args.metrics is None
             and args.report is None and args.calibrate is None
             and args.whatif is None and args.chaos_sweep is None):
@@ -192,12 +207,19 @@ def main(argv: list[str] | None = None) -> int:
                   flush=True)
             traced = run_traced(
                 config, trace_dir, backend=backend, fault_plan=fault_plan,
-                live_dir=live_dir,
+                live_dir=live_dir, plan_mode=args.plan,
             )
             if backend == "sim":
                 sim_traced = traced
             print(f"  {traced.n_spans} spans -> "
                   + ", ".join(p.name for p in traced.files))
+            if traced.plan is not None:
+                tp = traced.plan
+                print(f"  plan: {tp.partition_variant} partition, "
+                      f"kernels {tp.kernels}, predicted "
+                      f"{tp.predicted_makespan_s:.3f}s vs default "
+                      f"{tp.default_predicted_s:.3f}s "
+                      f"({tp.improvement:.2f}x)")
             if getattr(traced.run, "recovered", False):
                 print(f"  recovered from rank loss "
                       f"{traced.run.crashed_ranks} in "

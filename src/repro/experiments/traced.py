@@ -35,6 +35,7 @@ from repro.hsi.scene import make_wtc_scene
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
     from repro.faults.recovery import RecoveredRun
+    from repro.tuning.planner import TuningPlan
 from repro.obs import (
     ObsSession,
     TraceAnalysis,
@@ -61,6 +62,33 @@ __all__ = [
 CROSSCHECK_TOL = 1e-9
 
 
+def _resolve_plan(
+    plan_mode: "str | None",
+    cfg: ExperimentConfig,
+    algorithm: str,
+    backend: str,
+    platform,
+) -> "TuningPlan | None":
+    """``--plan`` flag value → an executable plan (or ``None``).
+
+    ``"auto"`` invokes the planner on the run's scene dimensions and
+    platform; ``"default"``/``None`` keeps the static configuration;
+    any other string is read as a serialized plan document (the
+    ``bench plan``/``run_traced`` export format).
+    """
+    if plan_mode is None or plan_mode == "default":
+        return None
+    from repro.tuning.planner import TuningPlan, plan_run
+
+    if plan_mode == "auto":
+        return plan_run(
+            algorithm, platform,
+            cfg.scene.rows, cfg.scene.cols, cfg.scene.bands,
+            cfg.params_for(algorithm), backend=backend,
+        )
+    return TuningPlan.load(plan_mode)
+
+
 @dataclasses.dataclass(frozen=True)
 class TracedRun:
     """Outcome of one traced demo run."""
@@ -69,6 +97,7 @@ class TracedRun:
     obs: ObsSession
     files: tuple[Path, ...]
     analysis: TraceAnalysis
+    plan: "TuningPlan | None" = None
 
     @property
     def n_spans(self) -> int:
@@ -81,12 +110,17 @@ def _demo_run(
     algorithm: str,
     fault_plan: "FaultPlan | None",
     live_dir: Path | None = None,
-) -> tuple["ParallelRun | RecoveredRun", ObsSession, TraceAnalysis]:
+    plan_mode: "str | None" = None,
+) -> tuple[
+    "ParallelRun | RecoveredRun", ObsSession, TraceAnalysis,
+    "TuningPlan | None",
+]:
     """One traced demo run (shared by trace, report, and calibration):
     execute on the Table 1/2 platform, cross-check the span ledger on
     fault-free sim runs, analyze the trace."""
     scene = make_wtc_scene(cfg.scene)
     platform = fully_heterogeneous()
+    tuning = _resolve_plan(plan_mode, cfg, algorithm, backend, platform)
     live = None
     if live_dir is not None:
         from repro.obs.live import LiveRuntime
@@ -105,6 +139,7 @@ def _demo_run(
             backend=backend,
             plan=fault_plan,
             obs=obs,
+            tuning=tuning,
         )
     else:
         run = run_parallel(
@@ -114,6 +149,7 @@ def _demo_run(
             params=cfg.params_for(algorithm),
             backend=backend,
             obs=obs,
+            plan=tuning,
         )
 
     if backend == "sim" and fault_plan is None:
@@ -135,7 +171,7 @@ def _demo_run(
         partition=run.partition if run.sim is not None else None,
         platform=getattr(run, "platform", platform),
     )
-    return run, obs, analysis
+    return run, obs, analysis, tuning
 
 
 def run_traced(
@@ -145,6 +181,7 @@ def run_traced(
     algorithm: str = "atdca",
     fault_plan: "FaultPlan | None" = None,
     live_dir: Path | str | None = None,
+    plan_mode: "str | None" = None,
 ) -> TracedRun:
     """Run ``algorithm`` traced on ``backend`` and export everything.
 
@@ -165,14 +202,21 @@ def run_traced(
     <backend>/live.json`` (+ ``.prom``) is rewritten atomically while
     the run executes (tail it with ``python -m repro.obs.live watch``),
     and the final snapshot includes the mergeable latency sketches.
+
+    With ``plan_mode`` the run is configured by the autotuning planner
+    (``"auto"``), a serialized plan document (a path), or the static
+    defaults (``"default"``/``None``).  Planned runs additionally
+    export ``<stem>.plan.json`` — the plan document with its checkable
+    makespan prediction.
     """
     cfg = config or ExperimentConfig()
     out = Path(outdir)
     out.mkdir(parents=True, exist_ok=True)
     stem = f"{algorithm}_{backend}"
     cell_live_dir = Path(live_dir) / stem if live_dir is not None else None
-    run, obs, analysis = _demo_run(
-        cfg, backend, algorithm, fault_plan, live_dir=cell_live_dir
+    run, obs, analysis, tuning = _demo_run(
+        cfg, backend, algorithm, fault_plan,
+        live_dir=cell_live_dir, plan_mode=plan_mode,
     )
     if obs.live is not None:
         obs.live.write_snapshot(include_sketches=True)
@@ -188,15 +232,27 @@ def run_traced(
     summary_path.write_text(summary_table(obs) + "\n", encoding="utf-8")
     analysis.write_json(analysis_json)
     analysis.write_text(analysis_txt)
+    files = [
+        trace_path, metrics_path, jsonl_path, summary_path,
+        analysis_json, analysis_txt,
+    ]
+    if tuning is not None:
+        import json
+
+        plan_path = out / f"{stem}.plan.json"
+        plan_path.write_text(
+            json.dumps(tuning.to_document(), sort_keys=True, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        files.append(plan_path)
 
     return TracedRun(
         run=run,
         obs=obs,
-        files=(
-            trace_path, metrics_path, jsonl_path, summary_path,
-            analysis_json, analysis_txt,
-        ),
+        files=tuple(files),
         analysis=analysis,
+        plan=tuning,
     )
 
 
@@ -222,7 +278,7 @@ def run_report(
     if traced is not None:
         run, obs, analysis = traced.run, traced.obs, traced.analysis
     else:
-        run, obs, analysis = _demo_run(cfg, backend, algorithm, fault_plan)
+        run, obs, analysis, _ = _demo_run(cfg, backend, algorithm, fault_plan)
     # Calibrate against the full starting platform: profile_trace maps
     # post-recovery dense ranks back to original ids via the seam spans.
     platform = fully_heterogeneous()
@@ -279,7 +335,7 @@ def run_calibration(
     platform = fully_heterogeneous()
     paths: list[Path] = []
     for backend in ("sim", "inproc"):
-        _, obs, _ = _demo_run(cfg, backend, algorithm, None)
+        _, obs, _, _ = _demo_run(cfg, backend, algorithm, None)
         report = profile_trace(obs, platform)
         json_path = out / f"calibration_{backend}.json"
         json_path.write_text(report.to_json() + "\n", encoding="utf-8")

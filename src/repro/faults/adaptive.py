@@ -113,6 +113,10 @@ class AdaptiveController:
     as threads), but per-rank reads only touch the rank's own health
     subject, so the gathered reports — and therefore the decision —
     are deterministic.
+
+    Autotuned runs (``run_with_recovery(..., tuning=...)``) also log
+    each post-seam planner decision here via :meth:`note_retune`, so a
+    drift-adapted run exposes the full re-optimization history.
     """
 
     def __init__(self, config: AdaptiveConfig | None = None) -> None:
@@ -122,6 +126,7 @@ class AdaptiveController:
         self._rank_map: tuple[int, ...] | None = None
         self._adapted: dict[int, float] = {}
         self._events: list[AdaptationEvent] = []
+        self._retunes: list[str] = []
 
     # -- binding -------------------------------------------------------------
     def attach(
@@ -153,6 +158,19 @@ class AdaptiveController:
         """Original rank id → cumulative folded-in slowdown factor."""
         with self._lock:
             return dict(self._adapted)
+
+    @property
+    def retunes(self) -> list[str]:
+        """Partition variants the autotuning planner chose on each
+        post-adaptation re-plan, in order (tuned runs only)."""
+        with self._lock:
+            return list(self._retunes)
+
+    def note_retune(self, partition_variant: str) -> None:
+        """Record that the recovery driver re-ran the planner after an
+        adaptation/recovery seam and got ``partition_variant``."""
+        with self._lock:
+            self._retunes.append(str(partition_variant))
 
     # -- the decision procedure ----------------------------------------------
     def estimate_factor(self, last_error: float) -> float:

@@ -50,6 +50,7 @@ from repro.scheduling.static_part import RowPartition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs import ObsSession
+    from repro.tuning.planner import TuningPlan
 
 __all__ = [
     "CheckpointStore",
@@ -112,6 +113,8 @@ class RecoveryAttempt:
             ended this attempt (adaptive runs), else ``None``.
         adapted_factor: the slowdown factor folded into the model for
             ``adapted_rank``, else ``None``.
+        tuned_variant: the partition variant the autotuning planner
+            chose for this attempt (tuned runs), else ``None``.
     """
 
     index: int
@@ -121,6 +124,7 @@ class RecoveryAttempt:
     resumed_step: int
     adapted_rank: int | None = None
     adapted_factor: float | None = None
+    tuned_variant: str | None = None
 
 
 @dataclasses.dataclass
@@ -189,6 +193,7 @@ def run_with_recovery(
     deadlock_grace_s: float = 0.25,
     repartition_overhead_s: float = 0.0,
     adaptive: "AdaptiveController | AdaptiveConfig | bool | None" = None,
+    tuning: "TuningPlan | str | None" = None,
 ) -> RecoveredRun:
     """Run an algorithm, surviving planned/confirmed worker crashes.
 
@@ -227,6 +232,14 @@ def run_with_recovery(
             keeps charging the real specs — the node didn't change,
             our calibration of it did), WEA re-partitions on the
             model, and the run resumes from the checkpoint.
+        tuning: a :class:`repro.tuning.planner.TuningPlan` (used for
+            the first attempt; must match this run) or ``"auto"``
+            (every attempt is planned fresh).  After a rank loss or a
+            committed adaptation the planner re-runs on the survivor
+            (or speed-downgraded model) platform, so the recovered
+            attempt gets re-optimized kernel variants and partition —
+            ``variant`` is ignored while a plan is active, and each
+            :class:`RecoveryAttempt` records its ``tuned_variant``.
 
     Returns:
         A :class:`RecoveredRun`; ``imbalance`` carries the Table 7
@@ -252,6 +265,34 @@ def run_with_recovery(
     checkpoint = (
         CheckpointStore() if algorithm in ("atdca", "ufcls") else None
     )
+
+    initial_plan = None
+    if tuning is not None:
+        from repro.tuning.planner import TuningPlan
+
+        if isinstance(tuning, TuningPlan):
+            initial_plan = tuning
+            mismatches = [
+                f"{what}: plan has {got!r}, run has {want!r}"
+                for what, got, want in (
+                    ("algorithm", initial_plan.algorithm, algorithm),
+                    ("rows", initial_plan.rows, int(image.rows)),
+                    ("cols", initial_plan.cols, int(image.cols)),
+                    ("bands", initial_plan.bands, int(image.bands)),
+                    ("platform size", initial_plan.platform_size,
+                     int(platform.size)),
+                )
+                if got != want
+            ]
+            if mismatches:
+                raise ConfigurationError(
+                    "tuning plan does not match this run — "
+                    + "; ".join(mismatches)
+                )
+        elif tuning != "auto":
+            raise ConfigurationError(
+                f"tuning must be a TuningPlan or 'auto', got {tuning!r}"
+            )
 
     controller: AdaptiveController | None = None
     if adaptive:
@@ -320,9 +361,30 @@ def run_with_recovery(
                     name=f"{model_platform.name}[recovered:{len(ordered)}]",
                 )
             )
-        partition = make_row_partition(
-            model_run, image, algorithm, params, variant, cost_model
-        )
+        attempt_plan = None
+        if tuning is not None:
+            if (initial_plan is not None and ordered == identity
+                    and model_run is platform):
+                attempt_plan = initial_plan
+            else:
+                # Re-plan on the survivor / speed-downgraded model
+                # platform: the optimal partition variant can change
+                # when the processor mix changes.
+                from repro.tuning.planner import plan_run
+
+                attempt_plan = plan_run(
+                    algorithm, model_run,
+                    image.rows, image.cols, image.bands, params,
+                    backend=backend, cost_model=cost_model,
+                )
+                if controller is not None and attempts:
+                    controller.note_retune(attempt_plan.partition_variant)
+        if attempt_plan is not None:
+            partition = attempt_plan.row_partition()
+        else:
+            partition = make_row_partition(
+                model_run, image, algorithm, params, variant, cost_model
+            )
         if injector is not None:
             injector.attach(
                 platform=run_platform,
@@ -335,9 +397,16 @@ def run_with_recovery(
             # surviving subset platform, and the nominal per-rank
             # clocks restart with it.
             live.bind(platform=run_platform, faults=injector)
-        program_kwargs = build_program_kwargs(algorithm, params, partition)
+        program_kwargs = build_program_kwargs(
+            algorithm, params, partition,
+            kernels=attempt_plan.kernels if attempt_plan else None,
+        )
         if checkpoint is not None:
             program_kwargs["checkpoint"] = checkpoint
+            if attempt_plan is not None:
+                program_kwargs["checkpoint_every"] = int(
+                    attempt_plan.checkpoint_every
+                )
         if controller is not None:
             controller.attach(
                 monitor=obs.live.health,
@@ -345,6 +414,10 @@ def run_with_recovery(
             )
             program_kwargs["adaptive"] = controller
         resumed_step = (checkpoint.step or 0) if checkpoint is not None else 0
+        tuned_variant = (
+            attempt_plan.partition_variant if attempt_plan is not None
+            else None
+        )
         master = run_platform.master_rank
         kwargs_per_rank = [
             {"image": image if rank == master else None}
@@ -370,6 +443,7 @@ def run_with_recovery(
                         crashed_rank=None,
                         clock_start=clock_start,
                         resumed_step=resumed_step,
+                        tuned_variant=tuned_variant,
                     )
                 )
                 scores: ImbalanceScores | None
@@ -379,7 +453,7 @@ def run_with_recovery(
                     scores = None
                 return RecoveredRun(
                     algorithm=algorithm,
-                    variant=variant,
+                    variant=tuned_variant or variant,
                     output=sim.return_values[master],
                     partition=partition,
                     platform=run_platform,
@@ -409,11 +483,12 @@ def run_with_recovery(
                     crashed_rank=None,
                     clock_start=clock_start,
                     resumed_step=resumed_step,
+                    tuned_variant=tuned_variant,
                 )
             )
             return RecoveredRun(
                 algorithm=algorithm,
-                variant=variant,
+                variant=tuned_variant or variant,
                 output=inproc.return_values[master],
                 partition=partition,
                 platform=run_platform,
@@ -436,6 +511,7 @@ def run_with_recovery(
                     crashed_rank=lost_orig,
                     clock_start=clock_start,
                     resumed_step=resumed_step,
+                    tuned_variant=tuned_variant,
                 )
             )
             crashed.append(lost_orig)
@@ -484,6 +560,7 @@ def run_with_recovery(
                     resumed_step=resumed_step,
                     adapted_rank=drifted_orig,
                     adapted_factor=exc.factor,
+                    tuned_variant=tuned_variant,
                 )
             )
             model_platform = scale_rank_compute(

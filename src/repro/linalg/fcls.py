@@ -28,6 +28,7 @@ __all__ = [
     "fcls_abundances",
     "reconstruction_error",
     "IncrementalFCLS",
+    "ScratchFCLS",
 ]
 
 
@@ -233,6 +234,64 @@ def reconstruction_error(
         )
     resid = pix - ab @ end
     return np.einsum("ij,ij->i", resid, resid)
+
+
+class ScratchFCLS:
+    """Reference UFCLS state: a from-scratch FCLS solve per error query.
+
+    Presents the same ``add_target``/``error_image`` surface as
+    :class:`IncrementalFCLS` (the ``fcls_solve`` registry protocol) but
+    carries no cross-products or Gram inverse — every
+    :meth:`error_image` call rebuilds the design matrix, solves
+    :func:`fcls_abundances`, and forms the residual
+    :func:`reconstruction_error` directly.  This is the rank-tolerant
+    baseline: near-collinear target sets go through the one fully
+    regularized solve instead of a bordering update plus guard, and the
+    microbench verifies the incremental variant against the picks this
+    one makes.  Batch-size independent, like the incremental state.
+    """
+
+    def __init__(self, pixels: FloatArray, ridge: float = 1e-10) -> None:
+        pix = np.asarray(pixels, dtype=float)
+        if pix.ndim == 1:
+            pix = pix[None, :]
+        if pix.ndim != 2:
+            raise ShapeError(f"expected (n, bands), got {pix.shape}")
+        self._pix = pix
+        self._ridge = float(ridge)
+        self._targets: list[FloatArray] = []
+
+    @property
+    def count(self) -> int:
+        """Targets added so far."""
+        return len(self._targets)
+
+    def add_target(self, signature: FloatArray) -> None:
+        """Append one target row (validated against the band count)."""
+        sig = np.asarray(signature, dtype=float).reshape(-1)
+        if sig.shape[0] != self._pix.shape[1]:
+            raise ShapeError(
+                f"signature has {sig.shape[0]} bands, "
+                f"expected {self._pix.shape[1]}"
+            )
+        if not self._targets and float(sig @ sig) == 0.0:
+            raise DataError("cannot add an all-zero first target")
+        self._targets.append(sig)
+
+    def abundances(self, max_iter: int | None = None) -> FloatArray:
+        """FCLS abundances of every pixel against the current targets."""
+        if not self._targets:
+            raise DataError("need at least one endmember")
+        end = np.vstack(self._targets)
+        return fcls_abundances(self._pix, end, self._ridge, max_iter)
+
+    def error_image(self, max_iter: int | None = None) -> FloatArray:
+        """The UFCLS error image, formed from the explicit residual."""
+        if not self._targets:
+            raise DataError("need at least one endmember")
+        end = np.vstack(self._targets)
+        ab = fcls_abundances(self._pix, end, self._ridge, max_iter)
+        return reconstruction_error(self._pix, end, ab)
 
 
 class IncrementalFCLS:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.obs.dag import (
     ACTIVITY_CATEGORIES,
@@ -790,12 +790,20 @@ def wea_attribution(
 
 @dataclasses.dataclass(frozen=True)
 class TraceAnalysis:
-    """All analyses of one traced run, exportable as JSON or text."""
+    """All analyses of one traced run, exportable as JSON or text.
+
+    ``tuning`` carries the autotuning planner's decision record (the
+    scalar ``plan_*`` attributes of the ``run.meta`` span — chosen
+    partition variant, kernel variants, makespan prediction, and
+    calibration-scale provenance) when the traced run was planned;
+    ``None`` otherwise.
+    """
 
     critical_path: CriticalPathReport
     blocked: BlockedTimeReport
     links: LinkUtilizationReport
     wea: WeaAttributionReport | None = None
+    tuning: Mapping[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -806,6 +814,8 @@ class TraceAnalysis:
         }
         if self.wea is not None:
             out["wea_attribution"] = self.wea.to_dict()
+        if self.tuning is not None:
+            out["tuning"] = dict(self.tuning)
         out["provenance"] = provenance()
         return out
 
@@ -850,9 +860,20 @@ def analyze_trace(
     wea = None
     if result is not None and partition is not None:
         wea = wea_attribution(result, partition, platform)
+    from repro.obs.whatif import run_meta_of
+
+    meta = run_meta_of(source)
+    tuning = None
+    if meta is not None:
+        plan_attrs = {
+            k: v for k, v in meta.items() if k.startswith("plan_")
+        }
+        if plan_attrs:
+            tuning = plan_attrs
     return TraceAnalysis(
         critical_path=critical_path(source),
         blocked=blocked_time(source),
         links=link_utilization(source),
         wea=wea,
+        tuning=tuning,
     )

@@ -330,10 +330,48 @@ class HealthMonitor:
 _IDENTITY_SCALES = {"compute": 1.0, "transfer": 1.0}
 
 
+def scale_provenance_from_calibration(
+    source: str | Path | Mapping[str, Any],
+    backend: str = "sim",
+) -> dict[str, Any] | None:
+    """The ``scales_provenance`` entry for one backend, or ``None``.
+
+    The committed calibration baseline records, per backend, *where*
+    its fitted scales came from — the ledger commit, the run date, and
+    the source artifact — so planner decisions built on those scales
+    are auditable end to end (the planner stamps this block into every
+    plan document and ``run.meta``, and it surfaces in
+    ``analysis.json``).  Absent or malformed blocks return ``None``:
+    provenance is advisory, never load-bearing.
+    """
+    if isinstance(source, (str, Path)):
+        try:
+            data: Mapping[str, Any] = json.loads(
+                Path(source).read_text(encoding="utf-8")
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+    else:
+        data = source
+    block = data.get("scales_provenance")
+    if not isinstance(block, Mapping):
+        return None
+    entry = block.get(backend)
+    if not isinstance(entry, Mapping):
+        return None
+    out = {
+        key: entry[key]
+        for key in ("git_sha", "date", "source")
+        if isinstance(entry.get(key), str)
+    }
+    return out or None
+
+
 def scales_from_calibration(
     source: str | Path | Mapping[str, Any],
     backend: str = "sim",
-) -> dict[str, float]:
+    with_provenance: bool = False,
+) -> dict[str, float] | tuple[dict[str, float], dict[str, Any] | None]:
     """Calibrated ``{"compute": ..., "transfer": ...}`` scales for one
     backend from the committed calibration baseline.
 
@@ -343,6 +381,12 @@ def scales_from_calibration(
     raising — detection should never be disabled by a stale baseline.
     Only a *present and numeric but non-positive* scale raises, since
     that indicates a corrupted fit rather than a missing one.
+
+    With ``with_provenance=True`` returns ``(scales, provenance)``,
+    where ``provenance`` is the baseline's per-backend
+    ``scales_provenance`` entry (commit + date + source artifact from
+    the run ledger) or ``None`` when the document does not carry one —
+    degraded neutral scales always pair with ``None`` provenance.
     """
     import warnings
 
@@ -353,13 +397,22 @@ def scales_from_calibration(
     else:
         data = source
 
-    def _degraded(reason: str) -> dict[str, float]:
+    def _finish(
+        scales: dict[str, float], provenance: dict[str, Any] | None
+    ) -> dict[str, float] | tuple[dict[str, float], dict[str, Any] | None]:
+        if with_provenance:
+            return scales, provenance
+        return scales
+
+    def _degraded(
+        reason: str,
+    ) -> dict[str, float] | tuple[dict[str, float], dict[str, Any] | None]:
         warnings.warn(
             f"calibration has no usable scales for backend {backend!r} "
             f"({reason}); using neutral 1.0 scales",
             stacklevel=2,
         )
-        return dict(_IDENTITY_SCALES)
+        return _finish(dict(_IDENTITY_SCALES), None)
 
     block = data.get("scales")
     if block is None:
@@ -385,4 +438,4 @@ def scales_from_calibration(
             raise ConfigurationError(
                 f"calibrated {name} scale must be > 0, got {value}"
             )
-    return out
+    return _finish(out, scale_provenance_from_calibration(data, backend))

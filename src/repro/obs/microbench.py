@@ -1,27 +1,37 @@
 """Per-kernel wall-time microbenchmarks for the fast-path layer.
 
-``python -m repro.obs.bench microbench`` times each optimized sequential
-kernel *and* its retained scratch reference in the same process on the
-same data, then records the measured **speedup ratio** — fast-path gains
-expressed machine-portably, so the committed floor file gates on "is the
+``python -m repro.obs.bench microbench`` enumerates, for every hot
+kernel, **all** variants registered in
+:mod:`repro.tuning.registry` — the scratch reference and each fast
+path — times them in the same process on the same data, and records the
+measured **speedup ratio** — fast-path gains expressed
+machine-portably, so the committed floor file gates on "is the
 incremental update still ≥3× the scratch rebuild" rather than on
 absolute seconds that vary per runner.
 
-Kernels measured (reference → fast path):
+Kernels measured (registry kernel → driving loop):
 
-* ``atdca`` — per-iteration scratch QR :func:`~repro.linalg.osp.residual_energy`
-  sweep vs the carried basis of :class:`~repro.linalg.osp.IncrementalOSP`.
-* ``ufcls`` — per-iteration scratch :func:`~repro.core.ufcls.fcls_error_image`
-  vs the bordered Gram inverse of :class:`~repro.linalg.fcls.IncrementalFCLS`.
-* ``mei_map`` — per-pass renormalizing :func:`~repro.core.morph.mei_map_reference`
-  vs the pair-compressed :func:`~repro.core.morph.mei_map`.
-* ``mailbox`` — deep :func:`~repro.cluster.mailbox.copy_payload` vs the
-  zero-copy read-only views of :func:`~repro.cluster.mailbox.freeze_payload`.
+* ``atdca`` — ``osp_step`` variants driven through the full ATDCA
+  target loop (:func:`~repro.core.atdca.atdca_pixels`).
+* ``ufcls`` — ``fcls_solve`` variants driven through the UFCLS loop
+  (:func:`~repro.core.ufcls.ufcls_pixels`).
+* ``mei_map`` — ``morph_mei`` variants on a raw cube.
+* ``nfindr`` — ``nfindr_screen`` variants driven through the full
+  N-FINDR replacement loop (:func:`~repro.core.nfindr.nfindr_pixels`).
+* ``unique`` — ``unique_filter`` variants on a flat candidate pool.
+* ``mailbox`` — bespoke (not registry-dispatched): deep
+  :func:`~repro.cluster.mailbox.copy_payload` vs the zero-copy
+  read-only views of :func:`~repro.cluster.mailbox.freeze_payload`.
 
-Every kernel also cross-checks that reference and fast path still agree
-(identical target picks / bit-identical MEI array / equal payloads); a
-disagreement marks the cell unverified and fails the gate — a speedup
-that changes answers is a bug, not a win.
+Every registry variant is cross-checked against the reference per its
+registered exactness class (identical target picks / bit-identical
+arrays); a disagreement marks the cell unverified and fails the gate —
+a speedup that changes answers is a bug, not a win.  Each cell's
+``variants`` sub-dict carries every variant's time, so the planner's
+choice (:func:`repro.tuning.planner.choose_kernel_variants`) can be
+checked against the measured winner; the top-level
+``reference_s``/``fast_s``/``speedup`` keys summarize reference vs the
+registry default and keep the floor gate and trend history stable.
 
 The default scale fits CI; paper scale (614×512×224, the AVIRIS World
 Trade Center cube) is one flag away::
@@ -58,7 +68,19 @@ __all__ = [
 MICRO_SCHEMA = "repro.obs.microbench/1"
 FLOORS_SCHEMA = "repro.obs.microbench-floors/1"
 
-KERNELS: tuple[str, ...] = ("atdca", "ufcls", "mei_map", "mailbox")
+KERNELS: tuple[str, ...] = (
+    "atdca", "ufcls", "mei_map", "nfindr", "unique", "mailbox"
+)
+
+#: microbench kernel name → registry kernel it enumerates (the mailbox
+#: kernel is bespoke and has no registry entry).
+REGISTRY_KERNELS: Mapping[str, str] = {
+    "atdca": "osp_step",
+    "ufcls": "fcls_solve",
+    "mei_map": "morph_mei",
+    "nfindr": "nfindr_screen",
+    "unique": "unique_filter",
+}
 
 #: Payload copies per timing sample for the mailbox kernel (a single
 #: freeze is sub-microsecond; batching makes the clock resolution moot).
@@ -91,6 +113,14 @@ class MicrobenchConfig:
     #: ratio is already visible on a small subset — and the full frame
     #: would cost ~25 s per timing sample.
     ufcls_pixels: int = 512
+    #: Pixel subset and simplex size for the nfindr kernel (the scalar
+    #: reference sweep is O(n·k) determinants per pass — the full frame
+    #: would dominate the whole suite).
+    nfindr_pixels: int = 768
+    nfindr_endmembers: int = 6
+    #: Candidate pool and SAD threshold for the unique kernel.
+    unique_pixels: int = 4096
+    unique_threshold: float = 0.05
 
     def scene_config(self) -> SceneConfig:
         return SceneConfig(
@@ -129,77 +159,132 @@ def _time_best(fn: Callable[[], Any], repeats: int) -> float:
     )
 
 
-def _atdca_scratch(pix: FloatArray, n_targets: int) -> IntArray:
-    """ATDCA target loop with the scratch QR sweep per iteration."""
-    from repro.linalg.osp import brightest_pixel_index, residual_energy
+def _registry_cell(
+    kernel: str,
+    run: Callable[[str], Any],
+    agree: Callable[[Any, Any], bool],
+    detail: str,
+    repeats: int,
+) -> dict[str, Any]:
+    """Time every registered variant of ``kernel`` through ``run``.
 
-    indices = [brightest_pixel_index(pix)]
-    for _ in range(1, n_targets):
-        energy = residual_energy(pix, pix[np.asarray(indices)])
-        indices.append(int(np.argmax(energy)))
-    return np.asarray(indices, dtype=np.int64)
+    ``run(variant_name)`` drives the kernel end to end; ``agree``
+    compares a variant's output to the reference's.  The returned cell
+    keeps the historical ``reference_s``/``fast_s``/``verified`` keys
+    (fast = the registry default, so the floor gate and trend history
+    stay comparable across the registry refactor) and adds a
+    ``variants`` sub-dict with every variant's time, agreement, and
+    registered exactness class.
+    """
+    from repro.tuning.registry import default_variant, variants_of
+
+    ref_out = run("reference")
+    variants: dict[str, dict[str, Any]] = {}
+    for variant in variants_of(kernel):
+        out = run(variant.name)
+        verified = (
+            variant.name == "reference" or bool(agree(ref_out, out))
+        )
+        variants[variant.name] = {
+            "time_s": _time_best(
+                lambda name=variant.name: run(name), repeats
+            ),
+            "verified": verified,
+            "exactness": variant.exactness,
+        }
+    fast_name = default_variant(kernel).name
+    return {
+        "reference_s": variants["reference"]["time_s"],
+        "fast_s": variants[fast_name]["time_s"],
+        "verified": all(v["verified"] for v in variants.values()),
+        "detail": detail,
+        "registry_kernel": kernel,
+        "fast_variant": fast_name,
+        "variants": variants,
+    }
 
 
-def _ufcls_scratch(pix: FloatArray, n_targets: int) -> IntArray:
-    """UFCLS target loop with the scratch error image per iteration."""
-    from repro.core.ufcls import fcls_error_image
-    from repro.linalg.osp import brightest_pixel_index
-
-    indices = [brightest_pixel_index(pix)]
-    for _ in range(1, n_targets):
-        error = fcls_error_image(pix, pix[np.asarray(indices)])
-        indices.append(int(np.argmax(error)))
-    return np.asarray(indices, dtype=np.int64)
+def _picks_equal(ref: IntArray, out: IntArray) -> bool:
+    return bool(np.array_equal(ref, out))
 
 
 def _bench_atdca(config: MicrobenchConfig, pix: FloatArray) -> dict[str, Any]:
     from repro.core.atdca import atdca_pixels
 
     t = config.n_targets
-    ref_idx = _atdca_scratch(pix, t)
-    fast_idx = atdca_pixels(pix, t).flat_indices
-    return {
-        "reference_s": _time_best(lambda: _atdca_scratch(pix, t),
-                                  config.repeats),
-        "fast_s": _time_best(lambda: atdca_pixels(pix, t), config.repeats),
-        "verified": bool(np.array_equal(ref_idx, fast_idx)),
-        "detail": f"t={t} targets, {pix.shape[0]} pixels × "
-                  f"{pix.shape[1]} bands",
-    }
+    return _registry_cell(
+        "osp_step",
+        lambda name: atdca_pixels(pix, t, osp_variant=name).flat_indices,
+        _picks_equal,
+        f"t={t} targets, {pix.shape[0]} pixels × {pix.shape[1]} bands",
+        config.repeats,
+    )
 
 
 def _bench_ufcls(config: MicrobenchConfig, pix: FloatArray) -> dict[str, Any]:
     from repro.core.ufcls import ufcls_pixels
 
     t = config.n_targets
-    ref_idx = _ufcls_scratch(pix, t)
-    fast_idx = ufcls_pixels(pix, t).flat_indices
-    return {
-        "reference_s": _time_best(lambda: _ufcls_scratch(pix, t),
-                                  config.repeats),
-        "fast_s": _time_best(lambda: ufcls_pixels(pix, t), config.repeats),
-        "verified": bool(np.array_equal(ref_idx, fast_idx)),
-        "detail": f"t={t} targets, {pix.shape[0]} pixels × "
-                  f"{pix.shape[1]} bands",
-    }
+    return _registry_cell(
+        "fcls_solve",
+        lambda name: ufcls_pixels(pix, t, fcls_variant=name).flat_indices,
+        _picks_equal,
+        f"t={t} targets, {pix.shape[0]} pixels × {pix.shape[1]} bands",
+        config.repeats,
+    )
 
 
 def _bench_mei_map(config: MicrobenchConfig, cube: FloatArray) -> dict[str, Any]:
-    from repro.core.morph import mei_map, mei_map_reference
     from repro.morphology.structuring import square
+    from repro.tuning.registry import resolve
 
     se = square(3)
     it = config.morph_iterations
-    ref = mei_map_reference(cube, se, it)
-    fast = mei_map(cube, se, it)
-    return {
-        "reference_s": _time_best(lambda: mei_map_reference(cube, se, it),
-                                  config.repeats),
-        "fast_s": _time_best(lambda: mei_map(cube, se, it), config.repeats),
-        "verified": bool(np.array_equal(ref, fast)),
-        "detail": f"I_max={it}, 3×3 SE, "
-                  f"{cube.shape[0]}×{cube.shape[1]}×{cube.shape[2]} cube",
-    }
+    return _registry_cell(
+        "morph_mei",
+        lambda name: resolve("morph_mei", name).implementation()(
+            cube, se, it
+        ),
+        lambda ref, out: bool(np.array_equal(ref, out)),
+        f"I_max={it}, 3×3 SE, "
+        f"{cube.shape[0]}×{cube.shape[1]}×{cube.shape[2]} cube",
+        config.repeats,
+    )
+
+
+def _bench_nfindr(config: MicrobenchConfig, pix: FloatArray) -> dict[str, Any]:
+    from repro.core.nfindr import nfindr_pixels
+
+    k = config.nfindr_endmembers
+    return _registry_cell(
+        "nfindr_screen",
+        lambda name: nfindr_pixels(pix, k, screen_variant=name),
+        lambda ref, out: bool(
+            np.array_equal(ref.flat_indices, out.flat_indices)
+            and ref.volume == out.volume
+            and ref.sweeps == out.sweeps
+        ),
+        f"k={k} endmembers, {pix.shape[0]} pixels × {pix.shape[1]} bands",
+        config.repeats,
+    )
+
+
+def _bench_unique(config: MicrobenchConfig, pix: FloatArray) -> dict[str, Any]:
+    from repro.tuning.registry import resolve
+
+    thr = config.unique_threshold
+    return _registry_cell(
+        "unique_filter",
+        lambda name: resolve("unique_filter", name).implementation()(
+            pix, thr
+        ),
+        lambda ref, out: bool(
+            np.array_equal(ref.indices, out.indices)
+            and np.array_equal(ref.signatures, out.signatures)
+        ),
+        f"threshold={thr}, {pix.shape[0]} pixels × {pix.shape[1]} bands",
+        config.repeats,
+    )
 
 
 def _bench_mailbox(config: MicrobenchConfig, cube: FloatArray) -> dict[str, Any]:
@@ -251,6 +336,13 @@ def run_microbench(config: MicrobenchConfig, date: str) -> dict[str, Any]:
             config, pix[: max(config.ufcls_pixels, config.n_targets + 1)]
         ),
         "mei_map": lambda: _bench_mei_map(config, cube),
+        "nfindr": lambda: _bench_nfindr(
+            config,
+            pix[: max(config.nfindr_pixels, config.nfindr_endmembers)],
+        ),
+        "unique": lambda: _bench_unique(
+            config, pix[: max(config.unique_pixels, 1)]
+        ),
         "mailbox": lambda: _bench_mailbox(config, cube),
     }
     kernels: dict[str, dict[str, Any]] = {}

@@ -1,0 +1,404 @@
+"""Cost-model-driven autotuning planner.
+
+Consumes the calibrated compute/transfer scales from the committed
+calibration baseline (``benchmarks/baselines/calibration.json``) plus
+the analytic platform model (:func:`repro.experiments.model.model_run`,
+the same op-program engine the what-if replay executes) and picks, per
+run, the configuration minimizing predicted makespan:
+
+* the **WEA partition variant** (``hetero``/``dlt``/``homo``) — each
+  candidate is partitioned via
+  :func:`repro.core.runner.make_row_partition_for_dims` and priced by
+  ``model_run`` under the calibration-scaled cost model;
+* the **kernel variants** — resolved from the registry's capability
+  metadata: preconditions first (rank-deficient target sets and tiny
+  scenes fall back to the rank-tolerant reference paths), then the
+  fastest eligible variant;
+* the **checkpoint cadence** — in-memory detection checkpoints charge
+  zero model cost, so the densest cadence (every iteration) dominates:
+  it minimizes recovery replay without any predicted makespan penalty.
+
+Every plan ships with its prediction (*and* the default variant's
+prediction, so improvement claims are checkable), plus the scale
+provenance from the calibration baseline — commit, date, and source
+ledger — making each planner decision auditable in ``analysis.json``.
+
+Because the default partition variant is always in the candidate set and
+ties break toward it in candidate order, the chosen plan's predicted
+makespan is ≤ the default's **by construction**; the ``bench plan`` gate
+(:mod:`repro.obs.bench`) additionally checks the prediction against the
+executed run (≤ 1e-9 relative error on the virtual-time backend) and the
+measured improvement against the committed floor.
+
+This module is deliberately *not* re-exported from
+:mod:`repro.tuning` — it imports the runner layer, which dispatches
+through the registry, and an eager import would complete that cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.cluster.costs import DEFAULT_COST_MODEL, CostModel
+from repro.cluster.platform import HeterogeneousPlatform
+from repro.core.runner import ALGORITHM_NAMES, make_row_partition_for_dims
+from repro.errors import ConfigurationError
+from repro.experiments.model import model_run
+from repro.obs.health import scales_from_calibration
+from repro.scheduling.static_part import RowPartition
+from repro.tuning.registry import KernelVariant, default_variant, variants_of
+
+__all__ = [
+    "PLAN_SCHEMA",
+    "PARTITION_VARIANTS",
+    "DEFAULT_CALIBRATION",
+    "ALGORITHM_KERNELS",
+    "choose_kernel_variants",
+    "TuningPlan",
+    "plan_run",
+]
+
+#: Schema tag stamped into every serialized plan document.
+PLAN_SCHEMA = "repro.tuning.plan/1"
+
+#: Candidate WEA partition variants, in tie-break order.
+PARTITION_VARIANTS: tuple[str, ...] = ("hetero", "dlt", "homo")
+
+#: The committed calibration baseline (repo-relative).
+DEFAULT_CALIBRATION = "benchmarks/baselines/calibration.json"
+
+#: Which registered kernels each algorithm dispatches through.
+ALGORITHM_KERNELS: Mapping[str, tuple[str, ...]] = {
+    "atdca": ("osp_step",),
+    "ufcls": ("fcls_solve",),
+    "pct": ("unique_filter",),
+    "morph": ("morph_mei", "unique_filter"),
+}
+
+
+def _eligible(
+    variant: KernelVariant, n_pixels: int, rank_deficient: bool
+) -> bool:
+    if n_pixels < variant.min_pixels:
+        return False
+    if rank_deficient and not variant.rank_tolerant:
+        return False
+    return True
+
+
+def choose_kernel_variants(
+    algorithm: str,
+    n_pixels: int,
+    bands: int,
+    params: Mapping[str, Any],
+) -> dict[str, str]:
+    """Pick one registry variant per kernel the algorithm uses.
+
+    Preconditions filter first: variants whose ``min_pixels`` exceeds the
+    scene (tiny inputs), and — for the target detectors — variants not
+    ``rank_tolerant`` when the requested target count exceeds the band
+    count (the target matrix is then certainly rank-deficient, so the
+    degenerate-input paths must be primary).  Among eligible variants the
+    highest ``speed_hint`` wins.  The rank-tolerant reference always
+    passes both filters, so the choice never comes up empty.
+    """
+    kernels = ALGORITHM_KERNELS.get(algorithm)
+    if kernels is None:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{ALGORITHM_NAMES}"
+        )
+    rank_deficient = False
+    if algorithm in ("atdca", "ufcls"):
+        rank_deficient = int(params.get("n_targets", 18)) > int(bands)
+    chosen: dict[str, str] = {}
+    for kernel in kernels:
+        best: KernelVariant | None = None
+        for variant in variants_of(kernel):
+            if not _eligible(variant, n_pixels, rank_deficient):
+                continue
+            if best is None or variant.speed_hint > best.speed_hint:
+                best = variant
+        assert best is not None  # the reference is always eligible
+        chosen[kernel] = best.name
+    return chosen
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningPlan:
+    """One planner decision, with its checkable prediction.
+
+    Attributes:
+        algorithm / backend / rows / cols / bands: the planned workload.
+        platform_name / platform_size: identity of the planned platform
+            (plans are validated against the run's platform at dispatch).
+        partition_variant: the chosen WEA variant.
+        partition_counts: the chosen partition's per-rank row counts.
+        kernels: kernel name → chosen registry variant name.
+        checkpoint_every: checkpoint cadence for the iterative detectors.
+        predicted_makespan_s: ``model_run`` total under the calibrated
+            cost model for the chosen configuration.
+        candidates: partition variant → predicted makespan, for every
+            candidate evaluated (auditable alternatives).
+        default_variant / default_predicted_s: the static default this
+            plan is measured against.
+        scales: the calibrated ``{"compute", "transfer"}`` multipliers
+            applied to the cost model.
+        scale_provenance: where the scales came from (``git_sha`` /
+            ``date`` / ``source`` from the calibration baseline), or
+            ``None`` when the baseline carries no provenance block.
+        params: scalar algorithm parameters the plan was made for.
+    """
+
+    algorithm: str
+    backend: str
+    rows: int
+    cols: int
+    bands: int
+    platform_name: str
+    platform_size: int
+    partition_variant: str
+    partition_counts: tuple[int, ...]
+    kernels: Mapping[str, str]
+    checkpoint_every: int
+    predicted_makespan_s: float
+    candidates: Mapping[str, float]
+    default_variant: str
+    default_predicted_s: float
+    scales: Mapping[str, float]
+    scale_provenance: Mapping[str, Any] | None
+    params: Mapping[str, Any]
+
+    @property
+    def improvement(self) -> float:
+        """Predicted default/chosen makespan ratio (≥ 1 by construction)."""
+        if self.predicted_makespan_s <= 0:
+            return 1.0
+        return self.default_predicted_s / self.predicted_makespan_s
+
+    def row_partition(self) -> RowPartition:
+        """The planned partition as an executable :class:`RowPartition`."""
+        return RowPartition(self.partition_counts)
+
+    def program_kwargs(self, algorithm: str) -> dict[str, Any]:
+        """Kernel-dispatch kwargs for the algorithm's SPMD program."""
+        if algorithm != self.algorithm:
+            raise ConfigurationError(
+                f"plan is for {self.algorithm!r}, not {algorithm!r}"
+            )
+        out: dict[str, Any] = {}
+        if algorithm == "atdca":
+            out["osp_variant"] = self.kernels["osp_step"]
+        elif algorithm == "ufcls":
+            out["fcls_variant"] = self.kernels["fcls_solve"]
+        return out
+
+    def to_document(self) -> dict[str, Any]:
+        """Serialize to a stable, schema-versioned JSON document."""
+        return {
+            "schema": PLAN_SCHEMA,
+            "algorithm": self.algorithm,
+            "backend": self.backend,
+            "scene": {
+                "rows": int(self.rows),
+                "cols": int(self.cols),
+                "bands": int(self.bands),
+            },
+            "platform": {
+                "name": self.platform_name,
+                "size": int(self.platform_size),
+            },
+            "partition_variant": self.partition_variant,
+            "partition_counts": [int(c) for c in self.partition_counts],
+            "kernels": dict(self.kernels),
+            "checkpoint_every": int(self.checkpoint_every),
+            "predicted_makespan_s": float(self.predicted_makespan_s),
+            "candidates": {
+                name: float(value)
+                for name, value in self.candidates.items()
+            },
+            "default_variant": self.default_variant,
+            "default_predicted_s": float(self.default_predicted_s),
+            "scales": {
+                name: float(value) for name, value in self.scales.items()
+            },
+            "scale_provenance": (
+                dict(self.scale_provenance)
+                if self.scale_provenance is not None else None
+            ),
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_document(cls, doc: Mapping[str, Any]) -> "TuningPlan":
+        """Rehydrate a plan from :meth:`to_document` output."""
+        schema = doc.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise ConfigurationError(
+                f"expected schema {PLAN_SCHEMA!r}, got {schema!r}"
+            )
+        scene = doc["scene"]
+        platform = doc["platform"]
+        provenance = doc.get("scale_provenance")
+        return cls(
+            algorithm=str(doc["algorithm"]),
+            backend=str(doc["backend"]),
+            rows=int(scene["rows"]),
+            cols=int(scene["cols"]),
+            bands=int(scene["bands"]),
+            platform_name=str(platform["name"]),
+            platform_size=int(platform["size"]),
+            partition_variant=str(doc["partition_variant"]),
+            partition_counts=tuple(
+                int(c) for c in doc["partition_counts"]
+            ),
+            kernels=dict(doc["kernels"]),
+            checkpoint_every=int(doc["checkpoint_every"]),
+            predicted_makespan_s=float(doc["predicted_makespan_s"]),
+            candidates={
+                str(k): float(v) for k, v in doc["candidates"].items()
+            },
+            default_variant=str(doc["default_variant"]),
+            default_predicted_s=float(doc["default_predicted_s"]),
+            scales={str(k): float(v) for k, v in doc["scales"].items()},
+            scale_provenance=(
+                dict(provenance) if provenance is not None else None
+            ),
+            params=dict(doc.get("params", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningPlan":
+        """Read a serialized plan from ``path``."""
+        return cls.from_document(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+
+def _load_scales(
+    calibration: str | Path | Mapping[str, Any] | None,
+    backend: str,
+) -> tuple[dict[str, float], dict[str, Any] | None]:
+    if calibration is None:
+        committed = Path(DEFAULT_CALIBRATION)
+        if not committed.is_file():
+            # No baseline in reach (e.g. planning from an installed
+            # package outside the repo): neutral scales, silently.
+            return {"compute": 1.0, "transfer": 1.0}, None
+        calibration = committed
+    scales, provenance = scales_from_calibration(
+        calibration, backend=backend, with_provenance=True
+    )
+    return scales, provenance
+
+
+def plan_run(
+    algorithm: str,
+    platform: HeterogeneousPlatform,
+    rows: int,
+    cols: int,
+    bands: int,
+    params: Mapping[str, Any] | None = None,
+    *,
+    backend: str = "sim",
+    cost_model: CostModel | None = None,
+    calibration: str | Path | Mapping[str, Any] | None = None,
+    default_variant: str = "hetero",
+) -> TuningPlan:
+    """Plan one run: partition variant, kernel variants, cadence.
+
+    Args:
+        algorithm: one of :data:`repro.core.runner.ALGORITHM_NAMES`.
+        platform: processors + network the run will execute on.
+        rows / cols / bands: scene dimensions (the planner never needs
+            pixel data — partitions and the analytic model depend only
+            on shape, which is what makes plans reproducible artifacts).
+        params: algorithm parameters, as for ``run_parallel``.
+        backend: which backend the plan targets (selects the calibrated
+            scale set; predictions are exact on ``"sim"`` for the
+            detectors and upper bounds for pct/morph).
+        cost_model: base cost model before calibration scaling.
+        calibration: calibration document (path or parsed mapping);
+            ``None`` uses the committed baseline when present and
+            neutral 1.0 scales otherwise.
+        default_variant: the static choice the plan is measured against;
+            always included in the candidate set, and ties break in
+            candidate order, so the plan's prediction is ≤ the
+            default's by construction.
+
+    Returns:
+        A :class:`TuningPlan` carrying the chosen configuration, its
+        prediction, every candidate's prediction, and the calibration
+        scale provenance.
+    """
+    if algorithm not in ALGORITHM_NAMES:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{ALGORITHM_NAMES}"
+        )
+    if default_variant not in PARTITION_VARIANTS:
+        raise ConfigurationError(
+            f"unknown default variant {default_variant!r}; expected one "
+            f"of {PARTITION_VARIANTS}"
+        )
+    params = dict(params or {})
+    base_cost = cost_model or DEFAULT_COST_MODEL
+    scales, provenance = _load_scales(calibration, backend)
+    tuned_cost = dataclasses.replace(
+        base_cost,
+        compute_scale=base_cost.compute_scale * scales["compute"],
+        comm_scale=base_cost.comm_scale * scales["transfer"],
+    )
+
+    candidates: dict[str, float] = {}
+    partitions: dict[str, RowPartition] = {}
+    for variant in PARTITION_VARIANTS:
+        partition = make_row_partition_for_dims(
+            platform, rows, cols, bands, algorithm, params,
+            variant=variant, cost_model=base_cost,
+        )
+        partitions[variant] = partition
+        candidates[variant] = float(model_run(
+            algorithm, platform, partition, rows, cols, bands,
+            params=params, cost_model=tuned_cost,
+        ).total)
+
+    best = default_variant
+    for variant in PARTITION_VARIANTS:
+        if candidates[variant] < candidates[best]:
+            best = variant
+
+    scalar_params = {
+        k: v for k, v in params.items()
+        if isinstance(v, (int, float, str, bool))
+    }
+    return TuningPlan(
+        algorithm=algorithm,
+        backend=backend,
+        rows=int(rows),
+        cols=int(cols),
+        bands=int(bands),
+        platform_name=platform.name,
+        platform_size=int(platform.size),
+        partition_variant=best,
+        partition_counts=tuple(
+            int(c) for c in partitions[best].counts
+        ),
+        kernels=choose_kernel_variants(
+            algorithm, rows * cols, bands, params
+        ),
+        checkpoint_every=1,
+        predicted_makespan_s=candidates[best],
+        candidates=candidates,
+        default_variant=default_variant,
+        default_predicted_s=candidates[default_variant],
+        scales={
+            "compute": float(scales["compute"]),
+            "transfer": float(scales["transfer"]),
+        },
+        scale_provenance=provenance,
+        params=scalar_params,
+    )
